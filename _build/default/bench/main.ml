@@ -1,0 +1,669 @@
+(* The Cinnamon benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation
+   (Tables 1-3, Figures 6, 11-16, and the §4.3.1 / §7.4 headline
+   claims), printing measured-vs-paper values; EXPERIMENTS.md records
+   the comparison.  Also runs Bechamel microbenchmarks of the
+   functional OCaml kernels (NTT, base conversion, keyswitch, rescale)
+   that calibrate the CPU baseline.
+
+   Usage: main.exe [section ...]
+     sections: table1 table2 table3 fig6 fig11 fig12 fig13 fig14 fig15
+               fig16 sec43 sec74 micro        (default: all)
+
+   Run time for the full set is dominated by kernel compilation; the
+   kernel cache in Cinnamon_workloads.Runner shares compiled streams
+   across sections. *)
+
+open Cinnamon_workloads
+module T = Cinnamon_util.Table
+module SC = Cinnamon_sim.Sim_config
+module Sim = Cinnamon_sim.Simulator
+module CC = Cinnamon_compiler.Compile_config
+module PD = Cinnamon_arch.Paper_data
+
+let section_header name = Printf.printf "\n################ %s ################\n%!" name
+
+(* ---------------------------------------------------------------- Table 1 *)
+
+let table1 () =
+  section_header "Table 1: per-component area breakdown (22 nm)";
+  let a = Lazy.force Cinnamon_arch.Area.cinnamon_chip in
+  let t = T.create ~title:"Cinnamon chip area" ~header:[ "Component"; "Area (mm^2)" ]
+      ~aligns:[ T.Left; T.Right ] () in
+  List.iter
+    (fun (c : Cinnamon_arch.Area.component) ->
+      T.add_row t [ Printf.sprintf "%dx %s" c.count c.comp_name;
+                    T.fmt_float ~digits:2 (c.area_mm2 *. Float.of_int c.count) ])
+    a.Cinnamon_arch.Area.components;
+  T.add_row t [ "Total FU area"; T.fmt_float ~digits:2 a.fu_area ];
+  T.add_row t [ "BCU buffers (2.85MB)"; T.fmt_float ~digits:2 a.bcu_buffers_mm2 ];
+  T.add_row t [ "Register file (56MB)"; T.fmt_float ~digits:2 a.register_file_mm2 ];
+  T.add_row t [ "4x HBM PHY"; T.fmt_float ~digits:2 a.hbm_phy_mm2 ];
+  T.add_row t [ "2x Network PHY"; T.fmt_float ~digits:2 a.net_phy_mm2 ];
+  T.add_row t [ "Total chip area"; T.fmt_float ~digits:2 a.total_mm2 ];
+  T.print t;
+  Printf.printf "Paper total: 223.18 mm^2; model: %.2f mm^2\n" a.total_mm2;
+  let m = Lazy.force Cinnamon_arch.Area.cinnamon_m in
+  Printf.printf "Cinnamon-M model: %.2f mm^2 (paper: 719.78 mm^2)\n" m.Cinnamon_arch.Area.total_mm2;
+  let b = Cinnamon_arch.Area.bcu_comparison in
+  Printf.printf
+    "Compact BCU (s4.7): multipliers %d -> %d (%.1fx), buffers %.2fMB -> %.2fMB (%.1fx)\n"
+    b.craterlake_multipliers b.cinnamon_multipliers
+    (Float.of_int b.craterlake_multipliers /. Float.of_int b.cinnamon_multipliers)
+    b.craterlake_buffer_mb b.cinnamon_buffer_mb
+    (b.craterlake_buffer_mb /. b.cinnamon_buffer_mb)
+
+(* ---------------------------------------------------------------- Table 3 *)
+
+let table3 () =
+  section_header "Table 3: manufacturing yield and tape-out cost";
+  let t =
+    T.create ~title:"Yield model (D0=0.2/cm^2, alpha=3, 300mm wafer)"
+      ~header:[ "Accelerator"; "Die (mm^2)"; "Yield (model)"; "Yield (paper)"; "Dies/wafer"; "Rel. cost/die" ]
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right ] ()
+  in
+  let base_cost =
+    Cinnamon_arch.Yield.cost_per_good_die
+      ~area_mm2:Cinnamon_arch.Yield.cinnamon.die_area_mm2
+      ~wafer_price:Cinnamon_arch.Yield.cinnamon.wafer_price
+  in
+  List.iter
+    (fun (a : Cinnamon_arch.Yield.accelerator) ->
+      let r = Cinnamon_arch.Yield.row a in
+      let paper_y =
+        match List.assoc_opt a.accel_name Cinnamon_arch.Yield.paper_yields with
+        | Some y -> Printf.sprintf "%.0f%%" (100.0 *. y)
+        | None -> "-"
+      in
+      T.add_row t
+        [ r.r_name; T.fmt_float ~digits:1 r.r_area;
+          Printf.sprintf "%.0f%%" (100.0 *. r.r_yield); paper_y;
+          string_of_int r.r_dies_per_wafer; T.fmt_float (r.r_cost_per_die /. base_cost) ])
+    Cinnamon_arch.Yield.table3;
+  T.print t
+
+(* --------------------------------------------- Table 2 / Fig. 11 / Fig. 15 *)
+
+let measured_table2 : (string * string, float) Hashtbl.t = Hashtbl.create 16
+let measured_util : (string * string, Sim.utilization) Hashtbl.t = Hashtbl.create 16
+
+let run_table2 () =
+  List.iter
+    (fun (b : Specs.benchmark) ->
+      List.iter
+        (fun sys ->
+          let key = (b.Specs.bench_name, sys.Runner.sys_name) in
+          if not (Hashtbl.mem measured_table2 key) then begin
+            let r = Runner.run_benchmark sys b in
+            Hashtbl.replace measured_table2 key r.Runner.br_seconds;
+            Hashtbl.replace measured_util key r.Runner.br_util;
+            Printf.printf "  (table2: %s on %s done)\n%!" b.Specs.bench_name sys.Runner.sys_name
+          end)
+        Runner.all_systems)
+    Specs.all
+
+let table2 () =
+  section_header "Table 2: execution time (measured simulation vs paper)";
+  run_table2 ();
+  let systems = [ "Cinnamon-M"; "Cinnamon-4"; "Cinnamon-8"; "Cinnamon-12" ] in
+  let others = [ "CraterLake"; "CiFHER"; "ARK"; "CPU" ] in
+  let t =
+    T.create ~title:"Execution time"
+      ~header:("Benchmark" :: (List.concat_map (fun s -> [ s ^ " sim"; s ^ " paper" ]) systems
+                               @ others))
+      ~aligns:(T.Left :: List.init ((2 * List.length systems) + List.length others) (fun _ -> T.Right)) ()
+  in
+  List.iter
+    (fun (b : Specs.benchmark) ->
+      let cells =
+        List.concat_map
+          (fun s ->
+            let sim =
+              match Hashtbl.find_opt measured_table2 (b.Specs.bench_name, s) with
+              | Some v -> T.fmt_time v
+              | None -> "-"
+            in
+            let paper =
+              match List.assoc_opt s b.Specs.paper_times with
+              | Some v -> T.fmt_time v
+              | None -> "-"
+            in
+            [ sim; paper ])
+          systems
+      in
+      let other_cells =
+        List.map
+          (fun s ->
+            match List.assoc_opt s b.Specs.paper_times with
+            | Some v -> T.fmt_time v
+            | None -> "-")
+          others
+      in
+      T.add_row t ((b.Specs.bench_name :: cells) @ other_cells))
+    Specs.all;
+  T.print t;
+  match Hashtbl.find_opt measured_table2 ("BERT", "Cinnamon-12") with
+  | Some bert12 ->
+    let cpu = List.assoc "CPU" Specs.bert.Specs.paper_times in
+    Printf.printf
+      "BERT Cinnamon-12 speedup over 48-core CPU: %.0fx measured-vs-paper-CPU (paper: %.0fx)\n"
+      (cpu /. bert12) PD.bert_speedup_vs_cpu
+  | None -> ()
+
+let fig11 () =
+  section_header "Fig. 11: speedup normalized to CraterLake (small) / Cinnamon-M (BERT)";
+  run_table2 ();
+  List.iter
+    (fun (b : Specs.benchmark) ->
+      let base_name, base =
+        match List.assoc_opt "CraterLake" b.Specs.paper_times with
+        | Some v -> ("CraterLake(paper)", v)
+        | None -> ("Cinnamon-M(sim)", Hashtbl.find measured_table2 (b.Specs.bench_name, "Cinnamon-M"))
+      in
+      let entries =
+        List.filter_map
+          (fun s ->
+            match Hashtbl.find_opt measured_table2 (b.Specs.bench_name, s) with
+            | Some v -> Some (s, base /. v)
+            | None -> None)
+          [ "Cinnamon-M"; "Cinnamon-4"; "Cinnamon-8"; "Cinnamon-12" ]
+      in
+      T.print_bar_chart
+        ~title:(Printf.sprintf "%s (speedup over %s)" b.Specs.bench_name base_name)
+        ~unit:"x" entries)
+    Specs.all
+
+let fig12 () =
+  section_header "Fig. 12: relative performance per dollar";
+  run_table2 ();
+  let open Cinnamon_arch in
+  List.iter
+    (fun (b : Specs.benchmark) ->
+      let points =
+        List.filter_map
+          (fun (sys, accel) ->
+            match Hashtbl.find_opt measured_table2 (b.Specs.bench_name, sys) with
+            | Some seconds ->
+              Some (Perf_dollar.point ~name:sys ~seconds ~cost:(Yield.system_cost accel))
+            | None -> None)
+          [
+            ("Cinnamon-M", Yield.cinnamon_m);
+            ("Cinnamon-4", Yield.cinnamon_n 4);
+            ("Cinnamon-8", Yield.cinnamon_n 8);
+            ("Cinnamon-12", Yield.cinnamon_n 12);
+          ]
+      in
+      let paper_points =
+        List.filter_map
+          (fun (name, accel) ->
+            match List.assoc_opt name b.Specs.paper_times with
+            | Some seconds -> Some (Perf_dollar.point ~name ~seconds ~cost:(Yield.system_cost accel))
+            | None -> None)
+          [ ("CraterLake", Yield.craterlake); ("CiFHER", Yield.cifher); ("ARK", Yield.ark) ]
+      in
+      let all = points @ paper_points in
+      match all with
+      | [] -> ()
+      | _ ->
+        let baseline =
+          if List.exists (fun (p : Perf_dollar.point) -> p.Perf_dollar.pd_name = "CraterLake") all
+          then "CraterLake"
+          else "Cinnamon-M"
+        in
+        let rel = Perf_dollar.relative ~baseline all in
+        T.print_bar_chart
+          ~title:(Printf.sprintf "%s (perf/$ relative to %s)" b.Specs.bench_name baseline)
+          ~unit:"x" rel)
+    Specs.all
+
+let fig15 () =
+  section_header "Fig. 15: hardware utilization";
+  run_table2 ();
+  let t =
+    T.create ~title:"Utilization (time-weighted across segments)"
+      ~header:[ "Config"; "Benchmark"; "Compute"; "Memory"; "Network" ]
+      ~aligns:[ T.Left; T.Left; T.Right; T.Right; T.Right ] ()
+  in
+  let pct v = Printf.sprintf "%.0f%%" (100.0 *. v) in
+  let avg4 f =
+    let vals =
+      List.filter_map
+        (fun (b : Specs.benchmark) ->
+          Option.map f (Hashtbl.find_opt measured_util (b.Specs.bench_name, "Cinnamon-4")))
+        Specs.all
+    in
+    Cinnamon_util.Stats.mean vals
+  in
+  T.add_row t [ "Cinnamon-4"; "all (avg)"; pct (avg4 (fun u -> u.Sim.compute));
+                pct (avg4 (fun u -> u.Sim.memory)); pct (avg4 (fun u -> u.Sim.network)) ];
+  List.iter
+    (fun sys ->
+      match Hashtbl.find_opt measured_util ("BERT", sys) with
+      | Some u ->
+        T.add_row t [ sys; "BERT"; pct u.Sim.compute; pct u.Sim.memory; pct u.Sim.network ]
+      | None -> ())
+    [ "Cinnamon-8"; "Cinnamon-12" ];
+  T.print t
+
+(* ----------------------------------------------------------------- Fig. 6 *)
+
+let fig6 () =
+  section_header "Fig. 6: bootstrap scaling vs cache capacity and compute";
+  let t =
+    T.create ~title:"Parallel bootstraps on one chip (1 TB/s HBM)"
+      ~header:[ "Bootstraps"; "64MB"; "256MB"; "1GB"; "1GB/8cl" ]
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ] ()
+  in
+  let time ~parallel ~rf_mb ~clusters =
+    let prog = Kernels.bootstrap_program ~parallel () in
+    let cfg = CC.paper ~chips:1 () in
+    let r = Cinnamon_compiler.Pipeline.compile ~rf_bytes:(rf_mb * 1024 * 1024) cfg prog in
+    let sc = SC.fig6_chip ~rf_mb ~clusters in
+    (Sim.run sc r.Cinnamon_compiler.Pipeline.machine).Sim.seconds
+  in
+  List.iter
+    (fun parallel ->
+      let row =
+        string_of_int parallel
+        :: List.map
+             (fun (rf, cl) -> T.fmt_time (time ~parallel ~rf_mb:rf ~clusters:cl))
+             [ (64, 4); (256, 4); (1024, 4); (1024, 8) ]
+      in
+      T.add_row t row;
+      Printf.printf "  (fig6: %d bootstraps done)\n%!" parallel)
+    [ 1; 2; 4; 8 ];
+  T.print t;
+  print_endline
+    "Paper trends: small caches degrade linearly with bootstrap count; 1GB helps parallel\n\
+     bootstraps ~5.6x at 8 bootstraps (shared evalkeys/plaintexts); extra clusters add ~1.6x."
+
+(* ----------------------------------------------------------------- Fig. 13 *)
+
+let fig13 () =
+  section_header "Fig. 13: keyswitching techniques on Cinnamon-4, by link bandwidth";
+  let seq =
+    (Runner.simulate_kernel Runner.cinnamon_1 (Specs.K_bootstrap Kernels.boot_shape_13)).Sim.seconds
+  in
+  Printf.printf "Sequential (1 chip): %s\n%!" (T.fmt_time seq);
+  let variants =
+    [
+      ("CiFHER",
+       { Runner.default_options with Runner.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast;
+         pass_mode = CC.No_pass });
+      ("Input Broadcast",
+       { Runner.default_options with Runner.default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
+         pass_mode = CC.No_pass });
+      ("Input Broadcast + Pass", { Runner.default_options with Runner.pass_mode = CC.Pass_ib_only });
+      ("Cinnamon KS + Pass", Runner.default_options);
+      ("Cinnamon KS + Pass + ProgPar", { Runner.default_options with Runner.progpar = true });
+    ]
+  in
+  let bandwidths = [ 256.0; 512.0; 1024.0 ] in
+  let t =
+    T.create ~title:"Speedup over Sequential (bootstrap)"
+      ~header:(("Technique" :: List.map (fun b -> Printf.sprintf "%.0fGB/s" b) bandwidths)
+               @ [ "paper@256" ])
+      ~aligns:((T.Left :: List.map (fun _ -> T.Right) bandwidths) @ [ T.Right ]) ()
+  in
+  List.iter
+    (fun (name, options) ->
+      let compiled =
+        Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+      in
+      let speedups =
+        List.map
+          (fun bw ->
+            let sc = SC.with_link_gbps SC.cinnamon_4 bw in
+            let r = Sim.run sc compiled.Cinnamon_compiler.Pipeline.machine in
+            seq /. r.Sim.seconds)
+          bandwidths
+      in
+      let paper =
+        match
+          List.assoc_opt name
+            [ ("CiFHER", 1.0 /. 2.14); ("Input Broadcast + Pass", 2.34);
+              ("Cinnamon KS + Pass", 3.22); ("Cinnamon KS + Pass + ProgPar", 4.18) ]
+        with
+        | Some v -> T.fmt_ratio v
+        | None -> "-"
+      in
+      T.add_row t ((name :: List.map T.fmt_ratio speedups) @ [ paper ]);
+      Printf.printf "  (fig13: %s done)\n%!" name)
+    variants;
+  T.print t
+
+(* ----------------------------------------------------------------- Fig. 14 *)
+
+let fig14 () =
+  section_header "Fig. 14: Bootstrap-13 vs Bootstrap-21 scaling";
+  let seq shape =
+    (Runner.simulate_kernel Runner.cinnamon_1 (Specs.K_bootstrap shape)).Sim.seconds
+  in
+  let t =
+    T.create ~title:"Speedup over 1-chip sequential"
+      ~header:[ "Config"; "Boot-13 sim"; "Boot-13 paper"; "Boot-21 sim"; "Boot-21 paper" ]
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ] ()
+  in
+  List.iter
+    (fun (chips, topology) ->
+      let sc =
+        { (SC.cinnamon_chip ~chips ~topology) with SC.name = Printf.sprintf "Cinnamon-%d" chips }
+      in
+      let sys = { Runner.sys_name = sc.SC.name; sim = sc; group_chips = chips; groups = 1 } in
+      let options = { Runner.default_options with Runner.progpar = true } in
+      let cell shape =
+        let seq_t = seq shape in
+        let r = Runner.simulate_kernel ~options sys (Specs.K_bootstrap shape) in
+        seq_t /. r.Sim.seconds
+      in
+      let p13 = List.assoc sc.SC.name (List.assoc "Bootstrap-13" PD.fig14) in
+      let p21 = List.assoc sc.SC.name (List.assoc "Bootstrap-21" PD.fig14) in
+      T.add_row t
+        [ sc.SC.name; T.fmt_ratio (cell Kernels.boot_shape_13); T.fmt_ratio p13;
+          T.fmt_ratio (cell Kernels.boot_shape_21); T.fmt_ratio p21 ];
+      Printf.printf "  (fig14: %d chips done)\n%!" chips)
+    [ (4, SC.Ring); (8, SC.Ring); (12, SC.Switch) ];
+  T.print t
+
+(* ----------------------------------------------------------------- Fig. 16 *)
+
+let fig16 () =
+  section_header "Fig. 16: sensitivity to halving/doubling resources (bootstrap, Cinnamon-4)";
+  let kernel = Specs.K_bootstrap Kernels.boot_shape_13 in
+  let base_r = Runner.compile_kernel Runner.cinnamon_4 kernel in
+  let base_t = (Sim.run SC.cinnamon_4 base_r.Cinnamon_compiler.Pipeline.machine).Sim.seconds in
+  let t =
+    T.create ~title:"Speedup vs baseline Cinnamon-4 (1.0 = baseline)"
+      ~header:[ "Resource"; "0.5x"; "2x" ] ~aligns:[ T.Left; T.Right; T.Right ] ()
+  in
+  let sim_with sc machine = (Sim.run sc machine).Sim.seconds in
+  let rf_time factor =
+    let rf = int_of_float (Float.of_int SC.cinnamon_4.SC.rf_bytes *. factor) in
+    let r =
+      Cinnamon_compiler.Pipeline.compile ~rf_bytes:rf (CC.paper ~chips:4 ())
+        (Specs.kernel_program kernel)
+    in
+    sim_with (SC.with_rf_bytes SC.cinnamon_4 rf) r.Cinnamon_compiler.Pipeline.machine
+  in
+  T.add_row t
+    [ "Register file"; T.fmt_ratio (base_t /. rf_time 0.5); T.fmt_ratio (base_t /. rf_time 2.0) ];
+  Printf.printf "  (fig16: rf done)\n%!";
+  let vary name f =
+    T.add_row t
+      [ name;
+        T.fmt_ratio (base_t /. sim_with (f 0.5) base_r.Cinnamon_compiler.Pipeline.machine);
+        T.fmt_ratio (base_t /. sim_with (f 2.0) base_r.Cinnamon_compiler.Pipeline.machine) ]
+  in
+  vary "Link bandwidth" (fun k -> SC.with_link_gbps SC.cinnamon_4 (SC.cinnamon_4.SC.link_gbps *. k));
+  vary "Memory bandwidth" (fun k -> SC.with_hbm_gbps SC.cinnamon_4 (SC.cinnamon_4.SC.hbm_gbps *. k));
+  vary "Vector width" (fun k ->
+      SC.with_lanes SC.cinnamon_4
+        (int_of_float (Float.of_int SC.cinnamon_4.SC.lanes_per_cluster *. k)));
+  T.print t;
+  print_endline
+    "Paper: halving any resource costs 20-40% (geomean 32%); doubling gains 2-20% (geomean 10%)."
+
+(* ------------------------------------------------------- s4.3.1 and s7.4 *)
+
+let sec43 () =
+  section_header "s4.3.1: keyswitch pass communication reduction per bootstrap";
+  let bytes options =
+    let r =
+      Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+    in
+    r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved
+  in
+  let unopt =
+    bytes
+      { Runner.default_options with
+        Runner.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
+  in
+  let pass = bytes Runner.default_options in
+  let pass_pp = bytes { Runner.default_options with Runner.progpar = true } in
+  Printf.printf "Unoptimized (CiFHER-style, no pass): %s\n" (T.fmt_bytes unopt);
+  Printf.printf "Cinnamon keyswitch pass:             %s  (%.2fx reduction; paper: %.1fx)\n"
+    (T.fmt_bytes pass)
+    (Float.of_int unopt /. Float.of_int pass)
+    PD.keyswitch_pass_comm_reduction;
+  Printf.printf "+ program parallelism:               %s  (%.2fx reduction; paper: %.2fx)\n"
+    (T.fmt_bytes pass_pp)
+    (Float.of_int unopt /. Float.of_int pass_pp)
+    PD.keyswitch_pass_comm_reduction_with_progpar
+
+let sec74 () =
+  section_header "s7.4: Cinnamon vs CiFHER keyswitching (Cinnamon-4, bootstrap)";
+  let compiled options =
+    Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+  in
+  let cifher =
+    compiled
+      { Runner.default_options with
+        Runner.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
+  in
+  let cinn = compiled Runner.default_options in
+  let traffic r = r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved in
+  let time r = (Sim.run SC.cinnamon_4 r.Cinnamon_compiler.Pipeline.machine).Sim.seconds in
+  let tr_ratio = Float.of_int (traffic cifher) /. Float.of_int (traffic cinn) in
+  let sp_ratio = time cifher /. time cinn in
+  Printf.printf "Inter-chip traffic: CiFHER %s vs Cinnamon %s -> %.2fx less (paper: %.2fx)\n"
+    (T.fmt_bytes (traffic cifher)) (T.fmt_bytes (traffic cinn)) tr_ratio
+    PD.cinnamon_vs_cifher_traffic;
+  Printf.printf "Speedup: %.2fx (paper: %.2fx; %.2fx with program parallelism)\n" sp_ratio
+    PD.cinnamon_vs_cifher_speedup PD.cinnamon_vs_cifher_speedup_progpar
+
+(* ------------------------------------------------------------- ablations *)
+
+(* Design-choice ablations DESIGN.md calls out:
+   - the compact BCU (s4.7): half the lanes of the other FUs, trading
+     base-conversion throughput for area/power;
+   - the keyswitching digit count dnum: fewer digits = fewer, larger
+     base conversions but bigger evalkeys (memory traffic). *)
+let ablation () =
+  section_header "Ablations: compact BCU and digit count (bootstrap, Cinnamon-4)";
+  let kernel = Specs.K_bootstrap Kernels.boot_shape_13 in
+  let base_r = Runner.compile_kernel Runner.cinnamon_4 kernel in
+  let t_of sc = (Sim.run sc base_r.Cinnamon_compiler.Pipeline.machine).Sim.seconds in
+  (* BCU lanes: 128 (Cinnamon) vs 256 (CraterLake-style) *)
+  let t_bcu_128 = t_of SC.cinnamon_4 in
+  let t_bcu_256 =
+    t_of { SC.cinnamon_4 with SC.bcu_lanes_per_cluster = 256; name = "Cinnamon-4/fullBCU" }
+  in
+  let area_128 = Lazy.force Cinnamon_arch.Area.cinnamon_chip in
+  let area_256 =
+    Cinnamon_arch.Area.area_of
+      { Cinnamon_arch.Area.cinnamon_chip_config with Cinnamon_arch.Area.bcu_lanes = 256 }
+  in
+  Printf.printf
+    "BCU lanes 128 -> 256: time %s -> %s (%.1f%% faster), chip area %.2f -> %.2f mm^2 (+%.1f%%)
+"
+    (T.fmt_time t_bcu_128) (T.fmt_time t_bcu_256)
+    (100.0 *. (1.0 -. (t_bcu_256 /. t_bcu_128)))
+    area_128.Cinnamon_arch.Area.total_mm2 area_256.Cinnamon_arch.Area.total_mm2
+    (100.0
+    *. ((area_256.Cinnamon_arch.Area.total_mm2 /. area_128.Cinnamon_arch.Area.total_mm2) -. 1.0));
+  Printf.printf
+    "  (paper s4.7: halving the BCU trades some throughput for half its logic area/power)
+";
+  (* dnum: 2 / 3 / 4 digits *)
+  let t = T.create ~title:"Digit-count ablation" ~header:[ "dnum"; "alpha"; "Time"; "Comm" ]
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right ] () in
+  List.iter
+    (fun dnum ->
+      let alpha = Cinnamon_util.Bitops.cdiv 52 dnum in
+      let cfg = { (CC.paper ~chips:4 ()) with CC.dnum; alpha } in
+      let r = Cinnamon_compiler.Pipeline.compile cfg (Specs.kernel_program kernel) in
+      let res = Sim.run SC.cinnamon_4 r.Cinnamon_compiler.Pipeline.machine in
+      T.add_row t
+        [ string_of_int dnum; string_of_int alpha; T.fmt_time res.Sim.seconds;
+          T.fmt_bytes r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved ];
+      Printf.printf "  (ablation: dnum=%d done)
+%!" dnum)
+    [ 2; 3; 4 ];
+  T.print t
+
+(* ------------------------------------------------- workload characterization *)
+
+(* The paper's motivation data (§3): wider models need more ciphertexts,
+   deeper models more bootstraps.  Characterize each benchmark's kernels
+   as compiled. *)
+let characterize () =
+  section_header "Workload characterization (compiled kernels, Cinnamon-4)";
+  let t =
+    T.create ~title:"Kernel statistics"
+      ~header:[ "Kernel"; "Ct ops"; "Keyswitches"; "Ct-muls"; "Rotations"; "Pt-muls"; "ISA instrs"; "Comm" ]
+      ~aligns:(T.Left :: List.init 7 (fun _ -> T.Right)) ()
+  in
+  List.iter
+    (fun k ->
+      let prog = Specs.kernel_program k in
+      let c = Cinnamon_ir.Ct_ir.count_ops prog in
+      let r = Runner.compile_kernel Runner.cinnamon_4 k in
+      let instrs =
+        Array.fold_left
+          (fun a p -> a + Array.length p.Cinnamon_isa.Isa.instrs)
+          0 r.Cinnamon_compiler.Pipeline.machine.Cinnamon_isa.Isa.programs
+      in
+      T.add_row t
+        [ Specs.kernel_name k; string_of_int (Cinnamon_ir.Ct_ir.size prog);
+          string_of_int (Cinnamon_ir.Ct_ir.keyswitch_count prog);
+          string_of_int c.Cinnamon_ir.Ct_ir.n_mul_ct; string_of_int c.Cinnamon_ir.Ct_ir.n_rotate;
+          string_of_int c.Cinnamon_ir.Ct_ir.n_mul_plain; string_of_int instrs;
+          T.fmt_bytes r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved ];
+      Printf.printf "  (characterize: %s done)\n%!" (Specs.kernel_name k))
+    [ Specs.K_bootstrap Kernels.boot_shape_13; Specs.K_bootstrap Kernels.boot_shape_21;
+      Specs.K_conv; Specs.K_relu; Specs.K_helr_iter; Specs.K_attention; Specs.K_gelu;
+      Specs.K_layernorm ];
+  T.print t;
+  (* the paper's §3.1 data points *)
+  Printf.printf
+    "Paper motivation: BERT needs 3 cts per 128-token tensor and ~1,400 bootstraps;\n\
+     ResNet-20 fits one ct and ~50 bootstraps (reproduced in Specs and its tests).\n"
+
+(* ----------------------------------------------------------------- energy *)
+
+(* Benchmark energy from the power model (the paper reports 190 W per
+   chip from synthesis; our budget reproduces that peak and splits it
+   across datapath, HBM, links and static draw). *)
+let energy () =
+  section_header "Energy: per-benchmark energy on Cinnamon-4 (power model)";
+  let open Cinnamon_arch in
+  Printf.printf "modeled peak chip power: %.0f W (paper: 190 W)\n"
+    (Power.peak_watts Power.cinnamon_chip ~hbm_gbps:2048.0 ~link_gbps:256.0);
+  let t =
+    T.create ~title:"Bootstrap energy by configuration"
+      ~header:[ "Config"; "Time"; "Energy"; "Avg W/chip"; "Compute J"; "HBM J"; "Link J"; "Static J" ]
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ] ()
+  in
+  List.iter
+    (fun (sys, sc) ->
+      let r = Runner.simulate_kernel sys (Specs.K_bootstrap Kernels.boot_shape_13) in
+      let e = Power.of_simulation Power.cinnamon_chip sc r in
+      let part name = List.assoc name e.Power.breakdown in
+      T.add_row t
+        [ sys.Runner.sys_name; T.fmt_time r.Sim.seconds;
+          Printf.sprintf "%.3f J" e.Power.joules; Printf.sprintf "%.0f" e.Power.avg_watts;
+          Printf.sprintf "%.3f" (part "compute"); Printf.sprintf "%.3f" (part "hbm");
+          Printf.sprintf "%.3f" (part "links"); Printf.sprintf "%.3f" (part "static") ])
+    [ (Runner.cinnamon_1, SC.cinnamon_1); (Runner.cinnamon_4, SC.cinnamon_4) ];
+  T.print t
+
+(* --------------------------------------------------------- microbenchmarks *)
+
+(* Plain wall-clock microbenchmarks plus a Bechamel pass on the NTT.
+   The measured NTT throughput calibrates the CPU column of Table 2
+   (see Cpu_model). *)
+let micro () =
+  section_header "Microbenchmarks: functional OCaml kernels";
+  let open Cinnamon_rns in
+  let time_it ?(reps = 20) f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. Float.of_int reps
+  in
+  let n = 1 lsl 12 in
+  let q = List.hd (Prime_gen.gen_primes ~bits:28 ~n ~count:1 ()) in
+  let plan = Ntt.plan ~q ~n in
+  let rng = Cinnamon_util.Rng.create ~seed:1 in
+  let a = Array.init n (fun _ -> Cinnamon_util.Rng.int rng q) in
+  let params = Lazy.force Cinnamon_ckks.Params.small in
+  let sk = Cinnamon_ckks.Keys.gen_secret_key params rng in
+  let relin = Cinnamon_ckks.Keys.gen_relin_key params sk rng in
+  let c =
+    Rns_poly.random ~n:params.Cinnamon_ckks.Params.n ~basis:params.Cinnamon_ckks.Params.q_basis
+      ~domain:Rns_poly.Eval rng
+  in
+  let ext = params.Cinnamon_ckks.Params.p_basis in
+  let cc = Rns_poly.to_coeff c in
+  let ntt_s = time_it ~reps:200 (fun () -> Ntt.forward plan a) in
+  Printf.printf "  %-28s %10.1f us/op\n" (Printf.sprintf "ntt (N=%d)" n) (ntt_s *. 1e6);
+  Printf.printf "  %-28s %10.1f us/op\n" "base-conv (9->3 limbs)"
+    (1e6 *. time_it (fun () -> Base_conv.convert cc ~dst:ext));
+  Printf.printf "  %-28s %10.1f us/op\n" "keyswitch (seq, N=1024,L=9)"
+    (1e6 *. time_it ~reps:5 (fun () -> Cinnamon_ckks.Keyswitch.keyswitch params relin c));
+  Printf.printf "  %-28s %10.1f us/op\n" "rescale"
+    (1e6 *. time_it (fun () -> Cinnamon_ckks.Eval.rescale_poly c));
+  (* Bechamel cross-check on the NTT *)
+  (let open Bechamel in
+   let test =
+     Test.make ~name:"ntt" (Staged.stage (fun () -> ignore (Ntt.forward plan a)))
+   in
+   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (Test.make_grouped ~name:"rns" [ test ]) in
+   let ols =
+     Analyze.all
+       (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+       Toolkit.Instance.monotonic_clock raw
+   in
+   Hashtbl.iter
+     (fun name result ->
+       match Analyze.OLS.estimates result with
+       | Some [ est ] -> Printf.printf "  bechamel %-19s %10.1f us/op\n" name (est /. 1e3)
+       | _ -> ())
+     ols);
+  (* CPU-column calibration *)
+  let boot =
+    Cinnamon_sim.Cpu_model.extrapolate_from_measured ~seconds_per_ntt:ntt_s ~n_meas:n ~cores:48
+  in
+  Printf.printf
+    "Extrapolated 48-core CPU bootstrap (from measured OCaml NTT): %s (paper-reported: 33 s)\n"
+    (T.fmt_time boot);
+  Printf.printf "Analytic 48-core CPU bootstrap: %s\n"
+    (T.fmt_time Cinnamon_sim.Cpu_model.analytic_bootstrap_seconds)
+
+(* --------------------------------------------------------------- dispatch *)
+
+let sections =
+  [
+    ("table1", table1); ("table3", table3); ("table2", table2); ("fig6", fig6);
+    ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
+    ("fig15", fig15); ("fig16", fig16); ("sec43", sec43); ("sec74", sec74);
+    ("ablation", ablation); ("characterize", characterize); ("energy", energy);
+    ("micro", micro);
+  ]
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    if requested = [] then sections
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown section %s\n" name;
+            None)
+        requested
+  in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    to_run;
+  Printf.printf "\nAll sections done in %.1fs\n" (Unix.gettimeofday () -. t0)

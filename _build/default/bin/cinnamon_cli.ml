@@ -1,0 +1,172 @@
+(* The cinnamon command-line tool.
+
+   Subcommands:
+     compile   — compile a named kernel for a chip count; print pipeline
+                 statistics, the keyswitch-pass report, and optionally
+                 the ISA histogram
+     simulate  — compile + cycle-simulate a kernel on a configuration
+     bench     — run a paper benchmark (bootstrap/resnet/helr/bert) on a
+                 system and report time and utilization
+     arch      — print the area and yield/cost models (Tables 1 and 3)
+
+   Examples:
+     cinnamon compile bootstrap-13 --chips 4
+     cinnamon simulate bootstrap-13 --chips 8 --link-gbps 512
+     cinnamon bench bert --system cinnamon-12
+     cinnamon arch *)
+
+open Cmdliner
+open Cinnamon_workloads
+module SC = Cinnamon_sim.Sim_config
+module Sim = Cinnamon_sim.Simulator
+module CC = Cinnamon_compiler.Compile_config
+module T = Cinnamon_util.Table
+
+let kernel_of_name = function
+  | "bootstrap-13" | "bootstrap" -> Ok (Specs.K_bootstrap Kernels.boot_shape_13)
+  | "bootstrap-21" -> Ok (Specs.K_bootstrap Kernels.boot_shape_21)
+  | "attention" -> Ok Specs.K_attention
+  | "gelu" -> Ok Specs.K_gelu
+  | "layernorm" -> Ok Specs.K_layernorm
+  | "conv" -> Ok Specs.K_conv
+  | "relu" -> Ok Specs.K_relu
+  | "helr-iter" -> Ok Specs.K_helr_iter
+  | s when String.length s > 7 && String.sub s 0 7 = "matvec-" ->
+    (try Ok (Specs.K_matvec (int_of_string (String.sub s 7 (String.length s - 7))))
+     with _ -> Error ("bad matvec size in " ^ s))
+  | s -> Error ("unknown kernel " ^ s ^ " (try: bootstrap-13, bootstrap-21, attention, gelu, layernorm, conv, relu, helr-iter, matvec-<n>)")
+
+let kernel_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (kernel_of_name s) in
+  let print fmt k = Format.pp_print_string fmt (Specs.kernel_name k) in
+  Arg.(required & pos 0 (some (conv (parse, print))) None & info [] ~docv:"KERNEL")
+
+let chips_arg = Arg.(value & opt int 4 & info [ "chips" ] ~docv:"N" ~doc:"Number of chips.")
+
+let link_arg =
+  Arg.(value & opt float 256.0 & info [ "link-gbps" ] ~docv:"GB/S" ~doc:"Per-PHY link bandwidth.")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print instruction histograms.")
+
+let config_of ~chips ~link =
+  let topology = if chips > 8 then SC.Switch else SC.Ring in
+  SC.with_link_gbps { (SC.cinnamon_chip ~chips ~topology) with SC.name = Printf.sprintf "Cinnamon-%d" chips } link
+
+let do_compile kernel chips verbose =
+  let prog = Specs.kernel_program kernel in
+  let cfg = CC.paper ~chips () in
+  let r = Cinnamon_compiler.Pipeline.compile cfg prog in
+  Printf.printf "%s\n" (Cinnamon_compiler.Pipeline.summary r);
+  let est = Cinnamon_compiler.Noise.analyze prog in
+  Format.printf "static noise: %a%s@." Cinnamon_compiler.Noise.pp est
+    (if Cinnamon_compiler.Noise.validate est then " (valid)" else " (NOISE BUDGET EXCEEDED)");
+  let rep = r.Cinnamon_compiler.Pipeline.ks_report in
+  Printf.printf
+    "keyswitch pass: pattern-A %d groups (%d sites), pattern-B %d groups (%d sites), lone %d, total %d\n"
+    rep.Cinnamon_compiler.Keyswitch_pass.pattern_a_groups
+    rep.Cinnamon_compiler.Keyswitch_pass.pattern_a_sites
+    rep.Cinnamon_compiler.Keyswitch_pass.pattern_b_groups
+    rep.Cinnamon_compiler.Keyswitch_pass.pattern_b_sites
+    rep.Cinnamon_compiler.Keyswitch_pass.unbatched_sites
+    rep.Cinnamon_compiler.Keyswitch_pass.total_sites;
+  Array.iteri
+    (fun i stats ->
+      Printf.printf "chip %d regalloc: %d spills, %d reloads, peak %d live\n" i
+        stats.Cinnamon_compiler.Regalloc.spills stats.Cinnamon_compiler.Regalloc.reloads
+        stats.Cinnamon_compiler.Regalloc.peak_live)
+    r.Cinnamon_compiler.Pipeline.regalloc;
+  let check = Cinnamon_emulator.Check.check r.Cinnamon_compiler.Pipeline.machine in
+  Format.printf "structural check: %a@." Cinnamon_emulator.Check.pp_report check;
+  if verbose then
+    Array.iter
+      (fun p ->
+        Printf.printf "chip %d histogram:\n" p.Cinnamon_isa.Isa.chip;
+        List.iter (fun (m, c) -> Printf.printf "  %-8s %8d\n" m c) (Cinnamon_isa.Isa.histogram p);
+        Printf.printf "chip %d first instructions:\n" p.Cinnamon_isa.Isa.chip;
+        Array.iteri
+          (fun i ins ->
+            if i < 24 then Format.printf "  %4d: %a@." i Cinnamon_isa.Isa.pp_instr ins)
+          p.Cinnamon_isa.Isa.instrs)
+      r.Cinnamon_compiler.Pipeline.machine.Cinnamon_isa.Isa.programs;
+  0
+
+let do_simulate kernel chips link =
+  let prog = Specs.kernel_program kernel in
+  let cfg = CC.paper ~chips () in
+  let r = Cinnamon_compiler.Pipeline.compile cfg prog in
+  let sc = config_of ~chips ~link in
+  let res = Sim.run sc r.Cinnamon_compiler.Pipeline.machine in
+  Printf.printf "%s on %s (%g GB/s links): %s\n" (Specs.kernel_name kernel) sc.SC.name link
+    (T.fmt_time res.Sim.seconds);
+  Printf.printf "utilization: compute %.0f%%, memory %.0f%%, network %.0f%%\n"
+    (100.0 *. res.Sim.util.Sim.compute) (100.0 *. res.Sim.util.Sim.memory)
+    (100.0 *. res.Sim.util.Sim.network);
+  0
+
+let bench_of_name = function
+  | "bootstrap" -> Ok Specs.bootstrap_13
+  | "resnet" -> Ok Specs.resnet20
+  | "helr" -> Ok Specs.helr
+  | "bert" -> Ok Specs.bert
+  | s -> Error ("unknown benchmark " ^ s ^ " (try: bootstrap, resnet, helr, bert)")
+
+let system_of_name = function
+  | "cinnamon-m" -> Ok Runner.cinnamon_m
+  | "cinnamon-1" -> Ok Runner.cinnamon_1
+  | "cinnamon-4" -> Ok Runner.cinnamon_4
+  | "cinnamon-8" -> Ok Runner.cinnamon_8
+  | "cinnamon-12" -> Ok Runner.cinnamon_12
+  | s -> Error ("unknown system " ^ s ^ " (try: cinnamon-m, cinnamon-1, cinnamon-4, cinnamon-8, cinnamon-12)")
+
+let bench_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (bench_of_name s) in
+  let print fmt b = Format.pp_print_string fmt b.Specs.bench_name in
+  Arg.(required & pos 0 (some (conv (parse, print))) None & info [] ~docv:"BENCHMARK")
+
+let system_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (system_of_name s) in
+  let print fmt s = Format.pp_print_string fmt s.Runner.sys_name in
+  Arg.(value & opt (conv (parse, print)) Runner.cinnamon_4 & info [ "system" ] ~docv:"SYS")
+
+let do_bench bench system =
+  let r = Runner.run_benchmark system bench in
+  Printf.printf "%s on %s: %s\n" r.Runner.br_bench r.Runner.br_system (T.fmt_time r.Runner.br_seconds);
+  List.iter
+    (fun s -> Printf.printf "  %-14s %s\n" s.Runner.seg_kernel (T.fmt_time s.Runner.seg_seconds))
+    r.Runner.br_segments;
+  (match List.assoc_opt r.Runner.br_system bench.Specs.paper_times with
+  | Some p -> Printf.printf "paper-reported: %s\n" (T.fmt_time p)
+  | None -> ());
+  0
+
+let do_arch () =
+  let a = Lazy.force Cinnamon_arch.Area.cinnamon_chip in
+  Printf.printf "Cinnamon chip: %.2f mm^2 (paper: 223.18)\n" a.Cinnamon_arch.Area.total_mm2;
+  List.iter
+    (fun (acc : Cinnamon_arch.Yield.accelerator) ->
+      let r = Cinnamon_arch.Yield.row acc in
+      Printf.printf "  %-12s %7.1f mm^2  yield %3.0f%%  %4d dies/wafer\n" r.Cinnamon_arch.Yield.r_name
+        r.Cinnamon_arch.Yield.r_area
+        (100.0 *. r.Cinnamon_arch.Yield.r_yield)
+        r.Cinnamon_arch.Yield.r_dies_per_wafer)
+    Cinnamon_arch.Yield.table3;
+  0
+
+let compile_cmd =
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel through the Cinnamon pipeline")
+    Term.(const do_compile $ kernel_arg $ chips_arg $ verbose_arg)
+
+let simulate_cmd =
+  Cmd.v (Cmd.info "simulate" ~doc:"Compile and cycle-simulate a kernel")
+    Term.(const do_simulate $ kernel_arg $ chips_arg $ link_arg)
+
+let bench_cmd =
+  Cmd.v (Cmd.info "bench" ~doc:"Run a paper benchmark on a system")
+    Term.(const do_bench $ bench_arg $ system_arg)
+
+let arch_cmd =
+  Cmd.v (Cmd.info "arch" ~doc:"Print area and yield models") Term.(const do_arch $ const ())
+
+let () =
+  let info = Cmd.info "cinnamon" ~version:"1.0.0" ~doc:"Scale-out encrypted AI toolchain" in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; simulate_cmd; bench_cmd; arch_cmd ]))

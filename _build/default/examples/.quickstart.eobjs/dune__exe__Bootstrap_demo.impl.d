@@ -1,0 +1,1 @@
+examples/bootstrap_demo.ml: Array Bootstrap Cinnamon_ckks Cinnamon_util Ciphertext Encrypt Eval Float Keys Lazy List Params Printf String Unix

@@ -1,0 +1,1 @@
+examples/encrypted_attention.ml: Approx Array Cinnamon_ckks Cinnamon_util Ciphertext Encrypt Eval Float Keys List Matmul Params Printf String

@@ -1,0 +1,1 @@
+examples/encrypted_attention.mli:

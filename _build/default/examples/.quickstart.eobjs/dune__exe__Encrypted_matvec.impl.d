@@ -1,0 +1,1 @@
+examples/encrypted_matvec.ml: Array Cinnamon Cinnamon_ckks Cinnamon_compiler Cinnamon_util Encrypt Eval Float Keys Lazy Linear_algebra List Params Printf Unix

@@ -1,0 +1,1 @@
+examples/helr_training.ml: Array Cinnamon_ckks Cinnamon_util Ciphertext Encrypt Eval Float Keys Linear_algebra Option Params Printf String

@@ -1,0 +1,1 @@
+examples/helr_training.mli:

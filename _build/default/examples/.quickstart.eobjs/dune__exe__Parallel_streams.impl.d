@@ -1,0 +1,1 @@
+examples/parallel_streams.ml: Cinnamon Cinnamon_compiler Cinnamon_sim Printf

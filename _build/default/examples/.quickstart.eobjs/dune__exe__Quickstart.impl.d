@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cinnamon_ckks Cinnamon_util Ciphertext Encrypt Eval Float Keys Lazy Params Printf

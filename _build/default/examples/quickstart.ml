@@ -1,0 +1,38 @@
+(* Quickstart: encrypt two vectors, compute (a*b + a) rotated by one
+   slot, decrypt, and compare against the plaintext result.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Cinnamon_ckks
+module Rng = Cinnamon_util.Rng
+
+let () =
+  print_endline "Cinnamon quickstart: CKKS over a 1024-dimensional ring";
+  (* 1. Parameters and keys.  `small` is a functional test profile
+     (N = 1024, 64 slots, 8 levels) — fast, not secure. *)
+  let params = Lazy.force Params.small in
+  let rng = Rng.create ~seed:2024 in
+  let sk = Keys.gen_secret_key params rng in
+  let pk = Keys.gen_public_key params sk rng in
+  let ek = Keys.gen_eval_key params sk ~rotations:[ 1 ] ~conjugation:false rng in
+  let ctx = Eval.context params ek in
+
+  (* 2. Encrypt. *)
+  let a = Array.init 64 (fun i -> sin (Float.of_int i /. 8.0) /. 2.0) in
+  let b = Array.init 64 (fun i -> cos (Float.of_int i /. 8.0) /. 2.0) in
+  let ca = Encrypt.encrypt_real params pk a rng in
+  let cb = Encrypt.encrypt_real params pk b rng in
+  Printf.printf "encrypted 64 slots at level %d\n" (Ciphertext.level ca);
+
+  (* 3. Compute homomorphically: rot(a*b + a, 1). *)
+  let result = Eval.rotate ctx (Eval.add (Eval.mul ctx ca cb) ca) 1 in
+  Printf.printf "result level after one multiplication: %d\n" (Ciphertext.level result);
+
+  (* 4. Decrypt and verify. *)
+  let got = Encrypt.decrypt_real params sk result in
+  let expect = Array.init 64 (fun i -> let j = (i + 1) mod 64 in (a.(j) *. b.(j)) +. a.(j)) in
+  let err = Cinnamon_util.Stats.max_abs_error ~expected:expect ~actual:got in
+  Printf.printf "max error vs plaintext: %.2e (%.1f bits)\n" err
+    (Cinnamon_util.Stats.precision_bits ~expected:expect ~actual:got);
+  Printf.printf "first slots: got %.4f %.4f, expected %.4f %.4f\n" got.(0) got.(1) expect.(0) expect.(1);
+  if err < 1e-3 then print_endline "OK" else failwith "quickstart: error too large"

@@ -1,0 +1,1 @@
+lib/arch/paper_data.ml:

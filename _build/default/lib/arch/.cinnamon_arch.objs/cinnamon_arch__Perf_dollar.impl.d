@@ -1,0 +1,1 @@
+lib/arch/perf_dollar.ml: List

@@ -1,0 +1,1 @@
+lib/arch/power.ml: Cinnamon_sim Float

@@ -1,0 +1,1 @@
+lib/arch/power.mli: Cinnamon_sim

@@ -1,0 +1,64 @@
+(* Reference numbers reported by the paper, collected in one place so
+   benches and EXPERIMENTS.md compare against a single source of truth.
+   (These are *their* results; everything else in the repo is
+   measured.) *)
+
+(* Table 2: execution times in seconds. *)
+let table2 : (string * (string * float) list) list =
+  [
+    ( "Bootstrap",
+      [
+        ("Cinnamon-M", 1.87e-3); ("Cinnamon-4", 1.98e-3); ("Cinnamon-8", 1.71e-3);
+        ("Cinnamon-12", 1.63e-3); ("CraterLake", 6.33e-3); ("CiFHER", 5.58e-3);
+        ("ARK", 3.5e-3); ("CPU", 33.0);
+      ] );
+    ( "Resnet",
+      [
+        ("Cinnamon-M", 105.94e-3); ("Cinnamon-4", 94.52e-3); ("Cinnamon-8", 73.85e-3);
+        ("Cinnamon-12", 70.57e-3); ("CraterLake", 321.26e-3); ("CiFHER", 189e-3);
+        ("ARK", 125e-3); ("CPU", 1050.0);
+      ] );
+    ( "HELR",
+      [
+        ("Cinnamon-M", 73.20e-3); ("Cinnamon-4", 87.61e-3); ("Cinnamon-8", 68.74e-3);
+        ("Cinnamon-12", 48.76e-3); ("CraterLake", 121.91e-3); ("CiFHER", 106.88e-3);
+        ("CPU", 894.0);
+      ] );
+    ( "BERT",
+      [
+        ("Cinnamon-M", 3.83); ("Cinnamon-4", 3.83); ("Cinnamon-8", 2.07);
+        ("Cinnamon-12", 1.67); ("CPU", 62250.0);
+      ] );
+  ]
+
+(* Fig. 13: speedup over single-chip Sequential for bootstrap on
+   Cinnamon-4, by link bandwidth (GB/s). *)
+let fig13 : (string * (float * float) list) list =
+  [
+    ("Sequential", [ (256.0, 1.0); (512.0, 1.0); (1024.0, 1.0) ]);
+    ("CiFHER", [ (256.0, 1.0 /. 2.14) ]);
+    ("InputBcast+Pass", [ (256.0, 2.34) ]);
+    ("CinnamonKS+Pass", [ (256.0, 3.22) ]);
+    ("CinnamonKS+Pass+ProgPar", [ (256.0, 4.18); (512.0, 5.0) ]);
+  ]
+
+(* Fig. 14: Bootstrap-13 / Bootstrap-21 speedups by configuration. *)
+let fig14 : (string * (string * float) list) list =
+  [
+    ("Bootstrap-13", [ ("Cinnamon-4", 4.18); ("Cinnamon-8", 4.78); ("Cinnamon-12", 4.98) ]);
+    ("Bootstrap-21", [ ("Cinnamon-4", 5.28); ("Cinnamon-8", 8.12); ("Cinnamon-12", 8.81) ]);
+  ]
+
+(* §7.3/§4.3.1 headline claims. *)
+let keyswitch_pass_comm_reduction = 7.0
+let keyswitch_pass_comm_reduction_with_progpar = 9.81
+let cinnamon_vs_cifher_traffic = 2.25
+let cinnamon_vs_cifher_speedup = 1.94
+let cinnamon_vs_cifher_speedup_progpar = 2.11
+let bert_speedup_vs_cpu = 36_600.0
+let limb_parallel_bandwidth_reduction = 32.0 (* 16 TB/s -> 512 GB/s *)
+
+(* §7.1: per-chip resource reductions vs a monolithic design. *)
+let per_chip_cache_reduction = 4.82
+let per_chip_compute_reduction = 8.3
+let per_chip_comm_reduction = 6.0

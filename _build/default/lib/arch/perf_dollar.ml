@@ -1,0 +1,23 @@
+(* Performance-per-dollar (paper §7.2, Fig. 12).
+
+   perf/$ = (1 / execution time) / system tape-out cost, reported
+   relative to a baseline accelerator. *)
+
+type point = {
+  pd_name : string;
+  seconds : float;
+  cost : float;
+  perf_per_dollar : float;
+}
+
+let point ~name ~seconds ~cost =
+  { pd_name = name; seconds; cost; perf_per_dollar = 1.0 /. (seconds *. cost) }
+
+(* Normalize a set of points to the named baseline. *)
+let relative ~baseline points =
+  let base =
+    match List.find_opt (fun p -> p.pd_name = baseline) points with
+    | Some p -> p.perf_per_dollar
+    | None -> invalid_arg "Perf_dollar.relative: baseline not present"
+  in
+  List.map (fun p -> (p.pd_name, p.perf_per_dollar /. base)) points

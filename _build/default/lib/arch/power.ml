@@ -1,0 +1,62 @@
+(* Chip power and benchmark energy model.
+
+   The paper reports 190 W total per Cinnamon chip from synthesis
+   (§5).  We split that budget across the consumers in proportion to
+   well-known per-bit costs — SRAM access, HBM transfer, SerDes links,
+   and datapath switching — seeded so a fully-utilized chip draws the
+   reported total.  Benchmark energy then follows from the simulator's
+   busy counters:
+
+     E = P_compute * busy_compute + P_mem/byte * bytes_HBM
+       + P_net/byte * bytes_link + P_static * elapsed            *)
+
+type budget = {
+  compute_w : float; (* datapath at full utilization *)
+  hbm_pj_per_byte : float;
+  link_pj_per_byte : float;
+  static_w : float; (* leakage + clocking, always on *)
+}
+
+(* Seeds: HBM2E ~4 pJ/bit transferred, short-reach SerDes ~1.5 pJ/bit,
+   remainder of the 190 W budget split between datapath switching and a
+   static floor. At 2 TB/s HBM fully busy: 2e12 B/s * 32 pJ/B = 64 W;
+   both links busy: 512e9 B/s * 12 pJ/B ~ 6 W; leaving ~120 W for logic
+   of which ~25% static. *)
+let cinnamon_chip =
+  { compute_w = 90.0; hbm_pj_per_byte = 32.0; link_pj_per_byte = 12.0; static_w = 30.0 }
+
+(* Peak draw (all consumers fully busy) of one chip. *)
+let peak_watts b ~hbm_gbps ~link_gbps =
+  b.compute_w +. b.static_w
+  +. (hbm_gbps *. 1e9 *. b.hbm_pj_per_byte *. 1e-12)
+  +. (2.0 *. link_gbps *. 1e9 *. b.link_pj_per_byte *. 1e-12)
+
+(* Energy of a simulated run, per chip averaged over the machine. *)
+type energy = {
+  joules : float;
+  avg_watts : float;
+  breakdown : (string * float) list; (* component -> joules *)
+}
+
+let of_simulation b (cfg : Cinnamon_sim.Sim_config.t) (r : Cinnamon_sim.Simulator.result) =
+  let chips = Float.of_int cfg.Cinnamon_sim.Sim_config.chips in
+  let seconds = r.Cinnamon_sim.Simulator.seconds in
+  let u = r.Cinnamon_sim.Simulator.util in
+  let compute_j = b.compute_w *. seconds *. u.Cinnamon_sim.Simulator.compute *. chips in
+  let hbm_bytes =
+    cfg.Cinnamon_sim.Sim_config.hbm_gbps *. 1e9 *. seconds *. u.Cinnamon_sim.Simulator.memory *. chips
+  in
+  let link_bytes =
+    2.0 *. cfg.Cinnamon_sim.Sim_config.link_gbps *. 1e9 *. seconds
+    *. u.Cinnamon_sim.Simulator.network *. chips
+  in
+  let hbm_j = hbm_bytes *. b.hbm_pj_per_byte *. 1e-12 in
+  let link_j = link_bytes *. b.link_pj_per_byte *. 1e-12 in
+  let static_j = b.static_w *. seconds *. chips in
+  let joules = compute_j +. hbm_j +. link_j +. static_j in
+  {
+    joules;
+    avg_watts = joules /. seconds /. chips;
+    breakdown =
+      [ ("compute", compute_j); ("hbm", hbm_j); ("links", link_j); ("static", static_j) ];
+  }

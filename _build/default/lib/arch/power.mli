@@ -1,0 +1,27 @@
+(** Chip power and benchmark energy.
+
+    Splits the paper's reported 190 W per-chip budget (§5) across
+    datapath, HBM, links and a static floor, and integrates the
+    simulator's busy counters into per-benchmark energy. *)
+
+type budget = {
+  compute_w : float;
+  hbm_pj_per_byte : float;
+  link_pj_per_byte : float;
+  static_w : float;
+}
+
+(** The Cinnamon chip budget (peaks near the paper's 190 W). *)
+val cinnamon_chip : budget
+
+(** Draw with every consumer fully busy. *)
+val peak_watts : budget -> hbm_gbps:float -> link_gbps:float -> float
+
+type energy = {
+  joules : float;
+  avg_watts : float;  (** per chip *)
+  breakdown : (string * float) list;  (** "compute"/"hbm"/"links"/"static" → J *)
+}
+
+(** Energy of one simulated run over the whole machine. *)
+val of_simulation : budget -> Cinnamon_sim.Sim_config.t -> Cinnamon_sim.Simulator.result -> energy

@@ -1,0 +1,1 @@
+lib/ckks/approx.ml: Array Cinnamon_rns Cinnamon_util Ciphertext Eval Float Option Params

@@ -1,0 +1,1 @@
+lib/ckks/approx.mli: Ciphertext Eval

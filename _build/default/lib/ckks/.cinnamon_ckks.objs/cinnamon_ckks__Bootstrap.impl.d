@@ -1,0 +1,1 @@
+lib/ckks/bootstrap.ml: Approx Array Basis Cinnamon_rns Cinnamon_util Ciphertext Eval Float Linear_algebra List Params Rns_poly

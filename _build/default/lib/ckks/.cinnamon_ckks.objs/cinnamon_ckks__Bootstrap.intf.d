@@ -1,0 +1,1 @@
+lib/ckks/bootstrap.mli: Cinnamon_util Ciphertext Eval Params

@@ -1,0 +1,1 @@
+lib/ckks/ciphertext.ml: Basis Cinnamon_rns Rns_poly

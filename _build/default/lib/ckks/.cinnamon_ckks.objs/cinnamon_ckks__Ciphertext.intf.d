@@ -1,0 +1,1 @@
+lib/ckks/ciphertext.mli: Basis Cinnamon_rns Rns_poly

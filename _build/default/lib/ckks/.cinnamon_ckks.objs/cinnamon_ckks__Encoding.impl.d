@@ -1,0 +1,1 @@
+lib/ckks/encoding.ml: Array Bitops Cinnamon_rns Cinnamon_util Cplx Float Hashtbl

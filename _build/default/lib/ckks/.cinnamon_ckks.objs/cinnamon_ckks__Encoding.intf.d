@@ -1,0 +1,1 @@
+lib/ckks/encoding.mli: Basis Cinnamon_rns Cinnamon_util Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/encrypt.ml: Array Cinnamon_rns Cinnamon_util Ciphertext Encoding Keys Option Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/encrypt.mli: Cinnamon_rns Cinnamon_util Ciphertext Keys Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/eval.ml: Array Basis Cinnamon_rns Cinnamon_util Ciphertext Encoding Float Keys Keyswitch Modarith Params Printf Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/hoisting.ml: Array Basis Cinnamon_rns Ciphertext Keys Keyswitch List Mod_updown Option Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/hoisting.mli: Cinnamon_rns Ciphertext Keys Params Rns_poly

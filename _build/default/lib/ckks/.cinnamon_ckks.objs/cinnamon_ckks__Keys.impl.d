@@ -1,0 +1,1 @@
+lib/ckks/keys.ml: Array Basis Cinnamon_rns Cinnamon_util Float Hashtbl List Modarith Params Printf Rns_poly Stdlib

@@ -1,0 +1,1 @@
+lib/ckks/keys.mli: Basis Cinnamon_rns Cinnamon_util Hashtbl Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/keyswitch.ml: Array Base_conv Basis Cinnamon_rns Keys List Mod_updown Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/keyswitch.mli: Basis Cinnamon_rns Keys Params Rns_poly

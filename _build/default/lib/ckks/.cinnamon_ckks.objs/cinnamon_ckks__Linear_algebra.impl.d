@@ -1,0 +1,1 @@
+lib/ckks/linear_algebra.ml: Array Cinnamon_util Ciphertext Eval Float List

@@ -1,0 +1,1 @@
+lib/ckks/linear_algebra.mli: Cinnamon_util Ciphertext Eval

@@ -1,0 +1,1 @@
+lib/ckks/matmul.ml: Array Cinnamon_util Eval Linear_algebra List

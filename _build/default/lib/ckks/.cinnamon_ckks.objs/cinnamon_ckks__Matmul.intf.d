@@ -1,0 +1,1 @@
+lib/ckks/matmul.mli: Cinnamon_util Ciphertext Eval

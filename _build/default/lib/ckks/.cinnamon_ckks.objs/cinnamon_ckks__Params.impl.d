@@ -1,0 +1,1 @@
+lib/ckks/params.ml: Basis Cinnamon_rns Cinnamon_util Float List Modarith Prime_gen

@@ -1,0 +1,1 @@
+lib/ckks/params.mli: Basis Cinnamon_rns

@@ -1,0 +1,35 @@
+(* CKKS ciphertexts.
+
+   A ciphertext is a pair (c0, c1) over basis Q_l (Eval domain) with
+   decryption c0 + c1*s, carrying its scale.  The level is the number
+   of scale primes still available (basis size - 1). *)
+
+open Cinnamon_rns
+
+type t = {
+  c0 : Rns_poly.t;
+  c1 : Rns_poly.t;
+  scale : float;
+  slots : int;
+}
+
+let make ~c0 ~c1 ~scale ~slots =
+  if not (Basis.equal (Rns_poly.basis c0) (Rns_poly.basis c1)) then
+    invalid_arg "Ciphertext.make: basis mismatch";
+  { c0; c1; scale; slots }
+
+let level t = Rns_poly.level t.c0 - 1
+let basis t = Rns_poly.basis t.c0
+let n t = Rns_poly.n t.c0
+let scale t = t.scale
+let slots t = t.slots
+
+(* Drop scale primes until only [l] remain (no rescale: exact residue
+   drop, used when aligning operand levels). *)
+let drop_to_level t l =
+  if l > level t then invalid_arg "Ciphertext.drop_to_level: cannot raise level";
+  {
+    t with
+    c0 = Rns_poly.drop_to_level t.c0 (l + 1);
+    c1 = Rns_poly.drop_to_level t.c1 (l + 1);
+  }

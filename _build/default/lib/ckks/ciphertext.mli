@@ -1,0 +1,26 @@
+(** CKKS ciphertexts: a pair (c0, c1) over basis Q{_l} with decryption
+    c0 + c1·s, carrying the scale and slot count. *)
+
+open Cinnamon_rns
+
+type t = {
+  c0 : Rns_poly.t;
+  c1 : Rns_poly.t;
+  scale : float;
+  slots : int;
+}
+
+(** Assemble a ciphertext; raises on mismatched component bases. *)
+val make : c0:Rns_poly.t -> c1:Rns_poly.t -> scale:float -> slots:int -> t
+
+(** Remaining multiplicative budget: limb count minus one. *)
+val level : t -> int
+
+val basis : t -> Basis.t
+val n : t -> int
+val scale : t -> float
+val slots : t -> int
+
+(** Drop scale primes so that [l] remain (no division — used to align
+    operand levels). Raises if [l] exceeds the current level. *)
+val drop_to_level : t -> int -> t

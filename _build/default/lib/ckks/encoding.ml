@@ -1,0 +1,140 @@
+(* CKKS encoding: the canonical embedding and its inverse.
+
+   Decode maps a polynomial m(X) in R = Z[X]/(X^N+1) to the vector of
+   its evaluations at the primitive 2N-th roots of unity indexed by the
+   rotation group {5^j}: z_j = m(zeta^{5^j}) for j in [0, n), n = N/2.
+   Encode is the inverse, scaled by Delta and rounded.
+
+   We implement the standard O(n log n) "special FFT" over the rotation
+   group (the structure used by HEAAN/SEAL/Lattigo): a radix-2
+   butterfly network whose twiddle indices walk the 5^j orbit, plus a
+   bit-reversal permutation.  Because 5^j ≡ 1 (mod 4), zeta_j^{N/2} = i,
+   which lets the real and imaginary halves of the slot vector map to
+   the low and high halves of the coefficient vector. *)
+
+open Cinnamon_util
+
+type ctx = {
+  n : int; (* ring dimension N *)
+  m : int; (* 2N *)
+  half : int; (* N/2 = max slots *)
+  rot_group : int array; (* 5^j mod 2N, length N/2 *)
+  ksi : Cplx.t array; (* ksi.(j) = e^{i pi j / N}, length 2N *)
+}
+
+let ctxs : (int, ctx) Hashtbl.t = Hashtbl.create 8
+
+let ctx ~n =
+  match Hashtbl.find_opt ctxs n with
+  | Some c -> c
+  | None ->
+    let m = 2 * n in
+    let half = n / 2 in
+    let rot_group = Array.make half 1 in
+    for j = 1 to half - 1 do
+      rot_group.(j) <- rot_group.(j - 1) * 5 mod m
+    done;
+    let ksi = Array.init m (fun j -> Cplx.polar (2.0 *. Float.pi *. Float.of_int j /. Float.of_int m)) in
+    let c = { n; m; half; rot_group; ksi } in
+    Hashtbl.add ctxs n c;
+    c
+
+(* Forward special FFT: coefficients-packed values -> slot values. *)
+let special_fft c (vals : Cplx.t array) =
+  let n_slots = Array.length vals in
+  Bitops.bit_reverse_permute vals;
+  let len = ref 2 in
+  while !len <= n_slots do
+    let lenh = !len / 2 in
+    let lenq = !len * 4 in
+    let gap = c.m / lenq in
+    let i = ref 0 in
+    while !i < n_slots do
+      for j = 0 to lenh - 1 do
+        let idx = c.rot_group.(j) mod lenq * gap in
+        let u = vals.(!i + j) in
+        let v = Cplx.mul vals.(!i + j + lenh) c.ksi.(idx) in
+        vals.(!i + j) <- Cplx.add u v;
+        vals.(!i + j + lenh) <- Cplx.sub u v
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+(* Inverse special FFT: slot values -> coefficients-packed values. *)
+let special_ifft c (vals : Cplx.t array) =
+  let n_slots = Array.length vals in
+  let len = ref n_slots in
+  while !len >= 2 do
+    let lenh = !len / 2 in
+    let lenq = !len * 4 in
+    let gap = c.m / lenq in
+    let i = ref 0 in
+    while !i < n_slots do
+      for j = 0 to lenh - 1 do
+        let idx = (lenq - (c.rot_group.(j) mod lenq)) * gap in
+        let u = Cplx.add vals.(!i + j) vals.(!i + j + lenh) in
+        let v = Cplx.mul (Cplx.sub vals.(!i + j) vals.(!i + j + lenh)) c.ksi.(idx) in
+        vals.(!i + j) <- u;
+        vals.(!i + j + lenh) <- v
+      done;
+      i := !i + !len
+    done;
+    len := !len / 2
+  done;
+  Bitops.bit_reverse_permute vals;
+  let inv = 1.0 /. Float.of_int n_slots in
+  Array.iteri (fun i v -> vals.(i) <- Cplx.scale inv v) vals
+
+(* Encode [z] (length = power of two <= N/2) at scale [delta] into the
+   signed coefficient array of the message polynomial.  Slots fewer
+   than N/2 are spread with a gap, the standard sparse packing. *)
+let encode_coeffs ~n ~delta (z : Cplx.t array) =
+  let c = ctx ~n in
+  let n_slots = Array.length z in
+  if n_slots > c.half || not (Bitops.is_pow2 n_slots) then
+    invalid_arg "Encoding.encode_coeffs: bad slot count";
+  let vals = Array.copy z in
+  special_ifft c vals;
+  let gap = c.half / n_slots in
+  let coeffs = Array.make n 0 in
+  let round_to_int f =
+    let r = Float.round f in
+    if Float.abs r >= 4.611e18 then failwith "Encoding: coefficient overflow" else int_of_float r
+  in
+  for j = 0 to n_slots - 1 do
+    coeffs.(j * gap) <- round_to_int (vals.(j).Cplx.re *. delta);
+    coeffs.((j * gap) + c.half) <- round_to_int (vals.(j).Cplx.im *. delta)
+  done;
+  coeffs
+
+(* Decode float coefficients back to [slots] complex values at [delta]. *)
+let decode_coeffs ~n ~delta ~slots (coeffs : float array) =
+  let c = ctx ~n in
+  if slots > c.half || not (Bitops.is_pow2 slots) then invalid_arg "Encoding.decode_coeffs";
+  let gap = c.half / slots in
+  let vals =
+    Array.init slots (fun j ->
+        Cplx.make (coeffs.(j * gap) /. delta) (coeffs.((j * gap) + c.half) /. delta))
+  in
+  special_fft c vals;
+  vals
+
+(* Encode straight into an RNS polynomial over [basis] (Coeff domain). *)
+let encode ~basis ~n ~delta z =
+  Cinnamon_rns.Rns_poly.of_coeffs ~basis ~domain:Cinnamon_rns.Rns_poly.Coeff
+    (encode_coeffs ~n ~delta z)
+
+(* Decode an RNS polynomial (any domain) to [slots] complex values. *)
+let decode ~delta ~slots p =
+  let pc = Cinnamon_rns.Rns_poly.to_coeff p in
+  let n = Cinnamon_rns.Rns_poly.n pc in
+  let coeffs = Array.init n (fun j -> Cinnamon_rns.Rns_poly.coeff_float pc j) in
+  decode_coeffs ~n ~delta ~slots coeffs
+
+(* Real-vector conveniences. *)
+let encode_real ~basis ~n ~delta xs =
+  encode ~basis ~n ~delta (Array.map (fun x -> Cplx.make x 0.0) xs)
+
+let decode_real ~delta ~slots p = Array.map Cplx.re (decode ~delta ~slots p)

@@ -1,0 +1,43 @@
+(* Encryption and decryption. *)
+
+open Cinnamon_rns
+
+(* Public-key encryption of an already-encoded plaintext polynomial
+   [pt] (over some prefix of Q, Coeff or Eval domain). *)
+let encrypt_poly params (pk : Keys.public_key) ~scale ~slots pt rng =
+  let basis = Rns_poly.basis pt in
+  let n = params.Params.n in
+  let u_coeffs = Array.init n (fun _ -> Cinnamon_util.Rng.ternary rng) in
+  let u = Rns_poly.to_eval (Rns_poly.of_coeffs ~basis ~domain:Rns_poly.Coeff u_coeffs) in
+  let e0 = Keys.sample_error params ~basis rng in
+  let e1 = Keys.sample_error params ~basis rng in
+  let b = Rns_poly.restrict pk.Keys.pk_b basis in
+  let a = Rns_poly.restrict pk.Keys.pk_a basis in
+  let c0 = Rns_poly.add (Rns_poly.add (Rns_poly.mul b u) e0) (Rns_poly.to_eval pt) in
+  let c1 = Rns_poly.add (Rns_poly.mul a u) e1 in
+  Ciphertext.make ~c0 ~c1 ~scale ~slots
+
+(* Encrypt a complex vector at the top level (or at [level]). *)
+let encrypt params pk ?level ?scale z rng =
+  let level = Option.value level ~default:(Params.top_level params) in
+  let scale = Option.value scale ~default:params.Params.scale in
+  let basis = Params.basis_at_level params level in
+  let pt = Encoding.encode ~basis ~n:params.Params.n ~delta:scale z in
+  encrypt_poly params pk ~scale ~slots:(Array.length z) pt rng
+
+let encrypt_real params pk ?level ?scale xs rng =
+  encrypt params pk ?level ?scale (Array.map (fun x -> Cinnamon_util.Cplx.make x 0.0) xs) rng
+
+(* Decrypt to the underlying message polynomial m ≈ c0 + c1*s. *)
+let decrypt_poly (sk : Keys.secret_key) ct =
+  let basis = Ciphertext.basis ct in
+  let s = Keys.sk_over sk basis in
+  Rns_poly.add ct.Ciphertext.c0 (Rns_poly.mul ct.Ciphertext.c1 s)
+
+let decrypt params sk ct =
+  ignore params;
+  let m = decrypt_poly sk ct in
+  Encoding.decode ~delta:(Ciphertext.scale ct) ~slots:(Ciphertext.slots ct) m
+
+let decrypt_real params sk ct =
+  Array.map Cinnamon_util.Cplx.re (decrypt params sk ct)

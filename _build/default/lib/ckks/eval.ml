@@ -1,0 +1,211 @@
+(* Homomorphic evaluation: the CKKS operation set.
+
+   Scale management follows the usual RNS-CKKS discipline: ct-ct
+   multiplication multiplies scales, rescale divides by the dropped
+   prime.  Operand alignment (level and scale) is handled here so
+   callers can combine ciphertexts freely. *)
+
+open Cinnamon_rns
+module C = Ciphertext
+
+type context = {
+  params : Params.t;
+  ek : Keys.eval_key;
+}
+
+let context params ek = { params; ek }
+
+(* --- level/scale alignment ------------------------------------------- *)
+
+(* Bring two operands to a common level (multiplication combines any
+   scales, so no scale requirement here). *)
+let align_levels a b =
+  let la = C.level a and lb = C.level b in
+  let l = min la lb in
+  let a = if la > l then C.drop_to_level a l else a in
+  let b = if lb > l then C.drop_to_level b l else b in
+  (a, b)
+
+let align a b =
+  let a, b = align_levels a b in
+  (* Scale primes approximate the scale to ~2^-13 each, so scales of
+     equal-level operands drift slightly; additions tolerate a small
+     relative drift (the induced error is drift * message).  Code that
+     needs bit-exact sums (EvalMod) routes through
+     [adjust_scale]/[mul_plain_at] instead of relying on this slack. *)
+  if Float.abs (a.C.scale -. b.C.scale) > 0.02 *. a.C.scale then
+    invalid_arg
+      (Printf.sprintf "Eval.align: scale mismatch (%.6g vs %.6g)" a.C.scale b.C.scale);
+  (a, b)
+
+(* --- linear operations ------------------------------------------------ *)
+
+let add a b =
+  let a, b = align a b in
+  C.make ~c0:(Rns_poly.add a.C.c0 b.C.c0) ~c1:(Rns_poly.add a.C.c1 b.C.c1) ~scale:a.C.scale
+    ~slots:a.C.slots
+
+let sub a b =
+  let a, b = align a b in
+  C.make ~c0:(Rns_poly.sub a.C.c0 b.C.c0) ~c1:(Rns_poly.sub a.C.c1 b.C.c1) ~scale:a.C.scale
+    ~slots:a.C.slots
+
+let neg a = C.make ~c0:(Rns_poly.neg a.C.c0) ~c1:(Rns_poly.neg a.C.c1) ~scale:a.C.scale ~slots:a.C.slots
+
+(* Add an encoded plaintext (encoded at the ciphertext's scale). *)
+let add_plain ctx a z =
+  let basis = C.basis a in
+  let pt =
+    Encoding.encode ~basis ~n:ctx.params.Params.n ~delta:a.C.scale
+      (Array.append z (Array.make (max 0 (a.C.slots - Array.length z)) Cinnamon_util.Cplx.zero))
+  in
+  C.make ~c0:(Rns_poly.add a.C.c0 (Rns_poly.to_eval pt)) ~c1:a.C.c1 ~scale:a.C.scale ~slots:a.C.slots
+
+let add_const ctx a x =
+  add_plain ctx a (Array.make a.C.slots (Cinnamon_util.Cplx.make x 0.0))
+
+(* --- rescale ----------------------------------------------------------- *)
+
+(* Drop the top prime q_top and divide by it: the standard exact RNS
+   rescale c'_j = (c_j - c_top) * q_top^{-1} mod q_j. *)
+let rescale_poly p =
+  let basis = Rns_poly.basis p in
+  let l = Basis.size basis in
+  if l < 2 then invalid_arg "Eval.rescale: no prime left to drop";
+  let q_top = Basis.value basis (l - 1) in
+  let pc = Rns_poly.to_coeff p in
+  let top = Rns_poly.limb pc (l - 1) in
+  let out_basis = Basis.prefix basis (l - 1) in
+  let n = Rns_poly.n p in
+  let out = Rns_poly.create ~n ~basis:out_basis ~domain:Rns_poly.Coeff in
+  for j = 0 to l - 2 do
+    let md = Basis.modulus out_basis j in
+    let inv = Modarith.inv md (q_top mod Modarith.q md) in
+    let src = Rns_poly.limb pc j in
+    let dst = Rns_poly.limb out j in
+    for i = 0 to n - 1 do
+      dst.(i) <- Modarith.mul md (Modarith.sub md src.(i) (top.(i) mod Modarith.q md)) inv
+    done
+  done;
+  Rns_poly.to_eval out
+
+let rescale a =
+  let basis = C.basis a in
+  let q_top = Basis.value basis (Basis.size basis - 1) in
+  C.make ~c0:(rescale_poly a.C.c0) ~c1:(rescale_poly a.C.c1)
+    ~scale:(a.C.scale /. Float.of_int q_top)
+    ~slots:a.C.slots
+
+(* --- multiplication ---------------------------------------------------- *)
+
+(* Multiply by a plaintext encoded at [encode_scale] (default: the
+   parameter scale), then rescale.  [out_scale], when given, overrides
+   the float bookkeeping of the result scale — used by exact scale
+   management to make later additions bit-exact. *)
+let mul_plain_at ctx a z ~encode_scale ?out_scale () =
+  let basis = C.basis a in
+  let pt = Rns_poly.to_eval (Encoding.encode ~basis ~n:ctx.params.Params.n ~delta:encode_scale z) in
+  let raw =
+    C.make ~c0:(Rns_poly.mul a.C.c0 pt) ~c1:(Rns_poly.mul a.C.c1 pt)
+      ~scale:(a.C.scale *. encode_scale) ~slots:a.C.slots
+  in
+  let r = rescale raw in
+  match out_scale with
+  | None -> r
+  | Some s -> C.make ~c0:r.C.c0 ~c1:r.C.c1 ~scale:s ~slots:r.C.slots
+
+let mul_plain ctx a z = mul_plain_at ctx a z ~encode_scale:ctx.params.Params.scale ()
+
+(* Plaintext product without the rescale: the result stays at scale
+   s * delta.  Used by lazy rescaling, which sums raw products and
+   rescales once. *)
+let mul_plain_raw ctx a z =
+  let basis = C.basis a in
+  let pt =
+    Rns_poly.to_eval (Encoding.encode ~basis ~n:ctx.params.Params.n ~delta:ctx.params.Params.scale z)
+  in
+  C.make ~c0:(Rns_poly.mul a.C.c0 pt) ~c1:(Rns_poly.mul a.C.c1 pt)
+    ~scale:(a.C.scale *. ctx.params.Params.scale) ~slots:a.C.slots
+
+(* Exact scale adjustment: bring [a] to exactly ([target_level],
+   [target_scale]) by multiplying with the constant 1.0 encoded at the
+   right scale.  Consumes one level; the encoded constant's rounding
+   (≈ 2^-26 relative) goes into the noise.  This is the EVA/Lattigo
+   "scale management" primitive that makes heterogeneous Chebyshev
+   terms addable bit-exactly. *)
+let adjust_scale ctx a ~target_level ~target_scale =
+  if target_level >= C.level a then
+    invalid_arg "Eval.adjust_scale: needs at least one level of headroom";
+  let a = if C.level a > target_level + 1 then Ciphertext.drop_to_level a (target_level + 1) else a in
+  let basis = C.basis a in
+  let q_top = Float.of_int (Basis.value basis (Basis.size basis - 1)) in
+  let f = target_scale *. q_top /. a.C.scale in
+  if f < 1024.0 then invalid_arg "Eval.adjust_scale: adjustment constant too coarse";
+  let one = Array.make a.C.slots (Cinnamon_util.Cplx.make 1.0 0.0) in
+  mul_plain_at ctx a one ~encode_scale:f ~out_scale:target_scale ()
+
+let mul_const ctx a x = mul_plain ctx a (Array.make a.C.slots (Cinnamon_util.Cplx.make x 0.0))
+
+(* Multiply by an integer constant without consuming a level. *)
+let mul_int a k =
+  C.make ~c0:(Rns_poly.scalar_mul a.C.c0 k) ~c1:(Rns_poly.scalar_mul a.C.c1 k)
+    ~scale:a.C.scale ~slots:a.C.slots
+
+(* Divide every slot value by [f] for free: reinterpret the scale.
+   Used by bootstrapping to divide by q0 exactly. *)
+let scale_reinterpret a f = C.make ~c0:a.C.c0 ~c1:a.C.c1 ~scale:(a.C.scale *. f) ~slots:a.C.slots
+
+(* Multiply every slot by i exactly (monomial X^{N/2}); free. *)
+let mul_by_i a =
+  let e = Rns_poly.n a.C.c0 / 2 in
+  C.make ~c0:(Rns_poly.monomial_mul a.C.c0 ~e) ~c1:(Rns_poly.monomial_mul a.C.c1 ~e)
+    ~scale:a.C.scale ~slots:a.C.slots
+
+(* Ciphertext-ciphertext multiplication with relinearization and
+   rescale (the paper's Fig. 5 left). *)
+let mul ctx a b =
+  let a, b = align_levels a b in
+  let d0 = Rns_poly.mul a.C.c0 b.C.c0 in
+  let d1 = Rns_poly.add (Rns_poly.mul a.C.c0 b.C.c1) (Rns_poly.mul a.C.c1 b.C.c0) in
+  let d2 = Rns_poly.mul a.C.c1 b.C.c1 in
+  let k0, k1 = Keyswitch.keyswitch ctx.params ctx.ek.Keys.relin d2 in
+  let raw =
+    C.make ~c0:(Rns_poly.add d0 k0) ~c1:(Rns_poly.add d1 k1)
+      ~scale:(a.C.scale *. b.C.scale) ~slots:a.C.slots
+  in
+  rescale raw
+
+let square ctx a = mul ctx a a
+
+(* --- rotation and conjugation ----------------------------------------- *)
+
+(* Homomorphic slot rotation (the paper's Fig. 5 right): apply the
+   automorphism to both components, then keyswitch c1^tau back to s. *)
+let rotate ctx a r =
+  if r = 0 then a
+  else begin
+    let n = ctx.params.Params.n in
+    (* Gap-packed (sparse) encodings rotate with the same Galois
+       element 5^r as full packings: the induced full-slot vector is
+       the sparse vector repeated, so slot index r is preserved. *)
+    let k = Keys.galois_of_rotation ~n r in
+    let swk = Keys.find_rotation_key ctx.ek (Keys.canonical_rotation ~n r) in
+    let c0r = Rns_poly.automorphism a.C.c0 ~k in
+    let c1r = Rns_poly.automorphism a.C.c1 ~k in
+    let k0, k1 = Keyswitch.keyswitch ctx.params swk c1r in
+    C.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:a.C.scale ~slots:a.C.slots
+  end
+
+let conjugate ctx a =
+  match ctx.ek.Keys.conjugation with
+  | None -> invalid_arg "Eval.conjugate: no conjugation key"
+  | Some swk ->
+    let k = Keys.galois_conjugate ~n:ctx.params.Params.n in
+    let c0r = Rns_poly.automorphism a.C.c0 ~k in
+    let c1r = Rns_poly.automorphism a.C.c1 ~k in
+    let k0, k1 = Keyswitch.keyswitch ctx.params swk c1r in
+    C.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:a.C.scale ~slots:a.C.slots
+
+(* Rotations needed by callers must exist in the eval key, stored under
+   the canonical amount mod N/2. *)
+let rotation_key_index params r = Keys.canonical_rotation ~n:params.Params.n r

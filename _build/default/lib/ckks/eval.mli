@@ -1,0 +1,80 @@
+(** Homomorphic evaluation: the CKKS operation set with RNS-CKKS scale
+    management. *)
+
+open Cinnamon_rns
+
+type context = { params : Params.t; ek : Keys.eval_key }
+
+val context : Params.t -> Keys.eval_key -> context
+
+(** Bring operands to a common level (no scale requirement). *)
+val align_levels : Ciphertext.t -> Ciphertext.t -> Ciphertext.t * Ciphertext.t
+
+(** Level alignment plus a scale-compatibility check (small drift is
+    tolerated; bit-exact sums use {!adjust_scale}). *)
+val align : Ciphertext.t -> Ciphertext.t -> Ciphertext.t * Ciphertext.t
+
+val add : Ciphertext.t -> Ciphertext.t -> Ciphertext.t
+val sub : Ciphertext.t -> Ciphertext.t -> Ciphertext.t
+val neg : Ciphertext.t -> Ciphertext.t
+
+(** Add a plaintext vector (encoded at the ciphertext's scale; free). *)
+val add_plain : context -> Ciphertext.t -> Cinnamon_util.Cplx.t array -> Ciphertext.t
+
+val add_const : context -> Ciphertext.t -> float -> Ciphertext.t
+
+(** Exact RNS rescale of one polynomial: drop the top prime and divide. *)
+val rescale_poly : Rns_poly.t -> Rns_poly.t
+
+(** Rescale a ciphertext: one level consumed, scale divided by the
+    dropped prime. *)
+val rescale : Ciphertext.t -> Ciphertext.t
+
+(** Plaintext product at a chosen encode scale, then rescale;
+    [out_scale] overrides the scale bookkeeping for exact management. *)
+val mul_plain_at :
+  context ->
+  Ciphertext.t ->
+  Cinnamon_util.Cplx.t array ->
+  encode_scale:float ->
+  ?out_scale:float ->
+  unit ->
+  Ciphertext.t
+
+(** Plaintext product at the parameter scale (consumes one level). *)
+val mul_plain : context -> Ciphertext.t -> Cinnamon_util.Cplx.t array -> Ciphertext.t
+
+(** Plaintext product without the rescale (scale becomes s·Δ) — for
+    lazy rescaling, which sums raw products and rescales once. *)
+val mul_plain_raw : context -> Ciphertext.t -> Cinnamon_util.Cplx.t array -> Ciphertext.t
+
+(** Bring a ciphertext to exactly (level, scale) via a constant-1
+    multiplication at a chosen encode scale; consumes one level.  The
+    EVA/Lattigo scale-management primitive. *)
+val adjust_scale : context -> Ciphertext.t -> target_level:int -> target_scale:float -> Ciphertext.t
+
+val mul_const : context -> Ciphertext.t -> float -> Ciphertext.t
+
+(** Integer scaling without a level (values scale, declared scale
+    unchanged). *)
+val mul_int : Ciphertext.t -> int -> Ciphertext.t
+
+(** Free division of every slot by [f]: scale reinterpretation. *)
+val scale_reinterpret : Ciphertext.t -> float -> Ciphertext.t
+
+(** Multiply every slot by i exactly (monomial X{^N/2}); free. *)
+val mul_by_i : Ciphertext.t -> Ciphertext.t
+
+(** Ciphertext product with relinearization and rescale (paper Fig. 5). *)
+val mul : context -> Ciphertext.t -> Ciphertext.t -> Ciphertext.t
+
+val square : context -> Ciphertext.t -> Ciphertext.t
+
+(** Homomorphic slot rotation: automorphism + rotation keyswitch. The
+    eval key must hold the canonical amount. *)
+val rotate : context -> Ciphertext.t -> int -> Ciphertext.t
+
+val conjugate : context -> Ciphertext.t -> Ciphertext.t
+
+(** Canonical key-table index of a rotation amount. *)
+val rotation_key_index : Params.t -> int -> int

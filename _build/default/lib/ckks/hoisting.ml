@@ -1,0 +1,80 @@
+(* Hoisted rotations (Halevi–Shoup [28], the single-chip ancestor of
+   the paper's batched input-broadcast keyswitching).
+
+   Rotating one ciphertext by r different amounts naively performs r
+   keyswitches, each re-running the digit decomposition (INTT + base
+   conversion + NTT) of the same input polynomial.  Hoisting computes
+   the decomposition ONCE: the extended digits of c1 are shared, and
+   each rotation applies its automorphism to the precomputed extended
+   digits before the per-rotation inner product and mod-down.
+
+   This relies on the automorphism commuting with everything limb-wise:
+   tau_k(modUp(d)) = modUp(tau_k(d)), because base conversion acts
+   coefficient-wise and tau_k permutes coefficients uniformly across
+   limbs.
+
+   The compiler's keyswitch pass performs the same sharing across chips
+   (one broadcast per rotation batch); this module is its functional
+   single-chip counterpart and the reference for its correctness
+   tests. *)
+
+open Cinnamon_rns
+
+type precomputed = {
+  h_extended : Rns_poly.t list; (* extended digits of c1, Eval domain *)
+  h_digit_index : int list; (* first limb index of each digit *)
+  h_basis : Basis.t; (* Q_l ∪ P *)
+}
+
+(* Decompose and extend the c1 component once. *)
+let precompute params c1 =
+  let q_l = Rns_poly.basis c1 in
+  let target = Basis.union q_l params.Params.p_basis in
+  let digits = Keyswitch.split_digits params c1 in
+  {
+    h_extended = List.map (fun (_, d) -> Keyswitch.extend_digit d ~target) digits;
+    h_digit_index = List.map fst digits;
+    h_basis = target;
+  }
+
+(* One hoisted rotation: apply the automorphism to the shared extended
+   digits, then the usual inner product + mod-down with the rotation's
+   switch key. *)
+let rotate_hoisted params (pre : precomputed) swk ct ~rot =
+  let open Ciphertext in
+  if rot = 0 then ct
+  else begin
+    let n = Ciphertext.n ct in
+    let k = Keys.galois_of_rotation ~n rot in
+    let q_l = basis ct in
+    let acc0 = ref None and acc1 = ref None in
+    List.iter2
+      (fun digit_index extended ->
+        let d_i = digit_index / params.Params.alpha in
+        let rotated = Rns_poly.automorphism extended ~k in
+        let b = Rns_poly.restrict swk.Keys.swk_b.(d_i) pre.h_basis in
+        let a = Rns_poly.restrict swk.Keys.swk_a.(d_i) pre.h_basis in
+        let t0 = Rns_poly.mul rotated b in
+        let t1 = Rns_poly.mul rotated a in
+        acc0 := Some (match !acc0 with None -> t0 | Some x -> Rns_poly.add x t0);
+        acc1 := Some (match !acc1 with None -> t1 | Some x -> Rns_poly.add x t1))
+      pre.h_digit_index pre.h_extended;
+    let f0 = Option.get !acc0 and f1 = Option.get !acc1 in
+    let k0 = Mod_updown.mod_down f0 ~target:q_l ~ext:params.Params.p_basis in
+    let k1 = Mod_updown.mod_down f1 ~target:q_l ~ext:params.Params.p_basis in
+    let c0r = Rns_poly.automorphism ct.c0 ~k in
+    make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:ct.scale ~slots:ct.slots
+  end
+
+(* Rotate [ct] by every amount in [rots], sharing one decomposition.
+   Each amount needs its key in [ek]. *)
+let rotate_many params (ek : Keys.eval_key) ct rots =
+  let pre = precompute params ct.Ciphertext.c1 in
+  List.map
+    (fun rot ->
+      if rot = 0 then (rot, ct)
+      else begin
+        let key = Keys.find_rotation_key ek (Keys.canonical_rotation ~n:(Ciphertext.n ct) rot) in
+        (rot, rotate_hoisted params pre key ct ~rot)
+      end)
+    rots

@@ -1,0 +1,21 @@
+(** Hoisted rotations (Halevi–Shoup): rotate one ciphertext by many
+    amounts while computing its digit decomposition only once — the
+    single-chip ancestor of the paper's batched input-broadcast
+    keyswitching, and the reference for its tests. *)
+
+open Cinnamon_rns
+
+type precomputed
+
+(** Decompose and extend the c1 component once (the shared part of all
+    subsequent rotations). *)
+val precompute : Params.t -> Rns_poly.t -> precomputed
+
+(** One rotation from the shared decomposition. *)
+val rotate_hoisted :
+  Params.t -> precomputed -> Keys.switch_key -> Ciphertext.t -> rot:int -> Ciphertext.t
+
+(** Rotate by every amount in the list, sharing one decomposition;
+    returns (amount, rotated) pairs. *)
+val rotate_many :
+  Params.t -> Keys.eval_key -> Ciphertext.t -> int list -> (int * Ciphertext.t) list

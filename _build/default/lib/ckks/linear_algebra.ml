@@ -1,0 +1,114 @@
+(* Homomorphic linear algebra: matrix-vector products by the
+   Halevi–Shoup diagonal method, plain and baby-step/giant-step.
+
+   For an n x n matrix M (n = slot count) and encrypted vector v:
+
+     M v = sum_d  diag_d(M) ⊙ rot(v, d)
+
+   where diag_d(M)[i] = M[i][(i+d) mod n].  BSGS factors d = g*i + j
+   (g ≈ sqrt n) and hoists the giant rotations outside the inner sums,
+   reducing rotations from n to about 2*sqrt(n) — this is the BSGS
+   algorithm whose communication the paper's keyswitch pass reduces
+   from O(sqrt n) to O(1) broadcasts/aggregations (§4.3.1). *)
+
+module C = Cinnamon_util.Cplx
+
+(* Extract generalized diagonal [d] of a complex matrix. *)
+let diagonal m d =
+  let n = Array.length m in
+  Array.init n (fun i -> m.(i).((i + d) mod n))
+
+let rotate_vec v k =
+  let n = Array.length v in
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> v.((i + k) mod n))
+
+(* All rotation amounts a BSGS product needs, for eval-key planning. *)
+let bsgs_rotations ~n =
+  let g =
+    let r = int_of_float (Float.round (sqrt (Float.of_int n))) in
+    max 1 r
+  in
+  let babies = List.init g (fun j -> j) in
+  let giants = List.init (Cinnamon_util.Bitops.cdiv n g) (fun i -> i * g) in
+  (g, List.sort_uniq compare (babies @ giants))
+
+(* Plaintext reference, for tests. *)
+let matvec_plain m v =
+  let n = Array.length m in
+  Array.init n (fun i ->
+      let acc = ref C.zero in
+      for j = 0 to n - 1 do
+        acc := C.add !acc (C.mul m.(i).(j) v.(j))
+      done;
+      !acc)
+
+(* Direct diagonal method: n rotations, n plaintext products. *)
+let matvec ctx m ct =
+  let n = Ciphertext.slots ct in
+  if Array.length m <> n then invalid_arg "Linear_algebra.matvec: dimension mismatch";
+  let acc = ref None in
+  for d = 0 to n - 1 do
+    let diag = diagonal m d in
+    if Array.exists (fun c -> C.abs c > 1e-12) diag then begin
+      let rotated = Eval.rotate ctx ct d in
+      let term = Eval.mul_plain ctx rotated diag in
+      acc := Some (match !acc with None -> term | Some a -> Eval.add a term)
+    end
+  done;
+  match !acc with
+  | Some a -> a
+  | None -> Eval.mul_const ctx ct 0.0
+
+(* BSGS diagonal method: ~2*sqrt(n) rotations.
+
+   M v = sum_i rot( sum_j rot(diag_{gi+j}, -gi) ⊙ rot(v, j), g*i ) *)
+let matvec_bsgs ctx m ct =
+  let n = Ciphertext.slots ct in
+  if Array.length m <> n then invalid_arg "Linear_algebra.matvec_bsgs: dimension mismatch";
+  let g, _ = bsgs_rotations ~n in
+  let n_giant = Cinnamon_util.Bitops.cdiv n g in
+  (* Baby rotations of the input, computed once (the paper's "multiple
+     rotations on a single ciphertext" pattern). *)
+  let baby = Array.init g (fun j -> if j = 0 then ct else Eval.rotate ctx ct j) in
+  let acc = ref None in
+  for i = 0 to n_giant - 1 do
+    let inner = ref None in
+    for j = 0 to g - 1 do
+      let d = (g * i) + j in
+      if d < n then begin
+        let diag = rotate_vec (diagonal m d) (-(g * i)) in
+        if Array.exists (fun c -> C.abs c > 1e-12) diag then begin
+          let term = Eval.mul_plain ctx baby.(j) diag in
+          inner := Some (match !inner with None -> term | Some a -> Eval.add a term)
+        end
+      end
+    done;
+    match !inner with
+    | None -> ()
+    | Some s ->
+      (* The rotations-then-aggregate pattern the output-aggregation
+         keyswitch targets. *)
+      let rotated = if i = 0 then s else Eval.rotate ctx s (g * i) in
+      acc := Some (match !acc with None -> rotated | Some a -> Eval.add a rotated)
+  done;
+  match !acc with
+  | Some a -> a
+  | None -> Eval.mul_const ctx ct 0.0
+
+(* Sum all [n] slots into every slot: log2(n) rotate-and-add steps. *)
+let sum_slots ctx ct =
+  let n = Ciphertext.slots ct in
+  let rec go acc step =
+    if step >= n then acc
+    else go (Eval.add acc (Eval.rotate ctx acc step)) (step * 2)
+  in
+  go ct 1
+
+(* Rotations required by [sum_slots]. *)
+let sum_slots_rotations ~n =
+  let rec go acc step = if step >= n then acc else go (step :: acc) (step * 2) in
+  go [] 1
+
+(* Inner product of two encrypted vectors: mul then slot-sum. *)
+let dot ctx a b = sum_slots ctx (Eval.mul ctx a b)

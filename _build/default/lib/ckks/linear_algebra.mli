@@ -1,0 +1,33 @@
+(** Homomorphic linear algebra: Halevi–Shoup diagonal matrix-vector
+    products (direct and baby-step/giant-step), slot reductions and
+    inner products — the kernels whose rotation patterns the paper's
+    keyswitch pass optimizes (§4.3.1). *)
+
+(** Generalized diagonal [d] of a square complex matrix. *)
+val diagonal : Cinnamon_util.Cplx.t array array -> int -> Cinnamon_util.Cplx.t array
+
+(** Left-rotate a vector by [k] (negative k rotates right). *)
+val rotate_vec : Cinnamon_util.Cplx.t array -> int -> Cinnamon_util.Cplx.t array
+
+(** BSGS group size and every rotation amount a BSGS product needs —
+    for eval-key planning. *)
+val bsgs_rotations : n:int -> int * int list
+
+(** Plaintext reference product. *)
+val matvec_plain :
+  Cinnamon_util.Cplx.t array array -> Cinnamon_util.Cplx.t array -> Cinnamon_util.Cplx.t array
+
+(** Direct diagonal method: n rotations. *)
+val matvec : Eval.context -> Cinnamon_util.Cplx.t array array -> Ciphertext.t -> Ciphertext.t
+
+(** BSGS: ~2·sqrt(n) rotations. *)
+val matvec_bsgs : Eval.context -> Cinnamon_util.Cplx.t array array -> Ciphertext.t -> Ciphertext.t
+
+(** Sum all slots into every slot (log₂ n rotate-and-adds). *)
+val sum_slots : Eval.context -> Ciphertext.t -> Ciphertext.t
+
+(** Rotation amounts [sum_slots] needs. *)
+val sum_slots_rotations : n:int -> int list
+
+(** Inner product: slot-wise multiply then slot-sum. *)
+val dot : Eval.context -> Ciphertext.t -> Ciphertext.t -> Ciphertext.t

@@ -1,0 +1,90 @@
+(* Encrypted matrix-matrix multiplication (Jiang-Kim-Lauter-Song,
+   CCS'18) — the ciphertext-by-ciphertext product behind encrypted
+   transformer layers (the paper's BERT attention computes QK^T and
+   (softmax)V on encrypted operands).
+
+   A d x d matrix is packed row-major into d² slots.  With the linear
+   maps
+
+     sigma(A)[i,j] = A[i, i+j]        (row-wise diagonal alignment)
+     tau(B)[i,j]   = B[i+j, j]        (column-wise diagonal alignment)
+     phi^k         = column shift by k of a row-major packing
+     psi^k         = row shift by k
+
+   the product is  C = sum_{k<d} phi^k(sigma(A)) ⊙ psi^k(tau(B)).
+
+   sigma, tau, phi^k and psi^k are all slot permutations, hence
+   homomorphic matvecs by permutation matrices; phi^k needs only two
+   masked rotations and psi^k a single rotation by k*d.  One product
+   costs one ct-ct multiplication depth plus O(d) rotations. *)
+
+module C = Cinnamon_util.Cplx
+
+(* Permutation matrix (as a complex matrix) of a slot permutation:
+   out[i] = in[perm i]. *)
+let perm_matrix ~slots perm =
+  Array.init slots (fun i ->
+      Array.init slots (fun j -> if perm i = j then C.one else C.zero))
+
+let sigma_perm d i =
+  let r = i / d and c = i mod d in
+  (r * d) + ((r + c) mod d)
+
+let tau_perm d i =
+  let r = i / d and c = i mod d in
+  (((r + c) mod d) * d) + c
+
+(* Rotation amounts needed for [mul ~d] (for eval-key planning):
+   everything the sigma/tau matvecs need plus the shift rotations. *)
+let required_rotations ~d =
+  let slots = d * d in
+  let _, bsgs = Linear_algebra.bsgs_rotations ~n:slots in
+  let shifts = List.concat_map (fun k -> [ k; k - d; k * d ]) (List.init d (fun k -> k)) in
+  List.sort_uniq compare (List.filter (fun r -> r <> 0) (bsgs @ shifts)) @ bsgs
+
+(* Column shift phi^k of a row-major d x d packing: slot (r, c) takes
+   the value of slot (r, (c+k) mod d).  Implemented as two masked
+   rotations: entries that wrap use rotation k-d, the rest rotation k. *)
+let column_shift ctx ~d ct k =
+  if k = 0 then ct
+  else begin
+    let slots = d * d in
+    let mask_main =
+      Array.init slots (fun i -> if i mod d < d - k then C.one else C.zero)
+    in
+    let mask_wrap =
+      Array.init slots (fun i -> if i mod d >= d - k then C.one else C.zero)
+    in
+    let main = Eval.mul_plain ctx (Eval.rotate ctx ct k) mask_main in
+    let wrap = Eval.mul_plain ctx (Eval.rotate ctx ct (k - d)) mask_wrap in
+    Eval.add main wrap
+  end
+
+(* Row shift psi^k: one rotation by k*d. *)
+let row_shift ctx ~d ct k = if k = 0 then ct else Eval.rotate ctx ct (k * d)
+
+(* Encrypted C = A * B for row-major d x d packings. Consumes 3 levels
+   (sigma/tau matvec, the shifts' masking, and the ct-ct products). *)
+let mul ctx ~d ct_a ct_b =
+  let slots = d * d in
+  let m_sigma = perm_matrix ~slots (sigma_perm d) in
+  let m_tau = perm_matrix ~slots (tau_perm d) in
+  let a0 = Linear_algebra.matvec_bsgs ctx m_sigma ct_a in
+  let b0 = Linear_algebra.matvec_bsgs ctx m_tau ct_b in
+  let acc = ref (Eval.mul ctx a0 b0) in
+  for k = 1 to d - 1 do
+    let ak = column_shift ctx ~d a0 k in
+    let bk = row_shift ctx ~d b0 k in
+    acc := Eval.add !acc (Eval.mul ctx ak bk)
+  done;
+  !acc
+
+(* Plaintext reference on row-major float packings. *)
+let mul_plain_ref ~d a b =
+  Array.init (d * d) (fun i ->
+      let r = i / d and c = i mod d in
+      let s = ref 0.0 in
+      for k = 0 to d - 1 do
+        s := !s +. (a.((r * d) + k) *. b.((k * d) + c))
+      done;
+      !s)

@@ -1,0 +1,1 @@
+lib/compiler/compile_config.ml: Cinnamon_ckks Cinnamon_ir List Params

@@ -1,0 +1,1 @@
+lib/compiler/compile_config.mli: Cinnamon_ckks Cinnamon_ir

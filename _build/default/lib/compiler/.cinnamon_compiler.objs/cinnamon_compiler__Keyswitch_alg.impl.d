@@ -1,0 +1,1 @@
+lib/compiler/keyswitch_alg.ml: Array Basis Cinnamon_ckks Cinnamon_ir Cinnamon_rns Keys Keyswitch List Mod_updown Option Params Rns_poly

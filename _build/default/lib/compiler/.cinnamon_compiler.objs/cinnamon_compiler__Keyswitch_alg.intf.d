@@ -1,0 +1,1 @@
+lib/compiler/keyswitch_alg.mli: Cinnamon_ckks Cinnamon_ir Cinnamon_rns Cinnamon_util Keys Params Rns_poly

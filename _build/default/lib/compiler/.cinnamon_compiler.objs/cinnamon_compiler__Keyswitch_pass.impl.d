@@ -1,0 +1,1 @@
+lib/compiler/keyswitch_pass.ml: Array Cinnamon_ir Compile_config Hashtbl List Poly_ir

@@ -1,0 +1,1 @@
+lib/compiler/keyswitch_pass.mli: Cinnamon_ir Compile_config Poly_ir

@@ -1,0 +1,1 @@
+lib/compiler/lower_isa.ml: Array Cinnamon_ir Cinnamon_isa Hashtbl Limb_ir List Regalloc

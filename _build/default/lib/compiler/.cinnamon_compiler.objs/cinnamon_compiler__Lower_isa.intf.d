@@ -1,0 +1,1 @@
+lib/compiler/lower_isa.mli: Cinnamon_ir Cinnamon_isa Limb_ir Regalloc

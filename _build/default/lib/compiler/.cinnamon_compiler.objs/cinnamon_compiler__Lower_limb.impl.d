@@ -1,0 +1,1 @@
+lib/compiler/lower_limb.ml: Array Cinnamon_ir Cinnamon_util Compile_config Hashtbl Keyswitch_pass Limb_ir List Poly_ir Printf

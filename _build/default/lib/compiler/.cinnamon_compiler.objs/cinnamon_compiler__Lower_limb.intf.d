@@ -1,0 +1,1 @@
+lib/compiler/lower_limb.mli: Cinnamon_ir Compile_config Keyswitch_pass Limb_ir Poly_ir

@@ -1,0 +1,1 @@
+lib/compiler/lower_poly.ml: Array Cinnamon_ir Compile_config Ct_ir List Poly_ir

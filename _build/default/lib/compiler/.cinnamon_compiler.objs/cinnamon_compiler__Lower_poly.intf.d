@@ -1,0 +1,1 @@
+lib/compiler/lower_poly.mli: Cinnamon_ir Compile_config Ct_ir Poly_ir

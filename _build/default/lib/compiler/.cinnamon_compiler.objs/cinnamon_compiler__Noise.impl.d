@@ -1,0 +1,1 @@
+lib/compiler/noise.ml: Array Cinnamon_ir Ct_ir Float Format

@@ -1,0 +1,1 @@
+lib/compiler/noise.mli: Cinnamon_ir Ct_ir Format

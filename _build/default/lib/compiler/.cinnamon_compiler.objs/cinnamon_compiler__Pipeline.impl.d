@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Array Cinnamon_ir Cinnamon_isa Compile_config Ct_ir Keyswitch_pass Limb_ir Lower_isa Lower_limb Lower_poly Poly_ir Printf Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Cinnamon_ir Cinnamon_isa Compile_config Ct_ir Keyswitch_pass Limb_ir Poly_ir Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Cinnamon_ir Hashtbl Limb_ir List

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Cinnamon_ir Limb_ir

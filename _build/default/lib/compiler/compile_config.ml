@@ -1,0 +1,71 @@
+(* Compilation target description: how many chips, how limbs are sized,
+   how keyswitching digits are laid out, and how streams map to chip
+   groups.  This is the compiler-facing slice of the architecture
+   (the full hardware model lives in Cinnamon_sim). *)
+
+type t = {
+  chips : int;
+  log_n : int;
+  limb_bits : int;
+  top_limbs : int; (* limbs at the top of the modulus chain (L+1) *)
+  dnum : int;
+  alpha : int; (* limbs per digit = special-prime count *)
+  (* Program-level parallelism: streams are placed on disjoint chip
+     groups of [group_size] chips each (paper §4.2: the compiler
+     distributes streams across chips). *)
+  group_size : int;
+  default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
+  pass_mode : pass_mode; (* reordering/batching pass of §4.3.1 *)
+}
+and pass_mode =
+  | No_pass (* every site gets the default algorithm, unbatched *)
+  | Pass_ib_only (* batching, but input-broadcast everywhere (Fig. 13's "Input Broadcast + Pass") *)
+  | Pass_full (* algorithm selection between IB and OA (the Cinnamon keyswitch pass) *)
+
+let limb_bytes t = (1 lsl t.log_n) * 4 (* 28-bit words stored in 32 bits *)
+let n t = 1 lsl t.log_n
+
+(* The paper's architectural configuration: N = 64K, 28-bit limbs,
+   bootstrap raises to l = 51. *)
+let paper ?(chips = 4) ?(group_size = 0) ?(default_ks = Cinnamon_ir.Poly_ir.Input_broadcast)
+    ?(pass_mode = Pass_full) () =
+  let group_size = if group_size = 0 then chips else group_size in
+  {
+    chips;
+    log_n = 16;
+    limb_bits = 28;
+    top_limbs = 52;
+    dnum = 3;
+    alpha = 18;
+    group_size;
+    default_ks;
+    pass_mode;
+  }
+
+(* Small functional configuration matching the CKKS test presets, used
+   by the emulator. *)
+let functional ?(chips = 4) params =
+  let open Cinnamon_ckks in
+  {
+    chips;
+    log_n = params.Params.log_n;
+    limb_bits = params.Params.scale_bits;
+    top_limbs = params.Params.levels + 1;
+    dnum = params.Params.dnum;
+    alpha = params.Params.alpha;
+    group_size = chips;
+    default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
+    pass_mode = Pass_full;
+  }
+
+(* Chip group hosting a given stream.  Stream 0 is the default stream:
+   un-annotated work is limb-parallel over the whole machine.  Streams
+   1..k are the programmer's concurrent sections, placed round-robin on
+   disjoint sub-groups of [group_size] chips. *)
+let group_of_stream t ~stream =
+  if stream = 0 then List.init t.chips (fun i -> i)
+  else begin
+    let n_groups = max 1 (t.chips / t.group_size) in
+    let g = (stream - 1) mod n_groups in
+    List.init t.group_size (fun i -> (g * t.group_size) + i)
+  end

@@ -1,0 +1,231 @@
+(* The Cinnamon keyswitch pass (paper §4.3.1).
+
+   Detects the two program patterns that dominate bootstrapping and
+   linear-algebra kernels and assigns each keyswitch site a parallel
+   algorithm and a batch group:
+
+   Pattern A — multiple rotations of one ciphertext (the BSGS baby
+   steps, the hoisted rotations of CoeffToSlot):  all keyswitches whose
+   inputs are automorphisms of the same source polynomial.  Algorithm:
+   input-broadcast keyswitching; the mod-up broadcast is batched so the
+   whole group costs ONE broadcast.
+
+   Pattern B — rotations whose results are aggregated (the BSGS giant
+   steps, rotate-and-sum reductions):  keyswitch outputs whose only
+   consumers form an addition tree converging on a single sink.
+   Algorithm: output-aggregation keyswitching; the mod-down
+   aggregations are batched so the whole group costs TWO aggregations.
+
+   Everything else gets the configuration's default algorithm with no
+   batching. *)
+
+open Cinnamon_ir
+
+type report = {
+  pattern_a_groups : int;
+  pattern_a_sites : int;
+  pattern_b_groups : int;
+  pattern_b_sites : int;
+  unbatched_sites : int;
+  total_sites : int;
+}
+
+(* Union of keyswitch pairs: sites come in (component 0, component 1)
+   couples on the same input; treat the couple as one logical site. *)
+let logical_sites (p : Poly_ir.t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (n : Poly_ir.node) ->
+      match n.op with
+      | Poly_ir.PKeyswitch k -> begin
+        match Hashtbl.find_opt tbl k.Poly_ir.input with
+        | None -> Hashtbl.add tbl k.Poly_ir.input [ (n, k) ]
+        | Some l -> Hashtbl.replace tbl k.Poly_ir.input ((n, k) :: l)
+      end
+      | _ -> ())
+    p.nodes;
+  tbl
+
+let run (cfg : Compile_config.t) (p : Poly_ir.t) : report =
+  let n_nodes = Poly_ir.size p in
+  (* use lists *)
+  let uses = Array.make n_nodes [] in
+  Array.iter
+    (fun (n : Poly_ir.node) ->
+      List.iter (fun src -> uses.(src) <- n.Poly_ir.id :: uses.(src)) (Poly_ir.operands n.Poly_ir.op))
+    p.nodes;
+  let sites = logical_sites p in
+  let next_batch = ref 0 in
+  let a_groups = ref 0 and a_sites = ref 0 and b_groups = ref 0 and b_sites = ref 0 in
+  let unbatched = ref 0 and total = ref 0 in
+  Hashtbl.iter (fun _ pairs -> total := !total + (List.length pairs + 1) / 2) sites;
+
+  if cfg.Compile_config.pass_mode = Compile_config.No_pass then begin
+    Hashtbl.iter
+      (fun _ pairs ->
+        List.iter (fun (_, k) -> k.Poly_ir.algorithm <- cfg.Compile_config.default_ks) pairs)
+      sites;
+    Hashtbl.iter (fun _ pairs -> unbatched := !unbatched + (List.length pairs + 1) / 2) sites;
+    {
+      pattern_a_groups = 0;
+      pattern_a_sites = 0;
+      pattern_b_groups = 0;
+      pattern_b_sites = 0;
+      unbatched_sites = !unbatched;
+      total_sites = !total;
+    }
+  end
+  else begin
+    (* --- Pattern B: find the add-sink of each keyswitch output. ------ *)
+    (* Walk forward through PAdd nodes only; stop at the first non-add
+       consumer or a fan-out.  Returns the final add node id if the
+       whole chain is additive. *)
+    let rec add_sink id depth =
+      if depth > 64 then None
+      else begin
+        match uses.(id) with
+        | [ u ] -> begin
+          match (Poly_ir.node p u).Poly_ir.op with
+          | Poly_ir.PAdd _ -> begin
+            match add_sink u (depth + 1) with
+            | Some s -> Some s
+            | None -> Some u
+          end
+          | _ -> None
+        end
+        | _ -> None
+      end
+    in
+    (* Group logical sites (component-0 node representative) by sink. *)
+    let by_sink = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun input pairs ->
+        let reps = List.filter (fun (_, k) -> k.Poly_ir.component = 0) pairs in
+        List.iter
+          (fun ((n : Poly_ir.node), _) ->
+            match add_sink n.Poly_ir.id 0 with
+            | Some sink ->
+              let cur = try Hashtbl.find by_sink sink with Not_found -> [] in
+              Hashtbl.replace by_sink sink (input :: cur)
+            | None -> ())
+          reps)
+      sites;
+    let assigned = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _sink inputs ->
+        let inputs = List.sort_uniq compare inputs in
+        if List.length inputs >= 2 && cfg.Compile_config.pass_mode = Compile_config.Pass_full
+        then begin
+          let batch = !next_batch in
+          incr next_batch;
+          incr b_groups;
+          List.iter
+            (fun input ->
+              if not (Hashtbl.mem assigned input) then begin
+                Hashtbl.add assigned input ();
+                incr b_sites;
+                List.iter
+                  (fun (_, k) ->
+                    k.Poly_ir.algorithm <- Poly_ir.Output_aggregation;
+                    k.Poly_ir.batch <- Some batch)
+                  (Hashtbl.find sites input)
+              end)
+            inputs
+        end)
+      by_sink;
+    (* --- Pattern A: group remaining sites by automorphism source. ---- *)
+    let by_source = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun input _pairs ->
+        if not (Hashtbl.mem assigned input) then begin
+          let src =
+            match (Poly_ir.node p input).Poly_ir.op with
+            | Poly_ir.PAutomorph (s, _) -> Some s
+            | _ -> None
+          in
+          match src with
+          | Some s ->
+            let cur = try Hashtbl.find by_source s with Not_found -> [] in
+            Hashtbl.replace by_source s (input :: cur)
+          | None -> ()
+        end)
+      sites;
+    Hashtbl.iter
+      (fun _src inputs ->
+        let inputs = List.sort_uniq compare inputs in
+        if List.length inputs >= 2 then begin
+          let batch = !next_batch in
+          incr next_batch;
+          incr a_groups;
+          List.iter
+            (fun input ->
+              Hashtbl.add assigned input ();
+              incr a_sites;
+              List.iter
+                (fun (_, k) ->
+                  k.Poly_ir.algorithm <- Poly_ir.Input_broadcast;
+                  k.Poly_ir.batch <- Some batch)
+                (Hashtbl.find sites input))
+            inputs
+        end)
+      by_source;
+    (* --- Everything else: lone sites.  The compiler picks the cheaper
+       algorithm for an unbatched keyswitch: output aggregation moves
+       2*(l+k)*(n-1)/n limbs against input broadcast's l*(n-1) — at
+       four or more chips aggregation wins, and it needs no broadcast
+       of the (possibly still-in-flight) input (paper §4.3.1: "choose
+       the appropriate parallel keyswitching algorithm"). ------------- *)
+    let lone_algorithm =
+      match cfg.Compile_config.pass_mode with
+      | Compile_config.Pass_full -> Poly_ir.Output_aggregation
+      | _ -> Poly_ir.Input_broadcast
+    in
+    Hashtbl.iter
+      (fun input pairs ->
+        if not (Hashtbl.mem assigned input) then begin
+          unbatched := !unbatched + 1;
+          List.iter (fun (_, k) -> k.Poly_ir.algorithm <- lone_algorithm) pairs
+        end)
+      sites;
+    {
+      pattern_a_groups = !a_groups;
+      pattern_a_sites = !a_sites;
+      pattern_b_groups = !b_groups;
+      pattern_b_sites = !b_sites;
+      unbatched_sites = !unbatched;
+      total_sites = !total;
+    }
+  end
+
+(* Communication ops implied by the pass result, per paper §4.3.1 and
+   §7.4's algorithmic analysis:
+     input-broadcast:     1 broadcast per batch (or per lone site)
+     output-aggregation:  2 aggregations per batch
+     cifher-broadcast:    3 broadcasts per site (1 batchable at mod-up)
+     sequential:          0 *)
+type comm_summary = { broadcasts : int; aggregations : int }
+
+let comm_summary (p : Poly_ir.t) =
+  let batches_ib = Hashtbl.create 8 and batches_oa = Hashtbl.create 8 in
+  let b = ref 0 and a = ref 0 in
+  List.iter
+    (fun ((_ : Poly_ir.node), (k : Poly_ir.ks_site)) ->
+      if k.Poly_ir.component = 0 then begin
+        match (k.Poly_ir.algorithm, k.Poly_ir.batch) with
+        | Poly_ir.Seq, _ -> ()
+        | Poly_ir.Input_broadcast, Some g ->
+          if not (Hashtbl.mem batches_ib g) then begin
+            Hashtbl.add batches_ib g ();
+            incr b
+          end
+        | Poly_ir.Input_broadcast, None -> incr b
+        | Poly_ir.Output_aggregation, Some g ->
+          if not (Hashtbl.mem batches_oa g) then begin
+            Hashtbl.add batches_oa g ();
+            a := !a + 2
+          end
+        | Poly_ir.Output_aggregation, None -> a := !a + 2
+        | Poly_ir.Cifher_broadcast, _ -> b := !b + 3
+      end)
+    (Poly_ir.keyswitch_sites p);
+  { broadcasts = !b; aggregations = !a }

@@ -1,0 +1,26 @@
+(** The Cinnamon keyswitch pass (paper §4.3.1): detects rotation
+    batches (pattern A → input-broadcast, one broadcast per batch) and
+    rotate-then-aggregate reductions (pattern B → output-aggregation,
+    two aggregations per batch), and selects algorithms for lone
+    sites. *)
+
+open Cinnamon_ir
+
+type report = {
+  pattern_a_groups : int;
+  pattern_a_sites : int;
+  pattern_b_groups : int;
+  pattern_b_sites : int;
+  unbatched_sites : int;
+  total_sites : int;
+}
+
+(** Annotate every keyswitch site of the program in place; behavior is
+    governed by the configuration's [pass_mode] and [default_ks]. *)
+val run : Compile_config.t -> Poly_ir.t -> report
+
+type comm_summary = { broadcasts : int; aggregations : int }
+
+(** Collective counts implied by the annotations — the quantities of
+    the paper's §7.4 algorithmic analysis. *)
+val comm_summary : Poly_ir.t -> comm_summary

@@ -1,0 +1,72 @@
+(* Lowering: register-allocated limb IR -> the Cinnamon ISA.
+
+   After Belady allocation every value sits in a physical vector
+   register; this pass is a direct translation plus address assignment
+   for loads/stores (a bump allocator standing in for the compiler's
+   HBM layout). *)
+
+open Cinnamon_ir
+module L = Limb_ir
+module I = Cinnamon_isa.Isa
+
+let translate_chip ~num_regs (cp : L.chip_program) : I.program * Regalloc.stats =
+  let alloc = Regalloc.allocate ~num_regs cp in
+  (* Physical register ids were tracked inside Regalloc via tables; the
+     emitted stream still names vregs.  For the ISA we renumber vregs
+     into a window of [num_regs] physical names with a simple rotating
+     map (the exact physical indices don't affect timing). *)
+  let phys : (L.vreg, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let preg v =
+    match Hashtbl.find_opt phys v with
+    | Some r -> r
+    | None ->
+      let r = !next mod num_regs in
+      incr next;
+      Hashtbl.replace phys v r;
+      r
+  in
+  let next_addr = ref 0 in
+  let addr_of : (L.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  let addr v =
+    match Hashtbl.find_opt addr_of v with
+    | Some a -> a
+    | None ->
+      let a = !next_addr in
+      incr next_addr;
+      Hashtbl.add addr_of v a;
+      a
+  in
+  let instrs =
+    List.filter_map
+      (fun instr ->
+        match instr with
+        | L.Compute c -> begin
+          let dst = preg c.L.dst in
+          match (c.L.fu, c.L.srcs) with
+          | L.Fu_add, [ a; b ] -> Some (I.Valu { op = I.Op_add; dst; a = preg a; b = preg b })
+          | L.Fu_add, [ a ] -> Some (I.Valu_scalar { op = I.Op_add; dst; a = preg a; scalar = 0 })
+          | L.Fu_mul, [ a; b ] -> Some (I.Valu { op = I.Op_mul; dst; a = preg a; b = preg b })
+          | L.Fu_mul, [ a ] -> Some (I.Valu_scalar { op = I.Op_mul; dst; a = preg a; scalar = 0 })
+          | L.Fu_ntt, [ a ] -> Some (I.Vntt { dst; src = preg a })
+          | L.Fu_intt, [ a ] -> Some (I.Vintt { dst; src = preg a })
+          | L.Fu_auto, [ a ] -> Some (I.Vauto { dst; src = preg a; galois = 0 })
+          | L.Fu_bconv, srcs -> Some (I.Vbconv { dst; srcs = List.map preg srcs; macs = c.L.macs })
+          | L.Fu_transpose, [ a ] -> Some (I.Vtranspose { dst; src = preg a })
+          | L.Fu_prng, _ -> Some (I.Vprng { dst })
+          | _, _ -> Some (I.Vprng { dst }) (* defensive: unreachable shapes *)
+        end
+        | L.Load v -> Some (I.Vload { dst = preg v; addr = addr v })
+        | L.Store v -> Some (I.Vstore { src = preg v; addr = addr v })
+        | L.Collective { kind = L.Broadcast; group; limbs; id; sends; recvs } ->
+          Some (I.Net_bcast { group; limbs; coll_id = id; sends = List.map preg sends; recvs = List.map preg recvs })
+        | L.Collective { kind = L.Aggregate_scatter; group; limbs; id; sends; recvs } ->
+          Some (I.Net_agg { group; limbs; coll_id = id; sends = List.map preg sends; recvs = List.map preg recvs })
+        | L.Sync id -> Some (I.Barrier id))
+      alloc.Regalloc.instrs
+  in
+  ({ I.chip = cp.L.chip; instrs = Array.of_list instrs; n_regs = min num_regs !next }, alloc.Regalloc.stats)
+
+let translate ~num_regs ~n ~limb_bytes (t : L.t) : I.machine_program * Regalloc.stats array =
+  let pairs = Array.map (translate_chip ~num_regs) t.L.chips in
+  ({ I.programs = Array.map fst pairs; limb_bytes; n }, Array.map snd pairs)

@@ -1,0 +1,16 @@
+(** Lowering: register-allocated limb IR → the Cinnamon ISA, with HBM
+    address assignment. *)
+
+open Cinnamon_ir
+
+(** One chip: Belady allocation then direct translation. *)
+val translate_chip :
+  num_regs:int -> Limb_ir.chip_program -> Cinnamon_isa.Isa.program * Regalloc.stats
+
+(** Whole machine. *)
+val translate :
+  num_regs:int ->
+  n:int ->
+  limb_bytes:int ->
+  Limb_ir.t ->
+  Cinnamon_isa.Isa.machine_program * Regalloc.stats array

@@ -1,0 +1,453 @@
+(* Lowering: polynomial IR -> limb IR (paper Fig. 7, steps 4-7).
+
+   Limbs are distributed round-robin across the chips of the stream's
+   group (paper §4.3.1).  Data-parallel polynomial ops become one
+   vector instruction per limb on its owning chip.  Keyswitch macro-ops
+   expand per their assigned algorithm; batched sites share their
+   collective (one broadcast per input-broadcast batch, two
+   aggregations per output-aggregation batch).
+
+   Evaluation keys are streamed from HBM: every keyswitch emits the
+   evalkey Load instructions its digit products need — this is the
+   dominant memory traffic, as in all FHE accelerators. *)
+
+open Cinnamon_ir
+module L = Limb_ir
+module P = Poly_ir
+
+type placement = {
+  group : int list; (* chips hosting this poly's limbs *)
+  limbs : L.vreg array; (* vreg of limb i *)
+}
+
+let chip_of placement i = List.nth placement.group (i mod List.length placement.group)
+
+(* Limb indices of [placement] owned by chip [c]. *)
+let owned placement c =
+  List.filter
+    (fun i -> chip_of placement i = c)
+    (List.init (Array.length placement.limbs) (fun i -> i))
+
+type state = {
+  cfg : Compile_config.t;
+  b : L.builder;
+  values : (int, placement) Hashtbl.t; (* poly_id -> placement *)
+  (* keyswitch bookkeeping *)
+  ks_results : (int, placement) Hashtbl.t; (* poly node id of component-0 -> component-1 result *)
+  ib_batch_done : (int, unit) Hashtbl.t; (* batches whose broadcast was emitted *)
+  oa_batch_sites : (int, int) Hashtbl.t; (* batch -> sites remaining *)
+  (* stable vreg identities for HBM-resident constants (evalkeys,
+     plaintext operands): repeated uses reference the same vreg, so
+     Belady allocation models on-chip key/plaintext caching and its
+     capacity limit — the effect behind the paper's Fig. 6 "bootstraps
+     share plaintext matrices and evaluation keys". *)
+  stable : (string, L.vreg) Hashtbl.t;
+}
+
+(* Reference a stable HBM constant: first use on a chip emits the load,
+   later uses share the vreg (the register allocator re-loads it if it
+   was evicted meanwhile). *)
+let stable_ref st ~chip ~key =
+  let key = Printf.sprintf "%s@%d" key chip in
+  match Hashtbl.find_opt st.stable key with
+  | Some v -> v
+  | None ->
+    let v = L.fresh_vreg st.b in
+    L.push st.b chip (L.Load v);
+    Hashtbl.add st.stable key v;
+    v
+
+let place st ~stream ~limbs =
+  let group = Compile_config.group_of_stream st.cfg ~stream in
+  { group; limbs = Array.init limbs (fun _ -> L.fresh_vreg st.b) }
+
+(* Emit [f limb_index] on the owner chip of each limb. *)
+let per_limb _st placement f =
+  Array.iteri (fun i _ -> f i (chip_of placement i)) placement.limbs
+
+(* Pointwise binary op: dst limb i from a.(i), b.(i). *)
+let pointwise st ~fu out a b =
+  per_limb st out (fun i chip ->
+      let dst = out.limbs.(i) in
+      L.push st.b chip (L.Compute { fu; dst; srcs = [ a.limbs.(i); b.limbs.(i) ]; macs = 1 }))
+
+let unary st ~fu out a =
+  per_limb st out (fun i chip ->
+      L.push st.b chip (L.Compute { fu; dst = out.limbs.(i); srcs = [ a.limbs.(i) ]; macs = 1 }))
+
+(* Multiply/add with a plaintext limb (a stable HBM constant). *)
+let with_plaintext st ~fu ~name out a =
+  per_limb st out (fun i chip ->
+      let pt = stable_ref st ~chip ~key:(Printf.sprintf "pt:%s:l%d" name i) in
+      L.push st.b chip (L.Compute { fu; dst = out.limbs.(i); srcs = [ a.limbs.(i); pt ]; macs = 1 }))
+
+(* Scalar-operand variant (no plaintext expansion; paper §4.6). *)
+let with_scalar st ~fu out a =
+  per_limb st out (fun i chip ->
+      L.push st.b chip (L.Compute { fu; dst = out.limbs.(i); srcs = [ a.limbs.(i) ]; macs = 1 }))
+
+(* --- rescale -------------------------------------------------------------- *)
+
+(* Exact RNS rescale: INTT the top limb on its owner, broadcast it, and
+   on every chip NTT it back plus fused (sub, scalar-mul) per owned
+   limb. *)
+let rescale st out a =
+  let l = Array.length a.limbs in
+  let top = l - 1 in
+  let top_chip = chip_of a top in
+  let coeff = L.compute st.b ~chip:top_chip ~fu:L.Fu_intt [ a.limbs.(top) ] in
+  let group = a.group in
+  let received =
+    L.collective st.b ~kind:L.Broadcast ~group
+      ~limbs:(List.length group - 1)
+      ~sends:(fun c -> if c = top_chip then [ coeff ] else [])
+      ~recv_count:(fun c -> if c = top_chip then 0 else 1)
+  in
+  let top_on c = if c = top_chip then coeff else List.hd (List.assoc c received) in
+  (* NTT the received coefficient-domain top limb once per chip. *)
+  let ntt_per_chip =
+    List.map (fun c -> (c, L.compute st.b ~chip:c ~fu:L.Fu_ntt [ top_on c ])) group
+  in
+  per_limb st out (fun i chip ->
+      let t = List.assoc chip ntt_per_chip in
+      let d = L.compute st.b ~chip ~fu:L.Fu_add [ a.limbs.(i); t ] in
+      L.push st.b chip (L.Compute { fu = L.Fu_mul; dst = out.limbs.(i); srcs = [ d ]; macs = 1 }))
+
+(* --- keyswitch expansion --------------------------------------------------- *)
+
+(* Digit layout at level [l]: contiguous alpha-sized digits truncated
+   to l limbs (sequential/broadcast algorithms). *)
+let digit_sizes st l =
+  let alpha = st.cfg.Compile_config.alpha in
+  let rec go lo acc = if lo >= l then List.rev acc else go (lo + alpha) (min alpha (l - lo) :: acc) in
+  go 0 []
+
+(* Emit the evalkey references + inner-product MACs for [count] limbs
+   on [chip]; returns the two accumulator vreg lists.  Evalkey limbs
+   are stable constants keyed by (key name, digit, limb, component) so
+   repeated keyswitches with the same key hit the register file. *)
+let inner_product st ~chip ~key_name ~digit ~digit_vregs ~count =
+  ignore digit_vregs;
+  let mul_acc comp =
+    List.init count (fun i ->
+        let evk =
+          stable_ref st ~chip
+            ~key:(Printf.sprintf "evk:%s:d%d:l%d:c%d" key_name digit i comp)
+        in
+        let prod = L.compute st.b ~chip ~fu:L.Fu_mul [ evk ] in
+        L.compute st.b ~chip ~fu:L.Fu_add [ prod ])
+  in
+  (mul_acc 0, mul_acc 1)
+
+(* Base-convert [src_vregs] into [count] fresh output limbs on [chip]. *)
+let base_conv st ~chip ~src_vregs ~count =
+  List.init count (fun _ ->
+      L.compute st.b ~chip ~fu:L.Fu_bconv ~macs:(List.length src_vregs) src_vregs)
+
+let ntt_list st ~chip vs = List.map (fun v -> L.compute st.b ~chip ~fu:L.Fu_ntt [ v ]) vs
+let intt_list st ~chip vs = List.map (fun v -> L.compute st.b ~chip ~fu:L.Fu_intt [ v ]) vs
+
+(* Mod-down of an accumulator on [chip]: INTT the ext limbs, base
+   convert into the target limbs, NTT, subtract, scalar-multiply. *)
+let mod_down_local st ~chip ~ext_vregs ~targets =
+  let ext_c = intt_list st ~chip ext_vregs in
+  let conv = base_conv st ~chip ~src_vregs:ext_c ~count:(List.length targets) in
+  let conv_e = ntt_list st ~chip conv in
+  List.map2
+    (fun t c ->
+      let d = L.compute st.b ~chip ~fu:L.Fu_add [ t; c ] in
+      L.compute st.b ~chip ~fu:L.Fu_mul [ d ])
+    targets conv_e
+
+(* Sequential keyswitch on the group's first chip. *)
+let ks_sequential st ~key_name input out0 out1 =
+  let chip = List.hd input.group in
+  let l = Array.length input.limbs in
+  let k = st.cfg.Compile_config.alpha in
+  let all = Array.to_list input.limbs in
+  let acc0 = ref [] and acc1 = ref [] in
+  List.iteri
+    (fun d_i di ->
+      let digit = intt_list st ~chip (List.filteri (fun j _ -> j < di) all) in
+      let conv = base_conv st ~chip ~src_vregs:digit ~count:(l + k - di) in
+      let _ = ntt_list st ~chip conv in
+      let a0, a1 = inner_product st ~chip ~key_name ~digit:d_i ~digit_vregs:conv ~count:(l + k) in
+      acc0 := a0;
+      acc1 := a1)
+    (digit_sizes st l);
+  let ext0 = List.filteri (fun i _ -> i >= l) (!acc0 @ List.init k (fun _ -> L.fresh_vreg st.b)) in
+  let ext1 = List.filteri (fun i _ -> i >= l) (!acc1 @ List.init k (fun _ -> L.fresh_vreg st.b)) in
+  let t0 = List.filteri (fun i _ -> i < l) !acc0 in
+  let t1 = List.filteri (fun i _ -> i < l) !acc1 in
+  let r0 = mod_down_local st ~chip ~ext_vregs:(List.filteri (fun i _ -> i < k) ext0) ~targets:t0 in
+  let r1 = mod_down_local st ~chip ~ext_vregs:(List.filteri (fun i _ -> i < k) ext1) ~targets:t1 in
+  List.iteri (fun i v -> out0.limbs.(i) <- v) r0;
+  List.iteri (fun i v -> out1.limbs.(i) <- v) r1
+
+(* Input-broadcast keyswitch (paper Fig. 8b): the mod-up broadcast is
+   emitted once per batch; extension-limb work is duplicated per chip
+   so mod-down is local. *)
+let ks_input_broadcast st ~key_name ~batch input out0 out1 =
+  let group = input.group in
+  let n_chips = List.length group in
+  let l = Array.length input.limbs in
+  let k = st.cfg.Compile_config.alpha in
+  let emit_broadcast =
+    match batch with
+    | None -> true
+    | Some g ->
+      if Hashtbl.mem st.ib_batch_done g then false
+      else begin
+        Hashtbl.add st.ib_batch_done g ();
+        true
+      end
+  in
+  (* owners INTT their limbs, broadcast coefficient-domain limbs *)
+  if emit_broadcast then begin
+    let coeffs =
+      List.map (fun c -> (c, intt_list st ~chip:c (List.map (fun i -> input.limbs.(i)) (owned input c)))) group
+    in
+    ignore
+      (L.collective st.b ~kind:L.Broadcast ~group
+         ~limbs:(l * (n_chips - 1))
+         ~sends:(fun c -> List.assoc c coeffs)
+         ~recv_count:(fun c -> l - List.length (owned input c)))
+  end;
+  List.iter
+    (fun chip ->
+      let lc = List.length (owned input chip) in
+      let acc0 = ref [] and acc1 = ref [] in
+      List.iteri
+        (fun d_i di ->
+          (* convert this digit into the chip's Q share + all ext limbs *)
+          let digit = List.init di (fun _ -> L.fresh_vreg st.b) in
+          let conv = base_conv st ~chip ~src_vregs:digit ~count:(lc + k) in
+          let _ = ntt_list st ~chip conv in
+          let a0, a1 = inner_product st ~chip ~key_name ~digit:d_i ~digit_vregs:conv ~count:(lc + k) in
+          acc0 := a0;
+          acc1 := a1)
+        (digit_sizes st l);
+      let split lst = (List.filteri (fun i _ -> i < lc) lst, List.filteri (fun i _ -> i >= lc) lst) in
+      let t0, e0 = split !acc0 and t1, e1 = split !acc1 in
+      let r0 = mod_down_local st ~chip ~ext_vregs:e0 ~targets:t0 in
+      let r1 = mod_down_local st ~chip ~ext_vregs:e1 ~targets:t1 in
+      List.iteri (fun j v -> out0.limbs.(List.nth (owned input chip) j) <- v) r0;
+      List.iteri (fun j v -> out1.limbs.(List.nth (owned input chip) j) <- v) r1)
+    group
+
+(* CiFHER keyswitch: broadcast at mod-up, shard everything, broadcast
+   the extension limbs of both accumulators at mod-down. *)
+let ks_cifher st ~key_name input out0 out1 =
+  let group = input.group in
+  let n_chips = List.length group in
+  let l = Array.length input.limbs in
+  let k = st.cfg.Compile_config.alpha in
+  let coeffs =
+    List.map (fun c -> (c, intt_list st ~chip:c (List.map (fun i -> input.limbs.(i)) (owned input c)))) group
+  in
+  ignore
+    (L.collective st.b ~kind:L.Broadcast ~group
+       ~limbs:(l * (n_chips - 1))
+       ~sends:(fun c -> List.assoc c coeffs)
+       ~recv_count:(fun c -> l - List.length (owned input c)));
+  let per_chip_share = Cinnamon_util.Bitops.cdiv (l + k) n_chips in
+  let chip_results =
+    List.map
+      (fun chip ->
+        let acc0 = ref [] and acc1 = ref [] in
+        List.iteri
+          (fun d_i di ->
+            let digit = List.init di (fun _ -> L.fresh_vreg st.b) in
+            let conv = base_conv st ~chip ~src_vregs:digit ~count:per_chip_share in
+            let _ = ntt_list st ~chip conv in
+            let a0, a1 = inner_product st ~chip ~key_name ~digit:d_i ~digit_vregs:conv ~count:per_chip_share in
+            acc0 := a0;
+            acc1 := a1)
+          (digit_sizes st l);
+        (chip, !acc0, !acc1))
+      group
+  in
+  (* mod-down: the ext limbs of each accumulator must reach every chip *)
+  List.iter
+    (fun _acc_sel ->
+      ignore
+        (L.collective st.b ~kind:L.Broadcast ~group
+           ~limbs:(k * (n_chips - 1))
+           ~sends:(fun c ->
+             let _, a0, _ = List.find (fun (c', _, _) -> c' = c) chip_results in
+             List.filteri (fun i _ -> i < k / n_chips + 1) a0)
+           ~recv_count:(fun _ -> k)))
+    [ 0; 1 ];
+  List.iter
+    (fun (chip, a0, a1) ->
+      let lc = List.length (owned input chip) in
+      let take n lst = List.filteri (fun i _ -> i < n) lst in
+      let ext0 = List.init k (fun _ -> L.fresh_vreg st.b) in
+      let ext1 = List.init k (fun _ -> L.fresh_vreg st.b) in
+      let r0 = mod_down_local st ~chip ~ext_vregs:ext0 ~targets:(take lc (a0 @ ext0)) in
+      let r1 = mod_down_local st ~chip ~ext_vregs:ext1 ~targets:(take lc (a1 @ ext1)) in
+      List.iteri (fun j v -> if j < lc then out0.limbs.(List.nth (owned input chip) j) <- v) r0;
+      List.iteri (fun j v -> if j < lc then out1.limbs.(List.nth (owned input chip) j) <- v) r1)
+    chip_results
+
+(* Output-aggregation keyswitch (paper Fig. 8c): chip shares are the
+   digits.  Mod-down runs locally on each chip's full partial BEFORE
+   the aggregation (the two commute, §4.3.1), so the two
+   aggregate+scatter collectives carry only the Q limbs; they are
+   emitted once per batch, at its last site. *)
+let ks_output_aggregation st ~key_name ~batch input out0 out1 =
+  let group = input.group in
+  let n_chips = List.length group in
+  let l = Array.length input.limbs in
+  let k = st.cfg.Compile_config.alpha in
+  let partial_downs =
+    List.filter_map
+      (fun chip ->
+        let own = owned input chip in
+        let lc = List.length own in
+        if lc = 0 then None
+        else begin
+          let digit = intt_list st ~chip (List.map (fun i -> input.limbs.(i)) own) in
+          let conv = base_conv st ~chip ~src_vregs:digit ~count:(l + k - lc) in
+          let _ = ntt_list st ~chip conv in
+          let a0, a1 = inner_product st ~chip ~key_name ~digit:chip ~digit_vregs:conv ~count:(l + k) in
+          let split lst = (List.filteri (fun i _ -> i < l) lst, List.filteri (fun i _ -> i >= l) lst) in
+          let t0, e0 = split a0 and t1, e1 = split a1 in
+          let r0 = mod_down_local st ~chip ~ext_vregs:e0 ~targets:t0 in
+          let r1 = mod_down_local st ~chip ~ext_vregs:e1 ~targets:t1 in
+          Some (chip, r0, r1)
+        end)
+      group
+  in
+  let emit_agg =
+    match batch with
+    | None -> true
+    | Some g ->
+      let remaining = (try Hashtbl.find st.oa_batch_sites g with Not_found -> 1) - 1 in
+      Hashtbl.replace st.oa_batch_sites g remaining;
+      remaining <= 0
+  in
+  let results =
+    List.map
+      (fun sel ->
+        L.collective st.b ~kind:L.Aggregate_scatter ~group
+          ~limbs:(if emit_agg then l * (n_chips - 1) / n_chips else 0)
+          ~sends:(fun c ->
+            match List.find_opt (fun (c', _, _) -> c' = c) partial_downs with
+            | Some (_, r0, r1) -> sel (r0, r1)
+            | None -> [])
+          ~recv_count:(fun c -> List.length (owned input c)))
+      [ fst; snd ]
+  in
+  (match results with
+  | [ recv0; recv1 ] ->
+    List.iter
+      (fun chip ->
+        let own = owned input chip in
+        List.iteri (fun j idx -> out0.limbs.(idx) <- List.nth (List.assoc chip recv0) j) own;
+        List.iteri (fun j idx -> out1.limbs.(idx) <- List.nth (List.assoc chip recv1) j) own)
+      group
+  | _ -> assert false)
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let lower (cfg : Compile_config.t) (p : P.t) : L.t * Keyswitch_pass.report =
+  let report = Keyswitch_pass.run cfg p in
+  let b = L.builder ~chips:cfg.Compile_config.chips ~limb_bytes:(Compile_config.limb_bytes cfg) in
+  let st =
+    {
+      cfg;
+      b;
+      values = Hashtbl.create 256;
+      ks_results = Hashtbl.create 64;
+      ib_batch_done = Hashtbl.create 16;
+      oa_batch_sites = Hashtbl.create 16;
+      stable = Hashtbl.create 1024;
+    }
+  in
+  (* count sites per OA batch so the collective lands on the last one *)
+  List.iter
+    (fun ((_ : P.node), (k : P.ks_site)) ->
+      if k.P.component = 0 then begin
+        match (k.P.algorithm, k.P.batch) with
+        | P.Output_aggregation, Some g ->
+          Hashtbl.replace st.oa_batch_sites g (1 + try Hashtbl.find st.oa_batch_sites g with Not_found -> 0)
+        | _ -> ()
+      end)
+    (P.keyswitch_sites p);
+  let get id = Hashtbl.find st.values id in
+  Array.iter
+    (fun (n : P.node) ->
+      let stream = n.P.stream in
+      let out () = place st ~stream ~limbs:n.P.limbs in
+      match n.P.op with
+      | P.PInput _ ->
+        let o = out () in
+        per_limb st o (fun i chip ->
+            L.push st.b chip (L.Load o.limbs.(i));
+            ignore i);
+        Hashtbl.add st.values n.P.id o
+      | P.PAdd (a, c) ->
+        let o = out () in
+        pointwise st ~fu:L.Fu_add o (get a) (get c);
+        Hashtbl.add st.values n.P.id o
+      | P.PSub (a, c) ->
+        let o = out () in
+        pointwise st ~fu:L.Fu_add o (get a) (get c);
+        Hashtbl.add st.values n.P.id o
+      | P.PMul (a, c) ->
+        let o = out () in
+        pointwise st ~fu:L.Fu_mul o (get a) (get c);
+        Hashtbl.add st.values n.P.id o
+      | P.PMulPlain (a, p_name) ->
+        let o = out () in
+        with_plaintext st ~fu:L.Fu_mul ~name:p_name o (get a);
+        Hashtbl.add st.values n.P.id o
+      | P.PAddPlain (a, p_name) ->
+        let o = out () in
+        with_plaintext st ~fu:L.Fu_add ~name:p_name o (get a);
+        Hashtbl.add st.values n.P.id o
+      | P.PMulConst (a, _) ->
+        let o = out () in
+        with_scalar st ~fu:L.Fu_mul o (get a);
+        Hashtbl.add st.values n.P.id o
+      | P.PAddConst (a, _) ->
+        let o = out () in
+        with_scalar st ~fu:L.Fu_add o (get a);
+        Hashtbl.add st.values n.P.id o
+      | P.PAutomorph (a, _) ->
+        let o = out () in
+        unary st ~fu:L.Fu_auto o (get a);
+        Hashtbl.add st.values n.P.id o
+      | P.PRescale a ->
+        let o = out () in
+        rescale st o (get a);
+        Hashtbl.add st.values n.P.id o
+      | P.PBootPlaceholder a ->
+        (* kernel boundary: composed at simulation time *)
+        Hashtbl.add st.values n.P.id (get a)
+      | P.POutput (a, _) ->
+        let v = get a in
+        per_limb st v (fun i chip -> L.push st.b chip (L.Store v.limbs.(i)));
+        Hashtbl.add st.values n.P.id v
+      | P.PKeyswitch k ->
+        if k.P.component = 0 then begin
+          let input = get k.P.input in
+          let o0 = out () and o1 = place st ~stream ~limbs:n.P.limbs in
+          let key_name =
+            match k.P.kind with
+            | P.Ks_relin -> "relin"
+            | P.Ks_rotation r -> Printf.sprintf "rot%d" r
+            | P.Ks_conjugate -> "conj"
+          in
+          (match k.P.algorithm with
+          | P.Seq -> ks_sequential st ~key_name input o0 o1
+          | P.Input_broadcast -> ks_input_broadcast st ~key_name ~batch:k.P.batch input o0 o1
+          | P.Cifher_broadcast -> ks_cifher st ~key_name input o0 o1
+          | P.Output_aggregation -> ks_output_aggregation st ~key_name ~batch:k.P.batch input o0 o1);
+          Hashtbl.add st.values n.P.id o0;
+          Hashtbl.add st.ks_results k.P.input o1
+        end
+        else Hashtbl.add st.values n.P.id (Hashtbl.find st.ks_results k.P.input))
+    p.P.nodes;
+  (L.finish st.b, report)

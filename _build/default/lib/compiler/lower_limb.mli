@@ -1,0 +1,12 @@
+(** Lowering: polynomial IR → per-chip limb IR (paper Fig. 7 steps
+    4–7).  Limbs are distributed round-robin across the stream's chip
+    group; keyswitch macro-ops expand per their assigned algorithm with
+    batched collectives; evalkeys and plaintext operands get stable
+    identities so register allocation models on-chip caching.
+
+    Runs the keyswitch pass as part of lowering and returns its
+    report. *)
+
+open Cinnamon_ir
+
+val lower : Compile_config.t -> Poly_ir.t -> Limb_ir.t * Keyswitch_pass.report

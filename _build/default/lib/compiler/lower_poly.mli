@@ -1,0 +1,8 @@
+(** Lowering: ciphertext IR → polynomial IR (paper Fig. 7 step 2).
+    Each ciphertext becomes a (c0, c1) polynomial pair; mul/rotate
+    expand into pointwise products, automorphisms, keyswitch macro-ops
+    and rescales. *)
+
+open Cinnamon_ir
+
+val lower : Compile_config.t -> Ct_ir.t -> Poly_ir.t

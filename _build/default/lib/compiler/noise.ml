@@ -1,0 +1,114 @@
+(* Static noise analysis of ciphertext-level programs.
+
+   The EVA front end the paper's compiler forks from tracks, per
+   ciphertext value, an estimate of the invariant noise so programs can
+   be validated before running: a program whose noise estimate crosses
+   the decryption threshold at any value is rejected (or needs more
+   levels / earlier bootstrapping).
+
+   We track log2 of the *noise-to-scale* ratio (bits of error in the
+   decoded values), with the standard first-order CKKS growth rules:
+
+     fresh encryption    log2(sigma * sqrt(N) * C) - log2(delta)
+     add/sub             max of operands + ~0.5 bit
+     mul (relin+rescale) operands' message-scaled noises add;
+                         keyswitch noise + rounding enter at ~1/delta
+     mul_plain, rescale  rounding at ~1/delta
+     rotate/conjugate    keyswitch noise at ~1/delta
+     bootstrap           reset to the bootstrapping output noise floor
+
+   The estimates are deliberately conservative upper bounds; tests
+   check them against decrypted errors of real executions. *)
+
+open Cinnamon_ir
+
+type estimate = {
+  noise_bits : float array; (* per ct node: log2(|error| in decoded units) *)
+  worst : float;
+  worst_node : int;
+}
+
+(* Model constants — deliberately conservative multiples of the
+   first-order canonical-norm expressions, sized so the estimates
+   upper-bound measured errors (asserted in test/test_extensions.ml). *)
+let fresh_noise_bits ~n ~sigma ~delta =
+  (* |e|_canonical ~ sigma * sqrt(n) * C over delta *)
+  log (sigma *. sqrt (Float.of_int n) *. 32.0 /. delta) /. log 2.0
+
+let keyswitch_noise_bits ~n ~delta =
+  (* hybrid keyswitch noise after mod-down by P, decoded units *)
+  log (sqrt (Float.of_int n) *. 512.0 /. delta) /. log 2.0
+
+let rounding_noise_bits ~n ~delta = log (sqrt (Float.of_int n) *. 8.0 /. delta) /. log 2.0
+
+(* Bootstrapping floor: dominated by the EvalMod approximation (see
+   EXPERIMENTS.md, ~11-12 bits of precision at the functional
+   profile). *)
+let bootstrap_floor_bits = -11.0
+
+let log2_add a b =
+  (* log2(2^a + 2^b), numerically stable *)
+  let hi = Float.max a b and lo = Float.min a b in
+  hi +. (log (1.0 +. Float.pow 2.0 (lo -. hi)) /. log 2.0)
+
+let analyze ?(n = 1 lsl 16) ?(sigma = 3.2) ?(delta = 2.0 ** 26.0) ?(message_bits = 0.0)
+    (prog : Ct_ir.t) : estimate =
+  let size = Ct_ir.size prog in
+  let bits = Array.make size 0.0 in
+  let fresh = fresh_noise_bits ~n ~sigma ~delta in
+  let ks = keyswitch_noise_bits ~n ~delta in
+  let rnd = rounding_noise_bits ~n ~delta in
+  Array.iter
+    (fun (node : Ct_ir.node) ->
+      let v id = bits.(id) in
+      let est =
+        match node.Ct_ir.op with
+        | Ct_ir.Input _ -> fresh
+        | Ct_ir.Add (a, b) | Ct_ir.Sub (a, b) -> log2_add (v a) (v b)
+        | Ct_ir.Mul (a, b) ->
+          (* e_ab ~ m_a e_b + m_b e_a + e_a e_b, then keyswitch+rescale *)
+          let cross = log2_add (message_bits +. v a) (message_bits +. v b) in
+          log2_add (log2_add cross (v a +. v b)) (log2_add ks rnd)
+        | Ct_ir.Square a ->
+          log2_add (message_bits +. v a +. 1.0) (log2_add ks rnd)
+        | Ct_ir.MulPlain (a, _) | Ct_ir.MulConst (a, _) ->
+          log2_add (v a) rnd
+        | Ct_ir.MulPlainRaw (a, _) -> v a
+        | Ct_ir.Rescale a -> log2_add (v a) rnd
+        | Ct_ir.AddPlain (a, _) | Ct_ir.AddConst (a, _) -> v a
+        | Ct_ir.Rotate (a, _) | Ct_ir.Conjugate a -> log2_add (v a) ks
+        | Ct_ir.Bootstrap _ -> bootstrap_floor_bits
+        | Ct_ir.Output (a, _) -> v a
+      in
+      bits.(node.Ct_ir.id) <- est)
+    prog.Ct_ir.nodes;
+  let worst = ref neg_infinity and worst_node = ref 0 in
+  Array.iter
+    (fun (node : Ct_ir.node) ->
+      match node.Ct_ir.op with
+      | Ct_ir.Output (a, _) ->
+        if bits.(a) > !worst then begin
+          worst := bits.(a);
+          worst_node := a
+        end
+      | _ -> ())
+    prog.Ct_ir.nodes;
+  if !worst = neg_infinity then begin
+    (* no outputs: report over all nodes *)
+    Array.iteri
+      (fun i b ->
+        if b > !worst then begin
+          worst := b;
+          worst_node := i
+        end)
+      bits
+  end;
+  { noise_bits = bits; worst = !worst; worst_node = !worst_node }
+
+(* A program is decryptable when its worst noise stays below the
+   message magnitude; [margin_bits] demands extra headroom. *)
+let validate ?(margin_bits = 4.0) ?(message_bits = 0.0) est =
+  est.worst +. margin_bits <= message_bits
+
+let pp fmt est =
+  Format.fprintf fmt "worst output noise: 2^%.1f (node v%d)" est.worst est.worst_node

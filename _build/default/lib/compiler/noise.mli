@@ -1,0 +1,29 @@
+(** Static noise analysis of ciphertext-level programs (the EVA-style
+    front-end validation): per-value conservative estimates of
+    log₂(error) in decoded units, checked against measured execution
+    errors by the test suite. *)
+
+open Cinnamon_ir
+
+type estimate = {
+  noise_bits : float array;  (** per ct node *)
+  worst : float;  (** worst output noise, log₂ *)
+  worst_node : int;
+}
+
+val fresh_noise_bits : n:int -> sigma:float -> delta:float -> float
+val keyswitch_noise_bits : n:int -> delta:float -> float
+val rounding_noise_bits : n:int -> delta:float -> float
+
+(** Noise of a bootstrap output (the EvalMod approximation floor). *)
+val bootstrap_floor_bits : float
+
+(** Analyze a program. [message_bits] is log₂ of the expected message
+    magnitude (default 0 = unit messages). *)
+val analyze :
+  ?n:int -> ?sigma:float -> ?delta:float -> ?message_bits:float -> Ct_ir.t -> estimate
+
+(** True when the worst noise clears the message by [margin_bits]. *)
+val validate : ?margin_bits:float -> ?message_bits:float -> estimate -> bool
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,46 @@
+(* End-to-end compile driver: ciphertext IR through the full stack.
+
+     Ct_ir --(Lower_poly)--> Poly_ir --(Keyswitch_pass)-->
+     annotated Poly_ir --(Lower_limb)--> Limb_ir
+     --(Regalloc + Lower_isa)--> per-chip Cinnamon ISA
+
+   Each stage's artifacts are kept in the result so tests, benches and
+   the simulator can inspect any level. *)
+
+open Cinnamon_ir
+
+type result = {
+  cfg : Compile_config.t;
+  ct : Ct_ir.t;
+  poly : Poly_ir.t;
+  limb : Limb_ir.t;
+  ks_report : Keyswitch_pass.report;
+  machine : Cinnamon_isa.Isa.machine_program;
+  regalloc : Regalloc.stats array;
+  comm : Limb_ir.comm_stats;
+}
+
+(* Register file capacity in limbs: paper chips hold 56 MB of vector
+   registers; one 64K x 32-bit limb is 256 KB, giving 224 registers. *)
+let registers_of_rf_bytes ~limb_bytes rf_bytes = max 8 (rf_bytes / limb_bytes)
+
+let compile ?(rf_bytes = 56 * 1024 * 1024) (cfg : Compile_config.t) (ct : Ct_ir.t) : result =
+  let poly = Lower_poly.lower cfg ct in
+  let limb, ks_report = Lower_limb.lower cfg poly in
+  let limb_bytes = Compile_config.limb_bytes cfg in
+  let num_regs = registers_of_rf_bytes ~limb_bytes rf_bytes in
+  let machine, regalloc =
+    Lower_isa.translate ~num_regs ~n:(Compile_config.n cfg) ~limb_bytes limb
+  in
+  { cfg; ct; poly; limb; ks_report; machine; regalloc; comm = Limb_ir.comm_stats limb }
+
+(* Summary line used by the CLI and benches. *)
+let summary r =
+  let total_instrs =
+    Array.fold_left (fun a p -> a + Array.length p.Cinnamon_isa.Isa.instrs) 0 r.machine.Cinnamon_isa.Isa.programs
+  in
+  Printf.sprintf
+    "chips=%d ct-nodes=%d poly-nodes=%d isa-instrs=%d keyswitches=%d bcasts=%d aggs=%d comm-bytes=%d"
+    r.cfg.Compile_config.chips (Ct_ir.size r.ct) (Poly_ir.size r.poly) total_instrs
+    (Poly_ir.stats r.poly).Poly_ir.keyswitches r.comm.Limb_ir.broadcasts r.comm.Limb_ir.aggregations
+    r.comm.Limb_ir.bytes_moved

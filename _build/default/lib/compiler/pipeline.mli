@@ -1,0 +1,25 @@
+(** End-to-end compile driver: ciphertext IR → polynomial IR (with the
+    keyswitch pass) → limb IR → register-allocated per-chip ISA.  All
+    intermediate artifacts are kept for inspection. *)
+
+open Cinnamon_ir
+
+type result = {
+  cfg : Compile_config.t;
+  ct : Ct_ir.t;
+  poly : Poly_ir.t;
+  limb : Limb_ir.t;
+  ks_report : Keyswitch_pass.report;
+  machine : Cinnamon_isa.Isa.machine_program;
+  regalloc : Regalloc.stats array;  (** per chip *)
+  comm : Limb_ir.comm_stats;
+}
+
+(** Vector registers that fit a register file of [rf_bytes]. *)
+val registers_of_rf_bytes : limb_bytes:int -> int -> int
+
+(** Compile. [rf_bytes] defaults to the paper chip's 56 MB. *)
+val compile : ?rf_bytes:int -> Compile_config.t -> Ct_ir.t -> result
+
+(** One-line statistics for logs and the CLI. *)
+val summary : result -> string

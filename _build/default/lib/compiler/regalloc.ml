@@ -1,0 +1,179 @@
+(* Register allocation with Belady's MIN (paper §4.4).
+
+   The Cinnamon compiler allocates the vector register file with
+   Belady's optimal replacement: when a register is needed and the file
+   is full, evict the live value whose next use is farthest in the
+   future (spilling it to HBM if it will be used again), and insert
+   loads as early as possible (here: at the point of use; hoisting is a
+   scheduler concern the simulator's memory queue models).
+
+   Input: one chip's limb-IR instruction list.
+   Output: the same stream over physical registers with Vload/Vstore
+   spill traffic made explicit, plus spill statistics. *)
+
+open Cinnamon_ir
+module L = Limb_ir
+
+type stats = { spills : int; reloads : int; peak_live : int }
+
+type assignment = {
+  instrs : L.instr list; (* with Load/Store spill ops inserted, vregs replaced by phys regs *)
+  n_regs : int;
+  stats : stats;
+}
+
+(* next-use table: for each instruction index and vreg, the next index
+   at which the vreg is read (or max_int). *)
+let next_uses instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  (* soonest future use per vreg, maintained while scanning backward *)
+  let future = Hashtbl.create 256 in
+  let per_instr = Array.make (max 1 n) [] in
+  for i = n - 1 downto 0 do
+    let reads =
+      match arr.(i) with
+      | L.Compute c -> c.L.srcs
+      | L.Store v -> [ v ]
+      | L.Collective { sends; _ } -> sends
+      | L.Load _ | L.Sync _ -> []
+    in
+    (* record the future table as it stands AFTER instruction i *)
+    per_instr.(i) <- List.map (fun v -> (v, try Hashtbl.find future v with Not_found -> max_int)) reads;
+    List.iter (fun v -> Hashtbl.replace future v i) reads
+  done;
+  (arr, per_instr, future)
+
+let allocate ~num_regs (cp : L.chip_program) : assignment =
+  let arr, _per_instr, _ = next_uses cp.L.instrs in
+  (* Use positions per vreg with a monotone cursor: queries arrive with
+     nondecreasing instruction indices, so lookup is O(1) amortized. *)
+  let uses : (L.vreg, int array * int ref) Hashtbl.t = Hashtbl.create 1024 in
+  let tmp : (L.vreg, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i instr ->
+      let reads =
+        match instr with
+        | L.Compute c -> c.L.srcs
+        | L.Store v -> [ v ]
+        | L.Collective { sends; _ } -> sends
+        | L.Load _ | L.Sync _ -> []
+      in
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt tmp v with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.add tmp v (ref [ i ]))
+        reads)
+    arr;
+  Hashtbl.iter (fun v l -> Hashtbl.add uses v (Array.of_list (List.rev !l), ref 0)) tmp;
+  let next_use_after v i =
+    match Hashtbl.find_opt uses v with
+    | None -> max_int
+    | Some (positions, cursor) ->
+      let n = Array.length positions in
+      while !cursor < n && positions.(!cursor) <= i do
+        incr cursor
+      done;
+      if !cursor < n then positions.(!cursor) else max_int
+  in
+  (* machine state *)
+  let reg_of : (L.vreg, int) Hashtbl.t = Hashtbl.create 64 in
+  let vreg_in = Array.make num_regs None in
+  (* cached next-use position of each resident register, so Belady's
+     eviction scan is a plain int-array max (no hashing) *)
+  let reg_next_use = Array.make num_regs max_int in
+  let free = ref (List.init num_regs (fun r -> r)) in
+  let spilled : (L.vreg, unit) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let spills = ref 0 and reloads = ref 0 and peak = ref 0 in
+  let live = ref 0 in
+  let emit i = out := i :: !out in
+  let evict_one i ~forbidden =
+    (* Belady: evict the resident vreg with the farthest next use. *)
+    let best = ref (-1) and best_dist = ref (-1) in
+    for r = 0 to num_regs - 1 do
+      if vreg_in.(r) <> None && reg_next_use.(r) > !best_dist && not (List.mem r forbidden) then begin
+        best_dist := reg_next_use.(r);
+        best := r
+      end
+    done;
+    ignore i;
+    if !best < 0 then failwith "Regalloc: register file too small for instruction operands";
+    let r = !best in
+    (match vreg_in.(r) with
+    | Some v ->
+      Hashtbl.remove reg_of v;
+      decr live;
+      if next_use_after v i <> max_int && not (Hashtbl.mem spilled v) then begin
+        Hashtbl.add spilled v ();
+        incr spills;
+        emit (L.Store v)
+      end
+    | None -> ());
+    vreg_in.(r) <- None;
+    reg_next_use.(r) <- max_int;
+    r
+  in
+  let alloc_reg i ~forbidden =
+    match !free with
+    | r :: rest ->
+      free := rest;
+      r
+    | [] -> evict_one i ~forbidden
+  in
+  let ensure_resident i v ~forbidden =
+    match Hashtbl.find_opt reg_of v with
+    | Some r ->
+      reg_next_use.(r) <- next_use_after v i;
+      r
+    | None ->
+      let r = alloc_reg i ~forbidden in
+      vreg_in.(r) <- Some v;
+      Hashtbl.replace reg_of v r;
+      reg_next_use.(r) <- next_use_after v i;
+      incr live;
+      peak := max !peak !live;
+      if Hashtbl.mem spilled v then incr reloads;
+      emit (L.Load v);
+      r
+  in
+  let define i v ~forbidden =
+    let r = alloc_reg i ~forbidden in
+    vreg_in.(r) <- Some v;
+    Hashtbl.replace reg_of v r;
+    reg_next_use.(r) <- next_use_after v i;
+    incr live;
+    peak := max !peak !live;
+    r
+  in
+  Array.iteri
+    (fun i instr ->
+      (match instr with
+      | L.Compute c ->
+        let forbidden = ref [] in
+        List.iter
+          (fun v ->
+            let r = ensure_resident i v ~forbidden:!forbidden in
+            forbidden := r :: !forbidden)
+          c.L.srcs;
+        ignore (define i c.L.dst ~forbidden:!forbidden);
+        emit instr
+      | L.Load v ->
+        ignore (define i v ~forbidden:[]);
+        emit instr
+      | L.Store v ->
+        ignore (ensure_resident i v ~forbidden:[]);
+        emit instr
+      | L.Collective { sends; recvs; _ } ->
+        let forbidden = ref [] in
+        List.iter (fun v -> forbidden := ensure_resident i v ~forbidden:!forbidden :: !forbidden) sends;
+        List.iter (fun v -> ignore (define i v ~forbidden:!forbidden)) recvs;
+        emit instr
+      | L.Sync _ -> emit instr))
+    arr;
+  {
+    instrs = List.rev !out;
+    n_regs = num_regs;
+    stats = { spills = !spills; reloads = !reloads; peak_live = !peak };
+  }

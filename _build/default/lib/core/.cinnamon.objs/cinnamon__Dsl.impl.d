@@ -1,0 +1,1 @@
+lib/core/dsl.ml: Array Cinnamon_ir Cinnamon_util Ct_ir Float Option Printf

@@ -1,0 +1,1 @@
+lib/core/dsl.mli: Cinnamon_ir Ct_ir

@@ -1,0 +1,1 @@
+lib/emulator/check.ml: Array Cinnamon_isa Format Hashtbl List Printf

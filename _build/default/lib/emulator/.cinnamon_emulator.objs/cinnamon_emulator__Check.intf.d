@@ -1,0 +1,1 @@
+lib/emulator/check.mli: Cinnamon_isa Format

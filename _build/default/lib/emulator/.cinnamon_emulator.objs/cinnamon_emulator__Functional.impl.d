@@ -1,0 +1,1 @@
+lib/emulator/functional.ml: Array Cinnamon_ckks Cinnamon_compiler Cinnamon_ir Cinnamon_rns Cinnamon_util Ciphertext Ct_ir Eval Hashtbl Keys Keyswitch_alg List Option Params Poly_ir Rns_poly

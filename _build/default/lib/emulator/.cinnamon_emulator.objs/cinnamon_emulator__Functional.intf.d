@@ -1,0 +1,1 @@
+lib/emulator/functional.mli: Cinnamon_ckks Cinnamon_compiler Cinnamon_ir Cinnamon_util Ciphertext Ct_ir Hashtbl Keys Params Poly_ir

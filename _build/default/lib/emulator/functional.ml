@@ -1,0 +1,202 @@
+(* Functional emulation of compiled programs.
+
+   Executes a ciphertext-level IR program on real encrypted data,
+   routing every keyswitch through the *parallel* algorithm the
+   compiler's keyswitch pass selected — input broadcast, output
+   aggregation, or CiFHER-style broadcast — with explicit per-chip data
+   placement.  Decrypted outputs can then be compared against a plain
+   single-chip evaluation and against the expected plaintext result,
+   which is the end-to-end correctness argument for the compiler (the
+   analogue of the paper's CPU emulator runs, §6.2).
+
+   Runs at the functional (small-N) CKKS parameters. *)
+
+open Cinnamon_ckks
+open Cinnamon_compiler
+open Cinnamon_ir
+module Cplx = Cinnamon_util.Cplx
+
+type keyset = {
+  sk : Keys.secret_key;
+  pk : Keys.public_key;
+  ek : Keys.eval_key;
+  (* round-robin-digit switch keys for output aggregation *)
+  rr_relin : Keys.switch_key;
+  rr_rotations : (int, Keys.switch_key) Hashtbl.t;
+  rr_conjugate : Keys.switch_key;
+  chips : int;
+}
+
+(* Generate all key material a program needs, including the
+   round-robin-digit keys of output-aggregation keyswitching. *)
+let gen_keys params ~chips ~rotations rng =
+  let sk = Keys.gen_secret_key params rng in
+  let pk = Keys.gen_public_key params sk rng in
+  let rotations = Keys.canonicalize_rotations ~n:params.Params.n rotations in
+  let ek = Keys.gen_eval_key params sk ~rotations ~conjugation:true rng in
+  let qp = Params.qp_basis params in
+  let s = Keys.sk_over sk qp in
+  let rr key_from = Keyswitch_alg.gen_round_robin_key params sk ~s_from:key_from ~chips rng in
+  let rr_relin = rr (Cinnamon_rns.Rns_poly.mul s s) in
+  let rr_rotations = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let k = Keys.galois_of_rotation ~n:params.Params.n r in
+      Hashtbl.add rr_rotations r (rr (Cinnamon_rns.Rns_poly.automorphism s ~k)))
+    rotations;
+  let rr_conjugate =
+    rr (Cinnamon_rns.Rns_poly.automorphism s ~k:(Keys.galois_conjugate ~n:params.Params.n))
+  in
+  { sk; pk; ek; rr_relin; rr_rotations; rr_conjugate; chips }
+
+(* Rotation amounts appearing in a program. *)
+let rotations_of (ct : Ct_ir.t) =
+  Array.to_list ct.Ct_ir.nodes
+  |> List.filter_map (fun n -> match n.Ct_ir.op with Ct_ir.Rotate (_, r) -> Some r | _ -> None)
+  |> List.sort_uniq compare
+
+(* Keyswitch through the algorithm chosen by the pass for this ct node. *)
+let parallel_keyswitch params keys ~algorithm ~kind c cnt =
+  let std, rr =
+    match kind with
+    | Poly_ir.Ks_relin -> (keys.ek.Keys.relin, keys.rr_relin)
+    | Poly_ir.Ks_rotation r ->
+      let r = Keys.canonical_rotation ~n:params.Params.n r in
+      (Keys.find_rotation_key keys.ek r, Hashtbl.find keys.rr_rotations r)
+    | Poly_ir.Ks_conjugate -> (Option.get keys.ek.Keys.conjugation, keys.rr_conjugate)
+  in
+  let key =
+    match algorithm with
+    | Poly_ir.Output_aggregation -> Keyswitch_alg.Round_robin rr
+    | _ -> Keyswitch_alg.Standard std
+  in
+  Keyswitch_alg.run params ~algorithm ~chips:keys.chips ~key c cnt
+
+type env = {
+  params : Params.t;
+  keys : keyset;
+  plaintexts : (string, Cplx.t array) Hashtbl.t;
+  inputs : (string, Ciphertext.t) Hashtbl.t;
+  (* algorithm annotation per ct node, from the compiled poly IR *)
+  algorithms : (Ct_ir.ct_id, Poly_ir.ks_algorithm) Hashtbl.t;
+  comm : Keyswitch_alg.comm_counter;
+}
+
+(* Collect per-ct-node keyswitch algorithm assignments. *)
+let algorithms_of_poly (p : Poly_ir.t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (n : Poly_ir.node) ->
+      match n.Poly_ir.op with
+      | Poly_ir.PKeyswitch k -> Hashtbl.replace tbl n.Poly_ir.ct k.Poly_ir.algorithm
+      | _ -> ())
+    p.Poly_ir.nodes;
+  tbl
+
+let make_env ~params ~keys ~plaintexts ~inputs ~poly =
+  {
+    params;
+    keys;
+    plaintexts;
+    inputs;
+    algorithms = algorithms_of_poly poly;
+    comm = Keyswitch_alg.new_counter ();
+  }
+
+let plaintext env name slots =
+  match Hashtbl.find_opt env.plaintexts name with
+  | Some z -> z
+  | None -> Array.make slots (Cplx.make 1.0 0.0) (* structural runs: default operand *)
+
+(* Execute a ct-IR program; returns the named outputs. *)
+let rec run env (prog : Ct_ir.t) : (string * Ciphertext.t) list =
+  let ctx = Eval.context env.params env.keys.ek in
+  let values : (int, Ciphertext.t) Hashtbl.t = Hashtbl.create 128 in
+  let v id = Hashtbl.find values id in
+  let outputs = ref [] in
+  let algorithm_for node_id =
+    match Hashtbl.find_opt env.algorithms node_id with
+    | Some a -> a
+    | None -> Poly_ir.Seq
+  in
+  Array.iter
+    (fun (n : Ct_ir.node) ->
+      let set c = Hashtbl.replace values n.Ct_ir.id c in
+      match n.Ct_ir.op with
+      | Ct_ir.Input name -> set (Hashtbl.find env.inputs name)
+      | Ct_ir.Add (a, b) -> set (Eval.add (v a) (v b))
+      | Ct_ir.Sub (a, b) -> set (Eval.sub (v a) (v b))
+      | Ct_ir.Mul (a, b) ->
+        set (emulate_mul env ctx ~algorithm:(algorithm_for n.Ct_ir.id) (v a) (v b))
+      | Ct_ir.Square a ->
+        set (emulate_mul env ctx ~algorithm:(algorithm_for n.Ct_ir.id) (v a) (v a))
+      | Ct_ir.MulPlain (a, name) ->
+        set (Eval.mul_plain ctx (v a) (plaintext env name (Ciphertext.slots (v a))))
+      | Ct_ir.MulPlainRaw (a, name) ->
+        set (Eval.mul_plain_raw ctx (v a) (plaintext env name (Ciphertext.slots (v a))))
+      | Ct_ir.Rescale a -> set (Eval.rescale (v a))
+      | Ct_ir.AddPlain (a, name) ->
+        set (Eval.add_plain ctx (v a) (plaintext env name (Ciphertext.slots (v a))))
+      | Ct_ir.MulConst (a, c) -> set (Eval.mul_const ctx (v a) c)
+      | Ct_ir.AddConst (a, c) -> set (Eval.add_const ctx (v a) c)
+      | Ct_ir.Rotate (a, r) ->
+        set (emulate_rotate env ctx ~algorithm:(algorithm_for n.Ct_ir.id) (v a) r)
+      | Ct_ir.Conjugate a ->
+        set (emulate_conjugate env ctx ~algorithm:(algorithm_for n.Ct_ir.id) (v a))
+      | Ct_ir.Bootstrap _ ->
+        invalid_arg "Functional.run: bootstrap nodes are emulated at kernel granularity"
+      | Ct_ir.Output (a, name) ->
+        outputs := (name, v a) :: !outputs;
+        set (v a))
+    prog.Ct_ir.nodes;
+  List.rev !outputs
+
+(* Multiplication with the parallel keyswitch on the d2 term. *)
+and emulate_mul env ctx ~algorithm a b =
+  let open Cinnamon_rns in
+  let a, b = Eval.align_levels a b in
+  let d0 = Rns_poly.mul a.Ciphertext.c0 b.Ciphertext.c0 in
+  let d1 =
+    Rns_poly.add (Rns_poly.mul a.Ciphertext.c0 b.Ciphertext.c1)
+      (Rns_poly.mul a.Ciphertext.c1 b.Ciphertext.c0)
+  in
+  let d2 = Rns_poly.mul a.Ciphertext.c1 b.Ciphertext.c1 in
+  let k0, k1 =
+    parallel_keyswitch env.params env.keys ~algorithm ~kind:Poly_ir.Ks_relin d2 env.comm
+  in
+  let raw =
+    Ciphertext.make ~c0:(Rns_poly.add d0 k0) ~c1:(Rns_poly.add d1 k1)
+      ~scale:(Ciphertext.scale a *. Ciphertext.scale b)
+      ~slots:(Ciphertext.slots a)
+  in
+  ignore ctx;
+  Eval.rescale raw
+
+and emulate_rotate env ctx ~algorithm a r =
+  if r = 0 then a
+  else begin
+    let open Cinnamon_rns in
+    let n = env.params.Params.n in
+    let k = Keys.galois_of_rotation ~n r in
+    let c0r = Rns_poly.automorphism a.Ciphertext.c0 ~k in
+    let c1r = Rns_poly.automorphism a.Ciphertext.c1 ~k in
+    let k0, k1 =
+      parallel_keyswitch env.params env.keys ~algorithm ~kind:(Poly_ir.Ks_rotation r) c1r env.comm
+    in
+    ignore ctx;
+    Ciphertext.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:(Ciphertext.scale a)
+      ~slots:(Ciphertext.slots a)
+  end
+
+and emulate_conjugate env ctx ~algorithm a =
+  let open Cinnamon_rns in
+  let n = env.params.Params.n in
+  let k = Keys.galois_conjugate ~n in
+  let c0r = Rns_poly.automorphism a.Ciphertext.c0 ~k in
+  let c1r = Rns_poly.automorphism a.Ciphertext.c1 ~k in
+  let k0, k1 =
+    parallel_keyswitch env.params env.keys ~algorithm ~kind:Poly_ir.Ks_conjugate c1r env.comm
+  in
+  ignore ctx;
+  Ciphertext.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:(Ciphertext.scale a)
+    ~slots:(Ciphertext.slots a)

@@ -1,0 +1,1 @@
+lib/ir/ct_ir.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/ct_ir.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/limb_ir.ml: Array Hashtbl List

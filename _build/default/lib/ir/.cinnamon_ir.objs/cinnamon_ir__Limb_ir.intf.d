@@ -1,0 +1,1 @@
+lib/ir/limb_ir.mli:

@@ -1,0 +1,1 @@
+lib/ir/poly_ir.ml: Array Ct_ir Format List

@@ -1,0 +1,1 @@
+lib/ir/poly_ir.mli: Ct_ir Format

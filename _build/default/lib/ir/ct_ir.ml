@@ -1,0 +1,177 @@
+(* Ciphertext-level IR: the program representation produced by the
+   Cinnamon DSL (paper Fig. 7, step 2's input).
+
+   A program is an SSA DAG of ciphertext values.  Each node carries the
+   stream it belongs to — the unit of program-level parallelism the
+   programmer expressed with concurrent execution streams — plus the
+   level (remaining multiplicative budget) the compiler tracks to place
+   bootstraps and size keyswitches. *)
+
+type ct_id = int
+
+type op =
+  | Input of string
+  | Add of ct_id * ct_id
+  | Sub of ct_id * ct_id
+  | Mul of ct_id * ct_id (* ct x ct: relinearization keyswitch + rescale *)
+  | Square of ct_id
+  | MulPlain of ct_id * string (* named plaintext operand; consumes a level *)
+  | MulPlainRaw of ct_id * string
+      (* plaintext product without the rescale: lazy rescaling sums
+         raw products at scale delta^2 and rescales once (EVA-style) *)
+  | Rescale of ct_id (* explicit rescale, pairs with MulPlainRaw *)
+  | AddPlain of ct_id * string
+  | MulConst of ct_id * float
+  | AddConst of ct_id * float
+  | Rotate of ct_id * int (* automorphism + rotation keyswitch *)
+  | Conjugate of ct_id
+  | Bootstrap of ct_id
+  | Output of ct_id * string
+
+type node = {
+  id : ct_id;
+  op : op;
+  stream : int;
+  level : int; (* level of the produced ciphertext *)
+}
+
+type t = {
+  nodes : node array;
+  num_streams : int;
+  top_level : int;
+  boot_level : int; (* level restored by a bootstrap *)
+}
+
+(* --- builder ----------------------------------------------------------- *)
+
+type builder = {
+  mutable rev_nodes : node list;
+  mutable next : int;
+  mutable streams : int;
+  b_top_level : int;
+  b_boot_level : int;
+  mutable current_stream : int;
+  levels : (int, int) Hashtbl.t;
+}
+
+let builder ?(top_level = 51) ?(boot_level = 13) () =
+  { rev_nodes = []; next = 0; streams = 1; b_top_level = top_level; b_boot_level = boot_level;
+    current_stream = 0; levels = Hashtbl.create 256 }
+
+let set_stream b s =
+  b.current_stream <- s;
+  if s + 1 > b.streams then b.streams <- s + 1
+
+let node_level b id =
+  match Hashtbl.find_opt b.levels id with
+  | Some l -> l
+  | None -> invalid_arg "Ct_ir.node_level: unknown id"
+
+let emit b op =
+  let level =
+    match op with
+    | Input _ -> b.b_top_level
+    | Add (a, c) | Sub (a, c) -> min (node_level b a) (node_level b c)
+    | Mul (a, c) -> min (node_level b a) (node_level b c) - 1
+    | Square a -> node_level b a - 1
+    | MulPlain (a, _) | MulConst (a, _) -> node_level b a - 1
+    | MulPlainRaw (a, _) -> node_level b a
+    | Rescale a -> node_level b a - 1
+    | AddPlain (a, _) | AddConst (a, _) -> node_level b a
+    | Rotate (a, _) | Conjugate a -> node_level b a
+    | Bootstrap _ -> b.b_boot_level
+    | Output (a, _) -> node_level b a
+  in
+  if level < 0 then
+    invalid_arg "Ct_ir.emit: multiplicative budget exhausted (insert a bootstrap)";
+  let id = b.next in
+  b.next <- id + 1;
+  b.rev_nodes <- { id; op; stream = b.current_stream; level } :: b.rev_nodes;
+  Hashtbl.replace b.levels id level;
+  id
+
+let finish b =
+  {
+    nodes = Array.of_list (List.rev b.rev_nodes);
+    num_streams = b.streams;
+    top_level = b.b_top_level;
+    boot_level = b.b_boot_level;
+  }
+
+(* --- queries ------------------------------------------------------------ *)
+
+let node t id = t.nodes.(id)
+let size t = Array.length t.nodes
+
+let operands op =
+  match op with
+  | Input _ -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> [ a; b ]
+  | Square a
+  | MulPlain (a, _)
+  | MulPlainRaw (a, _)
+  | Rescale a
+  | AddPlain (a, _)
+  | MulConst (a, _)
+  | AddConst (a, _)
+  | Rotate (a, _)
+  | Conjugate a
+  | Bootstrap a
+  | Output (a, _) -> [ a ]
+
+(* Count of each op category — workload characterization. *)
+type op_counts = {
+  mutable n_add : int;
+  mutable n_mul_ct : int;
+  mutable n_mul_plain : int;
+  mutable n_rotate : int;
+  mutable n_conjugate : int;
+  mutable n_bootstrap : int;
+}
+
+let count_ops t =
+  let c =
+    { n_add = 0; n_mul_ct = 0; n_mul_plain = 0; n_rotate = 0; n_conjugate = 0; n_bootstrap = 0 }
+  in
+  Array.iter
+    (fun n ->
+      match n.op with
+      | Add _ | Sub _ | AddPlain _ | AddConst _ -> c.n_add <- c.n_add + 1
+      | Mul _ | Square _ -> c.n_mul_ct <- c.n_mul_ct + 1
+      | MulPlain _ | MulPlainRaw _ | MulConst _ -> c.n_mul_plain <- c.n_mul_plain + 1
+      | Rescale _ -> ()
+      | Rotate _ -> c.n_rotate <- c.n_rotate + 1
+      | Conjugate _ -> c.n_conjugate <- c.n_conjugate + 1
+      | Bootstrap _ -> c.n_bootstrap <- c.n_bootstrap + 1
+      | Input _ | Output _ -> ())
+    t.nodes;
+  c
+
+(* Number of keyswitch operations the program implies (mul, rotate,
+   conjugate each contain exactly one). *)
+let keyswitch_count t =
+  let c = count_ops t in
+  c.n_mul_ct + c.n_rotate + c.n_conjugate
+
+let pp_op fmt op =
+  match op with
+  | Input s -> Format.fprintf fmt "input %s" s
+  | Add (a, b) -> Format.fprintf fmt "add v%d v%d" a b
+  | Sub (a, b) -> Format.fprintf fmt "sub v%d v%d" a b
+  | Mul (a, b) -> Format.fprintf fmt "mul v%d v%d" a b
+  | Square a -> Format.fprintf fmt "square v%d" a
+  | MulPlain (a, p) -> Format.fprintf fmt "mulp v%d %s" a p
+  | MulPlainRaw (a, p) -> Format.fprintf fmt "mulp.raw v%d %s" a p
+  | Rescale a -> Format.fprintf fmt "rescale v%d" a
+  | AddPlain (a, p) -> Format.fprintf fmt "addp v%d %s" a p
+  | MulConst (a, c) -> Format.fprintf fmt "mulc v%d %g" a c
+  | AddConst (a, c) -> Format.fprintf fmt "addc v%d %g" a c
+  | Rotate (a, r) -> Format.fprintf fmt "rot v%d by %d" a r
+  | Conjugate a -> Format.fprintf fmt "conj v%d" a
+  | Bootstrap a -> Format.fprintf fmt "bootstrap v%d" a
+  | Output (a, s) -> Format.fprintf fmt "output v%d as %s" a s
+
+let pp fmt t =
+  Array.iter
+    (fun n -> Format.fprintf fmt "v%d [s%d l%d] = %a@." n.id n.stream n.level pp_op n.op)
+    t.nodes

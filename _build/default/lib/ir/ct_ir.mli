@@ -1,0 +1,73 @@
+(** Ciphertext-level IR — the SSA DAG the Cinnamon DSL builds (paper
+    Fig. 7).  Nodes carry a stream annotation (program-level
+    parallelism) and the level (multiplicative budget) the compiler
+    tracks. *)
+
+type ct_id = int
+
+type op =
+  | Input of string
+  | Add of ct_id * ct_id
+  | Sub of ct_id * ct_id
+  | Mul of ct_id * ct_id  (** relinearization keyswitch + rescale *)
+  | Square of ct_id
+  | MulPlain of ct_id * string  (** named plaintext; consumes a level *)
+  | MulPlainRaw of ct_id * string
+      (** plaintext product without rescale (lazy rescaling) *)
+  | Rescale of ct_id
+  | AddPlain of ct_id * string
+  | MulConst of ct_id * float
+  | AddConst of ct_id * float
+  | Rotate of ct_id * int  (** automorphism + rotation keyswitch *)
+  | Conjugate of ct_id
+  | Bootstrap of ct_id
+  | Output of ct_id * string
+
+type node = { id : ct_id; op : op; stream : int; level : int }
+
+type t = {
+  nodes : node array;
+  num_streams : int;
+  top_level : int;
+  boot_level : int;
+}
+
+type builder
+
+(** Fresh builder; [top_level] is the fresh-ciphertext budget and
+    [boot_level] what a bootstrap restores. *)
+val builder : ?top_level:int -> ?boot_level:int -> unit -> builder
+
+(** Set the stream for subsequently emitted nodes (0 = default). *)
+val set_stream : builder -> int -> unit
+
+(** Level of an already-emitted node. *)
+val node_level : builder -> ct_id -> int
+
+(** Append a node, computing its level; raises when the multiplicative
+    budget would go negative. *)
+val emit : builder -> op -> ct_id
+
+val finish : builder -> t
+val node : t -> ct_id -> node
+val size : t -> int
+
+(** Operand ids of an op. *)
+val operands : op -> ct_id list
+
+type op_counts = {
+  mutable n_add : int;
+  mutable n_mul_ct : int;
+  mutable n_mul_plain : int;
+  mutable n_rotate : int;
+  mutable n_conjugate : int;
+  mutable n_bootstrap : int;
+}
+
+val count_ops : t -> op_counts
+
+(** Implied keyswitch count (mul + rotate + conjugate). *)
+val keyswitch_count : t -> int
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

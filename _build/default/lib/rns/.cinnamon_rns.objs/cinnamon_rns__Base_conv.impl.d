@@ -1,0 +1,1 @@
+lib/rns/base_conv.ml: Array Basis Cinnamon_util Hashtbl Modarith Rns_poly

@@ -1,0 +1,1 @@
+lib/rns/base_conv.mli: Basis Rns_poly

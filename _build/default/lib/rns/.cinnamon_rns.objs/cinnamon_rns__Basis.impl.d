@@ -1,0 +1,1 @@
+lib/rns/basis.ml: Array Cinnamon_util Format Hashtbl List Modarith String

@@ -1,0 +1,1 @@
+lib/rns/basis.mli: Cinnamon_util Format Modarith

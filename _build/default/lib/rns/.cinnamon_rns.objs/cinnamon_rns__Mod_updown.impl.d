@@ -1,0 +1,1 @@
+lib/rns/mod_updown.ml: Array Base_conv Basis Cinnamon_util Modarith Rns_poly

@@ -1,0 +1,1 @@
+lib/rns/mod_updown.mli: Basis Rns_poly

@@ -1,0 +1,1 @@
+lib/rns/ntt.ml: Array Cinnamon_util Hashtbl Modarith Prime_gen

@@ -1,0 +1,1 @@
+lib/rns/prime_gen.mli:

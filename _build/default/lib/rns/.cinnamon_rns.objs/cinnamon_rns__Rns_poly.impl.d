@@ -1,0 +1,1 @@
+lib/rns/rns_poly.ml: Array Basis Cinnamon_util Modarith Ntt

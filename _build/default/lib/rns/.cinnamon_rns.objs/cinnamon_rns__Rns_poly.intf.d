@@ -1,0 +1,1 @@
+lib/rns/rns_poly.mli: Basis Cinnamon_util

@@ -1,0 +1,113 @@
+(* Fast (approximate) RNS base conversion — paper §2.
+
+   Given x in coefficient representation over basis Q = {q_0..q_{l-1}},
+   the converted limb over p_k is
+
+     y_{p_k} = sum_j ( [x_{q_j} * (Q/q_j)^{-1}]_{q_j} * (Q/q_j) ) mod p_k
+
+   which equals x + e*Q for a small non-negative integer e < l (the
+   standard "approximate" base conversion of Bajard et al. / HPS; the
+   slack is absorbed by mod-down scaling and CKKS noise).  This is the
+   operation the paper's base conversion unit (BCU) implements: limbs
+   are NOT data parallel here — every input limb contributes to every
+   output limb, which is exactly the cross-limb dependency that makes
+   keyswitching hard to parallelize.
+
+   Tables are cached per (Q, P) pair of prime-value lists. *)
+
+type table = {
+  src : Basis.t;
+  dst : Basis.t;
+  qhat_inv : int array; (* (Q/q_j)^-1 mod q_j *)
+  qhat_mod_p : int array array; (* [k].[j] = Q/q_j mod p_k *)
+  q_mod_p : int array; (* Q mod p_k, for exact-reduction variants *)
+}
+
+let tables : (int list * int list, table) Hashtbl.t = Hashtbl.create 32
+
+let make_table ~src ~dst =
+  let module B = Cinnamon_util.Bigint in
+  let q_prod = Basis.product src in
+  let l = Basis.size src in
+  let qhat j =
+    let q_over, rem = B.divmod_small q_prod (Basis.value src j) in
+    assert (rem = 0);
+    q_over
+  in
+  let qhat_inv =
+    Array.init l (fun j ->
+        let md = Basis.modulus src j in
+        Modarith.inv md (B.rem_small (qhat j) (Basis.value src j)))
+  in
+  let qhat_mod_p =
+    Array.init (Basis.size dst) (fun k ->
+        let pk = Basis.value dst k in
+        Array.init l (fun j -> B.rem_small (qhat j) pk))
+  in
+  let q_mod_p = Array.init (Basis.size dst) (fun k -> B.rem_small q_prod (Basis.value dst k)) in
+  { src; dst; qhat_inv; qhat_mod_p; q_mod_p }
+
+let table ~src ~dst =
+  let key = (Basis.to_list src, Basis.to_list dst) in
+  match Hashtbl.find_opt tables key with
+  | Some t -> t
+  | None ->
+    let t = make_table ~src ~dst in
+    Hashtbl.add tables key t;
+    t
+
+(* Convert x (Coeff domain, over [src]) to basis [dst] (Coeff domain).
+   Output = x + e*Q with 0 <= e < size(src). *)
+let convert x ~dst =
+  if Rns_poly.domain x <> Rns_poly.Coeff then
+    invalid_arg "Base_conv.convert: input must be in coefficient domain";
+  let src = Rns_poly.basis x in
+  let tbl = table ~src ~dst in
+  let n = Rns_poly.n x in
+  let l = Basis.size src in
+  (* Stage 1 (paper's BCU stage 1): scale each input limb by qhat_inv. *)
+  let scaled =
+    Array.init l (fun j ->
+        let md = Basis.modulus src j in
+        let s = tbl.qhat_inv.(j) in
+        Array.map (fun v -> Modarith.mul md v s) (Rns_poly.limb x j))
+  in
+  (* Stage 2: multiply-accumulate into each output limb.  Source
+     residues can exceed the destination modulus (e.g. 30-bit special
+     primes feeding 26-bit scale primes), which would violate the
+     Barrett precondition x < q² in mul_add — reduce them first. *)
+  let out = Rns_poly.create ~n ~basis:dst ~domain:Rns_poly.Coeff in
+  for k = 0 to Basis.size dst - 1 do
+    let md = Basis.modulus dst k in
+    let qk = Basis.value dst k in
+    let olimb = Rns_poly.limb out k in
+    let factors = tbl.qhat_mod_p.(k) in
+    for j = 0 to l - 1 do
+      let f = factors.(j) in
+      let slimb = scaled.(j) in
+      let needs_reduce = Basis.value src j >= qk in
+      for i = 0 to n - 1 do
+        let v = if needs_reduce then slimb.(i) mod qk else slimb.(i) in
+        olimb.(i) <- Modarith.mul_add md v f olimb.(i)
+      done
+    done
+  done;
+  out
+
+(* Exact conversion via CRT bignum reconstruction — quadratic-ish test
+   oracle, also exposes the approximation slack e for property tests. *)
+let convert_exact x ~dst =
+  let module B = Cinnamon_util.Bigint in
+  let xc = Rns_poly.to_coeff x in
+  let n = Rns_poly.n x in
+  let out = Rns_poly.create ~n ~basis:dst ~domain:Rns_poly.Coeff in
+  for i = 0 to n - 1 do
+    let v, negp = Rns_poly.coeff_centered xc i in
+    for k = 0 to Basis.size dst - 1 do
+      let pk = Basis.value dst k in
+      let md = Basis.modulus dst k in
+      let r = B.rem_small v pk in
+      (Rns_poly.limb out k).(i) <- (if negp then Modarith.neg md r else r)
+    done
+  done;
+  out

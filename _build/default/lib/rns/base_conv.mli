@@ -1,0 +1,16 @@
+(** Fast (approximate) RNS base conversion — paper §2.
+
+    The one polynomial operation that is {e not} data parallel across
+    limbs: every input limb contributes to every output limb. This is
+    the cross-limb dependency that makes keyswitching hard to
+    parallelize and that the paper's BCU accelerates. *)
+
+(** [convert x ~dst] base-converts [x] (which must be in coefficient
+    domain) to basis [dst]. The result represents [x + e·Q] for some
+    integer [0 <= e < level x] (standard approximate conversion; the
+    slack is absorbed by mod-down scaling and CKKS noise). *)
+val convert : Rns_poly.t -> dst:Basis.t -> Rns_poly.t
+
+(** Exact conversion of the centered representative via bignum CRT —
+    test oracle. *)
+val convert_exact : Rns_poly.t -> dst:Basis.t -> Rns_poly.t

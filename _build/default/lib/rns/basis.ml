@@ -1,0 +1,86 @@
+(* RNS bases.
+
+   A basis is an ordered set of distinct NTT-friendly primes.  The
+   ciphertext modulus is their product.  Digits (Section 2 of the
+   paper) are disjoint partitions of a basis used by keyswitching. *)
+
+type t = {
+  moduli : Modarith.modulus array;
+  values : int array; (* raw prime values, same order *)
+}
+
+let of_primes primes =
+  let values = Array.of_list primes in
+  let n = Array.length values in
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun q ->
+      if Hashtbl.mem seen q then invalid_arg "Basis.of_primes: duplicate modulus";
+      Hashtbl.add seen q ())
+    values;
+  { moduli = Array.map Modarith.modulus values; values }
+
+let size t = Array.length t.values
+let values t = Array.copy t.values
+let value t i = t.values.(i)
+let modulus t i = t.moduli.(i)
+let to_list t = Array.to_list t.values
+
+let mem t q = Array.exists (fun v -> v = q) t.values
+
+let index t q =
+  let rec go i =
+    if i >= Array.length t.values then raise Not_found
+    else if t.values.(i) = q then i
+    else go (i + 1)
+  in
+  go 0
+
+(* First [k] moduli — the standard "drop to level k" view. *)
+let prefix t k =
+  if k < 0 || k > size t then invalid_arg "Basis.prefix";
+  { moduli = Array.sub t.moduli 0 k; values = Array.sub t.values 0 k }
+
+let sub t indices =
+  {
+    moduli = Array.map (fun i -> t.moduli.(i)) indices;
+    values = Array.map (fun i -> t.values.(i)) indices;
+  }
+
+let union a b =
+  Array.iter (fun q -> if mem a q then invalid_arg "Basis.union: overlapping bases") b.values;
+  { moduli = Array.append a.moduli b.moduli; values = Array.append a.values b.values }
+
+let equal a b = a.values = b.values
+
+(* Product of all moduli as a bignum (cold path: bookkeeping/tests). *)
+let product t =
+  Array.fold_left (fun acc q -> Cinnamon_util.Bigint.mul_small acc q) Cinnamon_util.Bigint.one t.values
+
+let prefix_range t lo hi =
+  { moduli = Array.sub t.moduli lo (hi - lo); values = Array.sub t.values lo (hi - lo) }
+
+(* Split into [d] digits of contiguous moduli, as evenly as possible;
+   digit i gets indices [i*ceil(l/d), ...).  Matches the contiguous
+   digit example in Section 2 of the paper. *)
+let digits t ~d =
+  let l = size t in
+  if d <= 0 || d > l then invalid_arg "Basis.digits";
+  let per = Cinnamon_util.Bitops.cdiv l d in
+  List.init d (fun i ->
+      let lo = i * per in
+      let hi = min l (lo + per) in
+      prefix_range t lo hi)
+
+(* Modular (round-robin) partition across [n] chips: chip c gets the
+   moduli at indices ≡ c (mod n).  Section 4.3.1 of the paper. *)
+let modular_partition t ~chips =
+  List.init chips (fun c ->
+      let idx = ref [] in
+      for i = size t - 1 downto 0 do
+        if i mod chips = c then idx := i :: !idx
+      done;
+      sub t (Array.of_list !idx))
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

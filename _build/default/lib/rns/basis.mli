@@ -1,0 +1,51 @@
+(** Ordered RNS bases (sets of distinct NTT-friendly primes).
+
+    The ciphertext modulus is the product of the basis; digits are
+    disjoint partitions of a basis used by keyswitching (paper §2). *)
+
+type t
+
+(** Build a basis from distinct primes. Order is preserved. *)
+val of_primes : int list -> t
+
+(** Number of moduli (the "level" when used as a ciphertext basis). *)
+val size : t -> int
+
+(** Raw prime values, in order (fresh array). *)
+val values : t -> int array
+
+val value : t -> int -> int
+val modulus : t -> int -> Modarith.modulus
+val to_list : t -> int list
+val mem : t -> int -> bool
+
+(** Index of a prime in the basis; raises [Not_found]. *)
+val index : t -> int -> int
+
+(** First [k] moduli — the "drop to level k" view. *)
+val prefix : t -> int -> t
+
+(** Moduli at indices [lo, hi). *)
+val prefix_range : t -> int -> int -> t
+
+(** Sub-basis by index array. *)
+val sub : t -> int array -> t
+
+(** Concatenation of disjoint bases; raises on overlap. *)
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** Product of all moduli (bignum; cold path only). *)
+val product : t -> Cinnamon_util.Bigint.t
+
+(** [digits t ~d] splits into [d] contiguous digits, as evenly as
+    possible. *)
+val digits : t -> d:int -> t list
+
+(** Round-robin partition across [chips] chips: chip [c] receives the
+    moduli at indices ≡ c (mod chips) — the paper's limb partitioning
+    policy (§4.3.1). *)
+val modular_partition : t -> chips:int -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(* Mod up and mod down — Figure 3 of the paper.
+
+   modUp   : X over S       -> X over S ∪ T   (base-convert the new limbs)
+   modDown : X over S ∪ E   -> round(X / E) over S
+
+   modDown implements the rescale-by-the-extension-product used at the
+   end of keyswitching: subtract the base conversion of the E part,
+   then multiply by (prod E)^-1 mod each q in S. *)
+
+(* [mod_up x ~ext] : x over basis S (Coeff domain), returns x over
+   S ∪ ext.  The S limbs are carried over verbatim; the ext limbs come
+   from fast base conversion (so the value is x + e·S_prod, absorbed
+   downstream). *)
+let mod_up x ~ext =
+  let xc = Rns_poly.to_coeff x in
+  let converted = Base_conv.convert xc ~dst:ext in
+  Rns_poly.concat xc converted
+
+(* [mod_down x ~target ~ext] : x over target ∪ ext (limbs of [target]
+   first), returns round(x / prod(ext)) over [target].  Accepts Eval or
+   Coeff input and returns the same domain. *)
+let mod_down x ~target ~ext =
+  let input_domain = Rns_poly.domain x in
+  let xc = Rns_poly.to_coeff x in
+  let x_target = Rns_poly.restrict xc target in
+  let x_ext = Rns_poly.restrict xc ext in
+  (* Convert the E part down into the target basis... *)
+  let e_in_target = Base_conv.convert x_ext ~dst:target in
+  (* ...subtract, then scale by P^-1 per limb. *)
+  let diff = Rns_poly.sub x_target e_in_target in
+  let module B = Cinnamon_util.Bigint in
+  let p_prod = Basis.product ext in
+  let p_inv =
+    Array.init (Basis.size target) (fun i ->
+        let md = Basis.modulus target i in
+        Modarith.inv md (B.rem_small p_prod (Basis.value target i)))
+  in
+  let out = Rns_poly.scalar_mul_per_limb diff p_inv in
+  if input_domain = Rns_poly.Eval then Rns_poly.to_eval out else out

@@ -1,0 +1,43 @@
+(** Word-sized modular arithmetic with Barrett reduction.
+
+    All RNS moduli are at most 30 bits (the paper uses a 28-bit
+    datapath), so residue products fit in OCaml's native 63-bit int and
+    no big-integer arithmetic is ever needed on the hot path. *)
+
+type modulus
+
+(** Largest supported modulus width in bits. *)
+val max_modulus_bits : int
+
+(** Precompute Barrett constants for a modulus [3 <= q < 2{^30}].
+    Moduli are assumed prime by [inv]. *)
+val modulus : int -> modulus
+
+(** The underlying modulus value. *)
+val q : modulus -> int
+
+(** Barrett-reduce a value in [0, q²). *)
+val reduce : modulus -> int -> int
+
+val add : modulus -> int -> int -> int
+val sub : modulus -> int -> int -> int
+val neg : modulus -> int -> int
+val mul : modulus -> int -> int -> int
+
+(** [mul_add m a b c = a*b + c mod q]. *)
+val mul_add : modulus -> int -> int -> int -> int
+
+(** Modular exponentiation; [e >= 0]. *)
+val pow : modulus -> int -> int -> int
+
+(** Modular inverse via Fermat's little theorem (prime moduli only).
+    Raises on zero. *)
+val inv : modulus -> int -> int
+
+(** Canonical residue of a possibly negative int. *)
+val of_int : modulus -> int -> int
+
+(** Centered representative in (-q/2, q/2]. *)
+val to_centered : modulus -> int -> int
+
+val pp : Format.formatter -> modulus -> unit

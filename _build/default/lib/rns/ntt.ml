@@ -1,0 +1,123 @@
+(* Negacyclic Number Theoretic Transform over Z_q[X]/(X^N + 1).
+
+   We use the standard fused-psi formulation: with psi a primitive
+   2N-th root of unity mod q, the forward transform is a Cooley–Tukey
+   decimation-in-time FFT whose twiddles are powers of psi stored in
+   bit-reversed order; the inverse is a Gentleman–Sande
+   decimation-in-frequency pass followed by multiplication by N^-1.
+   Point-wise products of transformed polynomials then realize
+   negacyclic convolution directly, with no zero-padding.
+
+   Tables are computed once per (q, N) and cached. *)
+
+type plan = {
+  md : Modarith.modulus;
+  n : int;
+  psi_br : int array; (* powers of psi in bit-reversed order, length n *)
+  inv_psi_br : int array; (* powers of psi^-1 in bit-reversed order *)
+  n_inv : int; (* N^-1 mod q *)
+}
+
+let plans : (int * int, plan) Hashtbl.t = Hashtbl.create 64
+
+let make_plan ~q ~n =
+  let md = Modarith.modulus q in
+  let psi = Prime_gen.primitive_root_2n ~q ~n in
+  let inv_psi = Modarith.inv md psi in
+  let powers root =
+    let a = Array.make n 1 in
+    for i = 1 to n - 1 do
+      a.(i) <- Modarith.mul md a.(i - 1) root
+    done;
+    a
+  in
+  let bits = Cinnamon_util.Bitops.log2_exact n in
+  let reorder a = Array.init n (fun i -> a.(Cinnamon_util.Bitops.bit_reverse i ~bits)) in
+  {
+    md;
+    n;
+    psi_br = reorder (powers psi);
+    inv_psi_br = reorder (powers inv_psi);
+    n_inv = Modarith.inv md n;
+  }
+
+let plan ~q ~n =
+  if not (Cinnamon_util.Bitops.is_pow2 n) then invalid_arg "Ntt.plan: N not a power of 2";
+  match Hashtbl.find_opt plans (q, n) with
+  | Some p -> p
+  | None ->
+    let p = make_plan ~q ~n in
+    Hashtbl.add plans (q, n) p;
+    p
+
+(* Forward negacyclic NTT, in place (Cooley–Tukey DIT, natural order in,
+   bit-reversed twiddle indexing; output in natural order). *)
+let forward_in_place plan a =
+  let n = plan.n and md = plan.md in
+  if Array.length a <> n then invalid_arg "Ntt.forward_in_place: length";
+  let t = ref n and m = ref 1 in
+  while !m < n do
+    t := !t / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !t in
+      let j2 = j1 + !t - 1 in
+      let s = plan.psi_br.(!m + i) in
+      for j = j1 to j2 do
+        let u = a.(j) in
+        let v = Modarith.mul md a.(j + !t) s in
+        a.(j) <- Modarith.add md u v;
+        a.(j + !t) <- Modarith.sub md u v
+      done
+    done;
+    m := !m * 2
+  done
+
+(* Inverse negacyclic NTT, in place (Gentleman–Sande DIF). *)
+let inverse_in_place plan a =
+  let n = plan.n and md = plan.md in
+  if Array.length a <> n then invalid_arg "Ntt.inverse_in_place: length";
+  let t = ref 1 and m = ref n in
+  while !m > 1 do
+    let j1 = ref 0 in
+    let h = !m / 2 in
+    for i = 0 to h - 1 do
+      let j2 = !j1 + !t - 1 in
+      let s = plan.inv_psi_br.(h + i) in
+      for j = !j1 to j2 do
+        let u = a.(j) in
+        let v = a.(j + !t) in
+        a.(j) <- Modarith.add md u v;
+        a.(j + !t) <- Modarith.mul md (Modarith.sub md u v) s
+      done;
+      j1 := !j1 + (2 * !t)
+    done;
+    t := !t * 2;
+    m := h
+  done;
+  for j = 0 to n - 1 do
+    a.(j) <- Modarith.mul md a.(j) plan.n_inv
+  done
+
+let forward plan a =
+  let b = Array.copy a in
+  forward_in_place plan b;
+  b
+
+let inverse plan a =
+  let b = Array.copy a in
+  inverse_in_place plan b;
+  b
+
+(* Schoolbook negacyclic convolution; quadratic, test oracle only. *)
+let negacyclic_mul_naive md a b =
+  let n = Array.length a in
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let p = Modarith.mul md a.(i) b.(j) in
+      if k < n then r.(k) <- Modarith.add md r.(k) p
+      else r.(k - n) <- Modarith.sub md r.(k - n) p
+    done
+  done;
+  r

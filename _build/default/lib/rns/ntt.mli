@@ -1,0 +1,25 @@
+(** Negacyclic NTT over Z{_q}[X]/(X{^N}+1).
+
+    Fused-psi formulation: pointwise products of transformed
+    polynomials realize negacyclic convolution with no zero padding.
+    Twiddle tables are cached per (q, N). *)
+
+type plan
+
+(** Get (or build and cache) the transform plan for modulus [q] and
+    power-of-two ring dimension [n]. [q] must be ≡ 1 (mod 2n). *)
+val plan : q:int -> n:int -> plan
+
+(** Forward transform, in place, natural-order input and output. *)
+val forward_in_place : plan -> int array -> unit
+
+(** Inverse transform, in place, including the N{^-1} scaling. *)
+val inverse_in_place : plan -> int array -> unit
+
+(** Allocating variants. *)
+val forward : plan -> int array -> int array
+
+val inverse : plan -> int array -> int array
+
+(** Quadratic schoolbook negacyclic product — test oracle. *)
+val negacyclic_mul_naive : Modarith.modulus -> int array -> int array -> int array

@@ -1,0 +1,111 @@
+(* Generation of NTT-friendly primes.
+
+   A negacyclic NTT over Z_q[X]/(X^N + 1) needs a primitive 2N-th root
+   of unity mod q, i.e. q ≡ 1 (mod 2N).  We search arithmetic
+   progressions q = 2N*k + 1 downward/upward from a target bit size.
+
+   Primality: deterministic Miller–Rabin.  For q < 3,215,031,751 the
+   bases {2, 3, 5, 7} are a complete test, which covers our <= 30-bit
+   moduli with a wide margin. *)
+
+let miller_rabin_witness q a =
+  (* true if a proves q composite *)
+  if a mod q = 0 then false
+  else begin
+    let d = ref (q - 1) and r = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr r
+    done;
+    let m = Modarith.modulus q in
+    let x = ref (Modarith.pow m a !d) in
+    if !x = 1 || !x = q - 1 then false
+    else begin
+      let witness = ref true in
+      (try
+         for _ = 1 to !r - 1 do
+           x := Modarith.mul m !x !x;
+           if !x = q - 1 then begin
+             witness := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !witness
+    end
+  end
+
+let is_prime q =
+  if q < 2 then false
+  else if q < 4 then true
+  else if q land 1 = 0 then false
+  else not (List.exists (miller_rabin_witness q) [ 2; 3; 5; 7 ])
+
+(* Find a generator-derived primitive 2N-th root of unity mod prime q
+   with q ≡ 1 (mod 2N): take g a generator of Z_q^* candidate, then
+   psi = g^((q-1)/2N).  Check order exactly 2N via psi^N = -1. *)
+let primitive_root_2n ~q ~n =
+  let m = Modarith.modulus q in
+  let two_n = 2 * n in
+  if (q - 1) mod two_n <> 0 then invalid_arg "Prime_gen.primitive_root_2n: q != 1 mod 2N";
+  let e = (q - 1) / two_n in
+  let rec try_g g =
+    if g >= q then failwith "Prime_gen.primitive_root_2n: no root found"
+    else begin
+      let psi = Modarith.pow m g e in
+      (* psi has order dividing 2N; order is exactly 2N iff psi^N = -1. *)
+      if Modarith.pow m psi n = q - 1 then psi else try_g (g + 1)
+    end
+  in
+  try_g 2
+
+(* Generate [count] distinct NTT-friendly primes of about [bits] bits
+   for ring dimension [n], avoiding any in [avoid].  Searches downward
+   from 2^bits - 1 (congruent candidates only). *)
+(* Generate [count] NTT-friendly primes as close as possible to
+   2^bits, alternating above/below so the cumulative ratio
+   prod(q_i / 2^bits) stays near 1.  RNS-CKKS scale management needs
+   this: different rescale paths then agree to ~2^-13 per prime. *)
+let gen_primes_near ~bits ~n ~count ?(avoid = []) () =
+  if bits >= Modarith.max_modulus_bits then invalid_arg "Prime_gen.gen_primes_near: bits";
+  let two_n = 2 * n in
+  let target = 1 lsl bits in
+  let start = target - ((target - 1) mod two_n) in
+  (* start ≡ 1 (mod 2N), largest such <= target *)
+  let is_ok q acc = is_prime q && not (List.mem q avoid) && not (List.mem q acc) in
+  let rec next_below q acc = if is_ok q acc then q else next_below (q - two_n) acc in
+  let rec next_above q acc = if is_ok q acc then q else next_above (q + two_n) acc in
+  let rec go acc below above ratio remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let q =
+        if ratio >= 1.0 then begin
+          let q = next_below below acc in
+          q
+        end
+        else next_above above acc
+      in
+      let ratio = ratio *. (Float.of_int q /. Float.of_int target) in
+      let below = if q < target then q - two_n else below in
+      let above = if q > target then q + two_n else above in
+      go (q :: acc) below above ratio (remaining - 1)
+    end
+  in
+  go [] start (start + two_n) 1.0 count
+
+let gen_primes ~bits ~n ~count ?(avoid = []) () =
+  if bits > Modarith.max_modulus_bits then invalid_arg "Prime_gen.gen_primes: bits too large";
+  let two_n = 2 * n in
+  let top = (1 lsl bits) - 1 in
+  let start = top - ((top - 1) mod two_n) in
+  (* start ≡ 1 (mod 2N), the largest such value <= top *)
+  let rec go acc candidate remaining =
+    if remaining = 0 then List.rev acc
+    else if candidate < (1 lsl (bits - 1)) then
+      failwith
+        (Printf.sprintf "Prime_gen.gen_primes: exhausted %d-bit candidates for N=%d" bits n)
+    else if is_prime candidate && not (List.mem candidate avoid) && not (List.mem candidate acc)
+    then go (candidate :: acc) (candidate - two_n) (remaining - 1)
+    else go acc (candidate - two_n) remaining
+  in
+  go [] start count

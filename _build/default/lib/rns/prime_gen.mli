@@ -1,0 +1,22 @@
+(** NTT-friendly prime generation.
+
+    Negacyclic NTT over Z{_q}[X]/(X{^N}+1) requires q ≡ 1 (mod 2N);
+    this module searches that arithmetic progression with a
+    deterministic Miller–Rabin test (complete for our ≤30-bit range). *)
+
+(** Deterministic primality for [q < 2{^31}]. *)
+val is_prime : int -> bool
+
+(** A primitive 2N-th root of unity mod prime [q] (requires
+    [q ≡ 1 (mod 2N)]). *)
+val primitive_root_2n : q:int -> n:int -> int
+
+(** [gen_primes ~bits ~n ~count ?avoid ()] returns [count] distinct
+    primes of [bits] bits, each ≡ 1 (mod 2n), excluding [avoid].
+    Ordered largest first. *)
+val gen_primes : bits:int -> n:int -> count:int -> ?avoid:int list -> unit -> int list
+
+(** Like [gen_primes] but picks primes as close as possible to 2{^bits},
+    alternating above/below so the cumulative ratio Π(q{_i}/2{^bits})
+    stays near 1 — required for CKKS scale management. *)
+val gen_primes_near : bits:int -> n:int -> count:int -> ?avoid:int list -> unit -> int list

@@ -1,0 +1,240 @@
+(* RNS polynomials: an element of Z_Q[X]/(X^N+1) stored as limbs.
+
+   Limb i is the residue polynomial mod the i-th prime of the basis
+   (one column of Figure 2 in the paper).  Most operations are data
+   parallel across limbs; base conversion (see Base_conv) is the
+   exception.
+
+   The representation domain is tracked explicitly: Eval (NTT/
+   evaluation domain, the default for arithmetic) or Coeff (coefficient
+   domain, required by base conversion).  Mixing domains is a
+   programming error and raises. *)
+
+type domain = Coeff | Eval
+
+type t = {
+  n : int;
+  basis : Basis.t;
+  domain : domain;
+  limbs : int array array; (* limbs.(i).(j): j-th entry of limb i *)
+}
+
+let n t = t.n
+let basis t = t.basis
+let domain t = t.domain
+let level t = Basis.size t.basis
+let limb t i = t.limbs.(i)
+
+let create ~n ~basis ~domain =
+  { n; basis; domain; limbs = Array.init (Basis.size basis) (fun _ -> Array.make n 0) }
+
+let zero ~n ~basis = create ~n ~basis ~domain:Eval
+
+let copy t = { t with limbs = Array.map Array.copy t.limbs }
+
+(* Build from signed coefficients: limb i is coeffs mod q_i. *)
+let of_coeffs ~basis ~domain coeffs =
+  let n = Array.length coeffs in
+  {
+    n;
+    basis;
+    domain;
+    limbs =
+      Array.init (Basis.size basis) (fun i ->
+          let md = Basis.modulus basis i in
+          Array.map (fun c -> Modarith.of_int md c) coeffs);
+  }
+
+let check_compat a b =
+  if a.n <> b.n then invalid_arg "Rns_poly: ring dimension mismatch";
+  if not (Basis.equal a.basis b.basis) then invalid_arg "Rns_poly: basis mismatch";
+  if a.domain <> b.domain then invalid_arg "Rns_poly: domain mismatch"
+
+let map2 f a b =
+  check_compat a b;
+  {
+    a with
+    limbs =
+      Array.init (level a) (fun i ->
+          let md = Basis.modulus a.basis i in
+          let la = a.limbs.(i) and lb = b.limbs.(i) in
+          Array.init a.n (fun j -> f md la.(j) lb.(j)));
+  }
+
+let add a b = map2 Modarith.add a b
+let sub a b = map2 Modarith.sub a b
+
+let mul a b =
+  if a.domain <> Eval || b.domain <> Eval then
+    invalid_arg "Rns_poly.mul: pointwise product requires Eval domain";
+  map2 Modarith.mul a b
+
+let neg a =
+  {
+    a with
+    limbs =
+      Array.init (level a) (fun i ->
+          let md = Basis.modulus a.basis i in
+          Array.map (fun x -> Modarith.neg md x) a.limbs.(i));
+  }
+
+(* Multiply limb i by a per-limb scalar s.(i). *)
+let scalar_mul_per_limb a s =
+  if Array.length s <> level a then invalid_arg "Rns_poly.scalar_mul_per_limb";
+  {
+    a with
+    limbs =
+      Array.init (level a) (fun i ->
+          let md = Basis.modulus a.basis i in
+          let si = Modarith.of_int md s.(i) in
+          Array.map (fun x -> Modarith.mul md x si) a.limbs.(i));
+  }
+
+(* Multiply every limb by the same (signed) integer scalar. *)
+let scalar_mul a s = scalar_mul_per_limb a (Array.make (level a) s)
+
+let to_eval t =
+  match t.domain with
+  | Eval -> t
+  | Coeff ->
+    {
+      t with
+      domain = Eval;
+      limbs =
+        Array.init (level t) (fun i ->
+            let plan = Ntt.plan ~q:(Basis.value t.basis i) ~n:t.n in
+            Ntt.forward plan t.limbs.(i));
+    }
+
+let to_coeff t =
+  match t.domain with
+  | Coeff -> t
+  | Eval ->
+    {
+      t with
+      domain = Coeff;
+      limbs =
+        Array.init (level t) (fun i ->
+            let plan = Ntt.plan ~q:(Basis.value t.basis i) ~n:t.n in
+            Ntt.inverse plan t.limbs.(i));
+    }
+
+(* Automorphism X -> X^k (k odd): coefficient i moves to i*k mod 2N with
+   a sign flip when it wraps past N.  Performed in the coefficient
+   domain; Eval inputs round-trip through INTT/NTT.  The hardware
+   performs the Eval-domain permutation directly — the functional layer
+   favours the obviously-correct form. *)
+let automorphism t ~k =
+  if k land 1 = 0 then invalid_arg "Rns_poly.automorphism: k must be odd";
+  let two_n = 2 * t.n in
+  let k = ((k mod two_n) + two_n) mod two_n in
+  let tc = to_coeff t in
+  let apply md src =
+    let dst = Array.make t.n 0 in
+    for i = 0 to t.n - 1 do
+      let pos = i * k mod two_n in
+      if pos < t.n then dst.(pos) <- Modarith.add md dst.(pos) src.(i)
+      else dst.(pos - t.n) <- Modarith.sub md dst.(pos - t.n) src.(i)
+    done;
+    dst
+  in
+  let out =
+    {
+      tc with
+      limbs =
+        Array.init (level t) (fun i -> apply (Basis.modulus t.basis i) tc.limbs.(i));
+    }
+  in
+  if t.domain = Eval then to_eval out else out
+
+(* Multiply by the monomial X^e (negacyclic): coefficient k moves to
+   k+e mod 2N with a sign flip past N.  Exact and rescale-free; with
+   e = N/2 this multiplies every slot by i (used by bootstrapping). *)
+let monomial_mul t ~e =
+  let two_n = 2 * t.n in
+  let e = ((e mod two_n) + two_n) mod two_n in
+  if e = 0 then t
+  else begin
+    let tc = to_coeff t in
+    let apply md src =
+      let dst = Array.make t.n 0 in
+      for i = 0 to t.n - 1 do
+        let pos = (i + e) mod two_n in
+        if pos < t.n then dst.(pos) <- src.(i) else dst.(pos - t.n) <- Modarith.neg md src.(i)
+      done;
+      dst
+    in
+    let out =
+      { tc with limbs = Array.init (level t) (fun i -> apply (Basis.modulus t.basis i) tc.limbs.(i)) }
+    in
+    if t.domain = Eval then to_eval out else out
+  end
+
+(* Restrict to a prefix of the basis (drop the top limbs). *)
+let drop_to_level t k =
+  if k > level t then invalid_arg "Rns_poly.drop_to_level";
+  { t with basis = Basis.prefix t.basis k; limbs = Array.sub t.limbs 0 k }
+
+(* Keep only the limbs whose modulus appears in [sub] (order of [sub]). *)
+let restrict t sub =
+  {
+    t with
+    basis = sub;
+    limbs =
+      Array.init (Basis.size sub) (fun i -> Array.copy t.limbs.(Basis.index t.basis (Basis.value sub i)));
+  }
+
+(* Concatenate limbs of two polynomials over disjoint bases. *)
+let concat a b =
+  if a.n <> b.n || a.domain <> b.domain then invalid_arg "Rns_poly.concat";
+  { a with basis = Basis.union a.basis b.basis; limbs = Array.append a.limbs b.limbs }
+
+(* Sample with uniformly random limbs (mod each q_i independently) —
+   used for the `a` part of ciphertexts/keys. *)
+let random ~n ~basis ~domain rng =
+  {
+    n;
+    basis;
+    domain;
+    limbs =
+      Array.init (Basis.size basis) (fun i ->
+          let q = Basis.value basis i in
+          Array.init n (fun _ -> Cinnamon_util.Rng.int rng q));
+  }
+
+(* CRT-reconstruct coefficient [j] exactly as a centered bignum pair
+   (value, is_negative). Cold path: tests and decode. *)
+let coeff_centered t j =
+  let tc = to_coeff t in
+  let module B = Cinnamon_util.Bigint in
+  let q_prod = Basis.product t.basis in
+  (* Garner-free reconstruction: x = sum_i r_i * (Q/q_i) * ((Q/q_i)^-1 mod q_i) mod Q *)
+  let acc = ref B.zero in
+  for i = 0 to level t - 1 do
+    let qi = Basis.value t.basis i in
+    let q_over_qi, rem = B.divmod_small q_prod qi in
+    assert (rem = 0);
+    let md = Basis.modulus t.basis i in
+    let inv = Modarith.inv md (B.rem_small q_over_qi qi) in
+    let term = B.mul_small q_over_qi (Modarith.mul md tc.limbs.(i).(j) inv mod qi) in
+    acc := B.add !acc term
+  done;
+  (* reduce mod Q by repeated subtraction via divmod on bignum: do a
+     proper mod using division by chunks — Q fits few words, use
+     compare-subtract loop bounded by level count. *)
+  let rec reduce x = if B.compare x q_prod >= 0 then reduce (B.sub x q_prod) else x in
+  let x = reduce !acc in
+  let twice = B.mul_small x 2 in
+  if B.compare twice q_prod > 0 then (B.sub q_prod x, true) else (x, false)
+
+(* Centered coefficient as a float (for decode and error measurement). *)
+let coeff_float t j =
+  let v, negp = coeff_centered t j in
+  let f = Cinnamon_util.Bigint.to_float v in
+  if negp then -.f else f
+
+let equal a b =
+  a.n = b.n && Basis.equal a.basis b.basis
+  &&
+  let a' = to_coeff a and b' = to_coeff b in
+  a'.limbs = b'.limbs

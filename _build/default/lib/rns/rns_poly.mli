@@ -1,0 +1,77 @@
+(** RNS polynomials — elements of Z{_Q}[X]/(X{^N}+1) stored as limbs.
+
+    Limb i is the residue polynomial mod the i-th basis prime. Most
+    operations are data parallel across limbs (paper §2); the
+    representation domain (Coeff vs Eval/NTT) is tracked and mixing
+    domains raises. *)
+
+type domain = Coeff | Eval
+
+type t
+
+val n : t -> int
+val basis : t -> Basis.t
+val domain : t -> domain
+
+(** Number of limbs (the ciphertext "level"). *)
+val level : t -> int
+
+(** Direct access to limb [i] (not a copy — callers must not mutate). *)
+val limb : t -> int -> int array
+
+(** All-zero polynomial. *)
+val create : n:int -> basis:Basis.t -> domain:domain -> t
+
+val zero : n:int -> basis:Basis.t -> t
+val copy : t -> t
+
+(** Reduce signed coefficients into every limb. *)
+val of_coeffs : basis:Basis.t -> domain:domain -> int array -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** Pointwise product; both arguments must be in Eval domain. *)
+val mul : t -> t -> t
+
+val neg : t -> t
+
+(** Multiply limb i by scalar [s.(i)]. *)
+val scalar_mul_per_limb : t -> int array -> t
+
+(** Multiply every limb by the same signed scalar. *)
+val scalar_mul : t -> int -> t
+
+(** Domain conversions (cached NTT plans; no-ops when already there). *)
+val to_eval : t -> t
+
+val to_coeff : t -> t
+
+(** Automorphism X ↦ X{^k}, [k] odd. Preserves the input domain. *)
+val automorphism : t -> k:int -> t
+
+(** Multiply by X{^e} (negacyclic shift). With [e = N/2] this
+    multiplies every CKKS slot by i, exactly and for free. *)
+val monomial_mul : t -> e:int -> t
+
+(** Drop the top limbs, keeping the first [k]. *)
+val drop_to_level : t -> int -> t
+
+(** Keep only the limbs whose modulus appears in the sub-basis. *)
+val restrict : t -> Basis.t -> t
+
+(** Concatenate limbs over disjoint bases. *)
+val concat : t -> t -> t
+
+(** Uniformly random limbs (used for the `a` part of ciphertexts). *)
+val random : n:int -> basis:Basis.t -> domain:domain -> Cinnamon_util.Rng.t -> t
+
+(** Exact CRT reconstruction of coefficient [j] as (magnitude, negative?),
+    centered in (-Q/2, Q/2]. Cold path. *)
+val coeff_centered : t -> int -> Cinnamon_util.Bigint.t * bool
+
+(** Centered coefficient [j] as a float. *)
+val coeff_float : t -> int -> float
+
+(** Structural equality up to representation domain. *)
+val equal : t -> t -> bool

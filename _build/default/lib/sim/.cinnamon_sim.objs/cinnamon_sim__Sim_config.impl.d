@@ -1,0 +1,1 @@
+lib/sim/sim_config.ml: Cinnamon_isa Cinnamon_util Float Printf

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Buffer Cinnamon_isa Float Hashtbl List Printf Sim_config String

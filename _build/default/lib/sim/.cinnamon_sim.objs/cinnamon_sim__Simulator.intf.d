@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Cinnamon_isa Sim_config

@@ -1,0 +1,110 @@
+(* Hardware configuration of a Cinnamon system (paper §5, §6.1).
+
+   A chip: four 256-lane compute clusters at 1 GHz, a 56 MB vector
+   register file, 4 HBM2E stacks totalling 2 TB/s, two 256 GB/s network
+   PHYs.  The BCU runs 128 lanes per cluster (the §4.7 space
+   optimization: half the lanes of the other FUs).
+
+   Multi-chip systems use a ring (up to 8 chips) or a switch (12
+   chips), both offering broadcast and aggregation primitives. *)
+
+type topology = Ring | Switch
+
+type t = {
+  name : string;
+  chips : int;
+  clock_ghz : float;
+  clusters : int;
+  lanes_per_cluster : int; (* vector lanes of the main FUs *)
+  bcu_lanes_per_cluster : int; (* halved in Cinnamon's compact BCU *)
+  rf_bytes : int;
+  hbm_gbps : float; (* per chip, total *)
+  link_gbps : float; (* per network PHY *)
+  topology : topology;
+  hop_latency_cycles : int;
+  ntt_pipe_depth : int; (* latency beyond occupancy for pipelined FUs *)
+}
+
+let cinnamon_chip ~chips ~topology =
+  {
+    name = Printf.sprintf "Cinnamon-%d" chips;
+    chips;
+    clock_ghz = 1.0;
+    clusters = 4;
+    lanes_per_cluster = 256;
+    bcu_lanes_per_cluster = 128;
+    rf_bytes = 56 * 1024 * 1024;
+    hbm_gbps = 2048.0;
+    link_gbps = 256.0;
+    topology;
+    hop_latency_cycles = 100;
+    ntt_pipe_depth = 128;
+  }
+
+let cinnamon_4 = cinnamon_chip ~chips:4 ~topology:Ring
+let cinnamon_8 = cinnamon_chip ~chips:8 ~topology:Ring
+let cinnamon_12 = { (cinnamon_chip ~chips:12 ~topology:Switch) with name = "Cinnamon-12" }
+
+(* Cinnamon-M: one monolithic chip with ~4x the resources of one
+   Cinnamon chip (paper §6.1: 224 MB RF, 8 clusters, larger BCU). *)
+let cinnamon_m =
+  {
+    name = "Cinnamon-M";
+    chips = 1;
+    clock_ghz = 1.0;
+    clusters = 8;
+    lanes_per_cluster = 256;
+    bcu_lanes_per_cluster = 256;
+    rf_bytes = 224 * 1024 * 1024;
+    hbm_gbps = 2048.0;
+    link_gbps = 256.0;
+    topology = Ring;
+    hop_latency_cycles = 100;
+    ntt_pipe_depth = 128;
+  }
+
+(* Single Cinnamon chip (the Fig. 13 "Sequential" baseline). *)
+let cinnamon_1 = { (cinnamon_chip ~chips:1 ~topology:Ring) with name = "Cinnamon-1" }
+
+(* Fig. 6 exploration: single chip with a parametric register file and
+   cluster count and 1 TB/s HBM, "representative of prior FHE
+   accelerators". *)
+let fig6_chip ~rf_mb ~clusters =
+  {
+    name = Printf.sprintf "mono-%dMB-%dcl" rf_mb clusters;
+    chips = 1;
+    clock_ghz = 1.0;
+    clusters;
+    lanes_per_cluster = 256;
+    bcu_lanes_per_cluster = 256;
+    rf_bytes = rf_mb * 1024 * 1024;
+    hbm_gbps = 1024.0;
+    link_gbps = 256.0;
+    topology = Ring;
+    hop_latency_cycles = 100;
+    ntt_pipe_depth = 128;
+  }
+
+let with_link_gbps t g = { t with link_gbps = g; name = Printf.sprintf "%s@%gGB/s" t.name g }
+let with_rf_bytes t b = { t with rf_bytes = b }
+let with_hbm_gbps t g = { t with hbm_gbps = g }
+let with_lanes t l = { t with lanes_per_cluster = l; bcu_lanes_per_cluster = max 32 (l / 2) }
+
+(* Elements per cycle for each FU class. *)
+let throughput t (c : Cinnamon_isa.Isa.fu_class) =
+  let main = t.clusters * t.lanes_per_cluster in
+  match c with
+  | Cinnamon_isa.Isa.C_add | C_mul | C_auto | C_transpose | C_prng -> main
+  | C_ntt -> main
+  | C_bconv -> t.clusters * t.bcu_lanes_per_cluster
+  | C_mem | C_net -> main (* unused; bandwidth-based *)
+
+(* Cycles for one limb-sized vector op. *)
+let op_cycles t ~n c = Cinnamon_util.Bitops.cdiv n (throughput t c)
+
+(* Cycles to move [bytes] through HBM. *)
+let mem_cycles t bytes = Float.to_int (Float.of_int bytes /. t.hbm_gbps *. t.clock_ghz) + 1
+
+(* Cycles for a collective moving [bytes] per link. *)
+let net_cycles t bytes =
+  Float.to_int (Float.of_int bytes /. t.link_gbps *. t.clock_ghz) + 1

@@ -1,0 +1,52 @@
+(** Hardware configurations of Cinnamon systems (paper §5, §6.1). *)
+
+type topology = Ring | Switch
+
+type t = {
+  name : string;
+  chips : int;
+  clock_ghz : float;
+  clusters : int;
+  lanes_per_cluster : int;
+  bcu_lanes_per_cluster : int;  (** halved in the compact BCU (§4.7) *)
+  rf_bytes : int;  (** vector register file capacity *)
+  hbm_gbps : float;  (** per-chip total HBM bandwidth *)
+  link_gbps : float;  (** per network PHY *)
+  topology : topology;
+  hop_latency_cycles : int;
+  ntt_pipe_depth : int;  (** FU latency beyond streaming occupancy *)
+}
+
+(** A Cinnamon chip configuration with [chips] chips. *)
+val cinnamon_chip : chips:int -> topology:topology -> t
+
+val cinnamon_1 : t
+val cinnamon_4 : t
+val cinnamon_8 : t
+val cinnamon_12 : t
+
+(** The monolithic comparison chip (224 MB RF, 8 clusters). *)
+val cinnamon_m : t
+
+(** The Fig. 6 exploration chip: parametric cache and clusters, 1 TB/s
+    HBM. *)
+val fig6_chip : rf_mb:int -> clusters:int -> t
+
+val with_link_gbps : t -> float -> t
+val with_rf_bytes : t -> int -> t
+val with_hbm_gbps : t -> float -> t
+
+(** Scale the main-FU lane count (the BCU keeps its half ratio). *)
+val with_lanes : t -> int -> t
+
+(** Elements per cycle of a functional-unit class. *)
+val throughput : t -> Cinnamon_isa.Isa.fu_class -> int
+
+(** Cycles one [n]-element vector op occupies its FU. *)
+val op_cycles : t -> n:int -> Cinnamon_isa.Isa.fu_class -> int
+
+(** Cycles to move [bytes] through HBM. *)
+val mem_cycles : t -> int -> int
+
+(** Cycles for a collective moving [bytes] per link. *)
+val net_cycles : t -> int -> int

@@ -1,0 +1,221 @@
+(* Cycle-level discrete-event simulation of a Cinnamon system.
+
+   Each chip executes its ISA stream in order with a scoreboard:
+   an instruction issues when its source registers are ready and its
+   functional unit (or memory channel) is free; pipelined FUs are
+   occupied for the vector-streaming duration and deliver the result a
+   pipeline latency later.  Loads contend on HBM bandwidth; collectives
+   rendezvous across the participating chips and complete after the
+   interconnect transfer time.
+
+   The model's granularity matches what the paper's evaluation needs:
+   per-instruction FU occupancy, memory bandwidth, and network
+   bandwidth — the three resources Figs. 13-16 trade against each
+   other. *)
+
+module I = Cinnamon_isa.Isa
+module C = Sim_config
+
+type utilization = {
+  compute : float; (* area-weighted-ish average busy fraction of FUs *)
+  memory : float;
+  network : float;
+}
+
+type result = {
+  cycles : int;
+  seconds : float;
+  util : utilization;
+  per_chip_cycles : int array;
+}
+
+type chip_state = {
+  mutable clock : int; (* release floor of the last collective *)
+  fu_free : (I.fu_class, int) Hashtbl.t;
+  reg_ready : int array;
+  mutable mem_free : int;
+  mutable net_free : int;
+  mutable busy_compute : int;
+  mutable busy_mem : int;
+  mutable busy_net : int;
+  mutable pc : int;
+}
+
+let fu_classes =
+  [ I.C_add; I.C_mul; I.C_ntt; I.C_auto; I.C_bconv; I.C_transpose; I.C_prng ]
+
+let new_chip_state n_regs =
+  let fu_free = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.add fu_free c 0) fu_classes;
+  {
+    clock = 0;
+    fu_free;
+    reg_ready = Array.make (max 1 n_regs) 0;
+    mem_free = 0;
+    net_free = 0;
+    busy_compute = 0;
+    busy_mem = 0;
+    busy_net = 0;
+    pc = 0;
+  }
+
+let src_ready st regs = List.fold_left (fun t r -> max t st.reg_ready.(r)) 0 regs
+
+(* Advance one chip until it blocks on a collective (returning its id
+   and arrival time) or finishes.
+
+   Issue model: dataflow with resource contention.  The compiler's
+   cycle-level scheduler (paper §4.4) reorders instructions, so an
+   instruction issues as soon as its sources are ready and its
+   functional unit (or the HBM channel) is free — program order only
+   constrains through data dependences and collectives.  [st.clock]
+   tracks the release time of the last collective, which lower-bounds
+   everything after it on this chip. *)
+let run_until_collective cfg ~n_elems prog st =
+  let blocked = ref None in
+  let instrs = prog.I.instrs in
+  let nn = Array.length instrs in
+  let limb_bytes = 4 * n_elems in
+  while !blocked = None && st.pc < nn do
+    let ins = instrs.(st.pc) in
+    (match ins with
+    | I.Net_bcast { coll_id; group; limbs; sends; _ }
+    | I.Net_agg { coll_id; group; limbs; sends; _ } ->
+      (* arrival: the sent limbs must be computed, and this chip's
+         network port must be free (successive collectives serialize on
+         it); everything else keeps flowing *)
+      let arrival = max (max st.clock st.net_free) (src_ready st sends) in
+      blocked := Some (coll_id, group, limbs, arrival)
+    | I.Barrier id -> blocked := Some (id, [], 0, st.clock)
+    | I.Vload { dst; _ } ->
+      let d = C.mem_cycles cfg limb_bytes in
+      let issue = max st.clock st.mem_free in
+      st.mem_free <- issue + d;
+      st.busy_mem <- st.busy_mem + d;
+      st.reg_ready.(dst) <- issue + d
+    | I.Vstore { src; _ } ->
+      let d = C.mem_cycles cfg limb_bytes in
+      let issue = max (max st.clock st.mem_free) st.reg_ready.(src) in
+      st.mem_free <- issue + d;
+      st.busy_mem <- st.busy_mem + d
+    | _ ->
+      let cls = I.fu_of_instr ins in
+      let srcs = I.reads ins in
+      let dsts = I.writes ins in
+      let occupancy = C.op_cycles cfg ~n:n_elems cls in
+      let latency = occupancy + cfg.C.ntt_pipe_depth in
+      let fu = try Hashtbl.find st.fu_free cls with Not_found -> 0 in
+      let issue = max (max st.clock fu) (src_ready st srcs) in
+      Hashtbl.replace st.fu_free cls (issue + occupancy);
+      st.busy_compute <- st.busy_compute + occupancy;
+      List.iter (fun d -> st.reg_ready.(d) <- issue + latency) dsts);
+    if !blocked = None then st.pc <- st.pc + 1
+  done;
+  !blocked
+
+(* Simulate a compiled machine program; N is taken from the program. *)
+let run cfg (mp : I.machine_program) : result =
+  let n_elems = mp.I.n in
+  let states =
+    Array.map (fun p -> new_chip_state (max p.I.n_regs 512)) mp.I.programs
+  in
+  let chips = Array.length mp.I.programs in
+  let pending : (int, (int * int list * int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  (* coll_id -> arrivals (chip, group, limbs, time) *)
+  let finished = Array.make chips false in
+  (* a chip blocked at a collective must not re-file its arrival *)
+  let blocked_on = Array.make chips None in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for c = 0 to chips - 1 do
+      if (not finished.(c)) && blocked_on.(c) = None then begin
+        match run_until_collective cfg ~n_elems mp.I.programs.(c) states.(c) with
+        | None ->
+          finished.(c) <- true;
+          progress := true
+        | Some (id, group, limbs, t) ->
+          blocked_on.(c) <- Some id;
+          let cur = try Hashtbl.find pending id with Not_found -> [] in
+          Hashtbl.replace pending id ((c, group, limbs, t) :: cur);
+          let group_size = max 1 (List.length group) in
+          let arrivals = Hashtbl.find pending id in
+          if List.length arrivals >= group_size then begin
+            (* rendezvous complete: compute transfer time *)
+            let t_arrive = List.fold_left (fun a (_, _, _, t) -> max a t) 0 arrivals in
+            let total_limbs = match arrivals with (_, _, l, _) :: _ -> l | [] -> 0 in
+            let bytes = total_limbs * 4 * n_elems in
+            let hops =
+              match cfg.C.topology with
+              | C.Ring -> group_size * cfg.C.hop_latency_cycles
+              | C.Switch -> 2 * cfg.C.hop_latency_cycles
+            in
+            let dur = C.net_cycles cfg bytes + hops in
+            let t_done = t_arrive + dur in
+            List.iter
+              (fun (c', _, _, _) ->
+                let st' = states.(c') in
+                st'.net_free <- t_done;
+                st'.busy_net <- st'.busy_net + dur;
+                (* make the received limbs available at completion *)
+                (match st'.pc < Array.length mp.I.programs.(c').I.instrs with
+                | true -> begin
+                  match mp.I.programs.(c').I.instrs.(st'.pc) with
+                  | I.Net_bcast { recvs; _ } | I.Net_agg { recvs; _ } ->
+                    List.iter
+                      (fun r -> if r < Array.length st'.reg_ready then st'.reg_ready.(r) <- t_done)
+                      recvs
+                  | _ -> ()
+                end
+                | false -> ());
+                st'.pc <- st'.pc + 1;
+                blocked_on.(c') <- None)
+              arrivals;
+            Hashtbl.remove pending id;
+            progress := true
+          end
+      end
+    done;
+    (* deadlock check: if nothing progressed but chips wait, the
+       collective groups are inconsistent *)
+    if (not !progress) && Array.exists (fun f -> not f) finished then begin
+      if Hashtbl.length pending > 0 then begin
+        let buf = Buffer.create 256 in
+        Hashtbl.iter
+          (fun id arrivals ->
+            Buffer.add_string buf
+              (Printf.sprintf "coll %d: arrived [%s] group [%s]; " id
+                 (String.concat "," (List.map (fun (c, _, _, _) -> string_of_int c) arrivals))
+                 (String.concat ","
+                    (match arrivals with
+                    | (_, g, _, _) :: _ -> List.map string_of_int g
+                    | [] -> []))))
+          pending;
+        failwith ("Simulator: collective rendezvous deadlock: " ^ Buffer.contents buf)
+      end
+      else ()
+    end
+  done;
+  let final =
+    Array.map
+      (fun st ->
+        let fu_max = List.fold_left (fun a c -> max a (try Hashtbl.find st.fu_free c with Not_found -> 0)) 0 fu_classes in
+        max (max st.clock st.net_free) (max fu_max st.mem_free))
+      states
+  in
+  let cycles = Array.fold_left max 0 final in
+  let cycles = max cycles 1 in
+  let avg f = Array.fold_left (fun a st -> a +. f st) 0.0 states /. Float.of_int chips in
+  {
+    cycles;
+    seconds = Float.of_int cycles /. (cfg.C.clock_ghz *. 1e9);
+    util =
+      {
+        (* busy_compute sums occupancy across FU classes; normalize by
+           the classes that do real work in FHE streams (~4 active). *)
+        compute = avg (fun st -> Float.of_int st.busy_compute) /. Float.of_int cycles /. 4.0;
+        memory = avg (fun st -> Float.of_int st.busy_mem) /. Float.of_int cycles;
+        network = avg (fun st -> Float.of_int st.busy_net) /. Float.of_int cycles;
+      };
+    per_chip_cycles = final;
+  }

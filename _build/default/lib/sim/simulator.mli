@@ -1,0 +1,25 @@
+(** Cycle-level discrete-event simulation of a Cinnamon system.
+
+    Issue model: dataflow with resource contention — an instruction
+    issues when its source registers are ready and its functional unit
+    (or HBM channel) is free, matching a statically scheduled machine
+    (the paper's compiler performs cycle-level scheduling, §4.4).
+    Collectives rendezvous across their chip group, occupy only the
+    network, and gate their received registers. *)
+
+type utilization = {
+  compute : float;  (** average busy fraction of the compute FUs *)
+  memory : float;  (** HBM channel busy fraction *)
+  network : float;  (** interconnect port busy fraction *)
+}
+
+type result = {
+  cycles : int;
+  seconds : float;
+  util : utilization;
+  per_chip_cycles : int array;
+}
+
+(** Simulate a compiled machine program on a hardware configuration.
+    Deterministic. Raises on inconsistent collective groups. *)
+val run : Sim_config.t -> Cinnamon_isa.Isa.machine_program -> result

@@ -1,0 +1,1 @@
+lib/util/bigint.ml: Array Buffer Char Float Format List Stdlib String

@@ -1,0 +1,200 @@
+(* Minimal arbitrary-precision unsigned integers.
+
+   Used only where residues must be recombined into their full-width
+   value: CRT reconstruction in tests, exact base-conversion oracles,
+   and modulus-product bookkeeping.  Performance is a non-goal — the
+   hot path of the library works on word-sized RNS residues.
+
+   Representation: little-endian array of base-2^26 digits with no
+   trailing zero digit ([zero] is the empty array).  Base 2^26 keeps
+   digit products and carries inside OCaml's 63-bit native int. *)
+
+type t = int array
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+let zero : t = [||]
+let is_zero (x : t) = Array.length x = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bigint.of_int: negative";
+  let rec digits acc n = if n = 0 then List.rev acc else digits ((n land mask) :: acc) (n lsr base_bits) in
+  normalize (Array.of_list (digits [] n))
+
+let one = of_int 1
+
+let to_int_opt (x : t) =
+  let bits = Array.length x * base_bits in
+  if bits <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length x - 1 downto 0 do
+      v := (!v lsl base_bits) lor x.(i)
+    done;
+    Some !v
+  end
+  else begin
+    (* May still fit if high digits are small; fold with overflow check. *)
+    let v = ref 0 and ok = ref true in
+    for i = Array.length x - 1 downto 0 do
+      if !v > max_int lsr base_bits then ok := false
+      else v := (!v lsl base_bits) lor x.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+(* [sub a b] requires a >= b. *)
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bigint.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul_small (a : t) (m : int) : t =
+  if m < 0 then invalid_arg "Bigint.mul_small: negative";
+  if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    (* m can exceed one digit; split it into base-2^26 digits first. *)
+    let md = of_int m in
+    let lm = Array.length md in
+    let r = Array.make (la + lm) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lm - 1 do
+        let s = r.(i + j) + (a.(i) * md.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lm) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul (a : t) (b : t) : t =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize r
+  end
+
+(* Divide by a single word [m] (which may exceed one digit as long as it
+   fits 31 bits so that remainder*base + digit stays within native int):
+   returns quotient and remainder. *)
+let divmod_small (a : t) (m : int) : t * int =
+  if m <= 0 then invalid_arg "Bigint.divmod_small";
+  if m >= 1 lsl 36 then invalid_arg "Bigint.divmod_small: divisor too large";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / m;
+    rem := cur mod m
+  done;
+  (normalize q, !rem)
+
+let rem_small a m = snd (divmod_small a m)
+
+let of_string s =
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bigint.of_string";
+      r := add (mul_small !r 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !r
+
+let to_string (x : t) =
+  if is_zero x then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go x =
+      if not (is_zero x) then begin
+        let q, r = divmod_small x 10 in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + r))
+      end
+    in
+    go x;
+    Buffer.contents buf
+  end
+
+let to_float (x : t) =
+  Array.to_list x
+  |> List.mapi (fun i d -> Float.of_int d *. Float.pow 2.0 (Float.of_int (i * base_bits)))
+  |> List.fold_left ( +. ) 0.0
+
+(* Number of significant bits. *)
+let bit_length (x : t) =
+  let l = Array.length x in
+  if l = 0 then 0
+  else begin
+    let top = x.(l - 1) in
+    let rec msb acc v = if v = 0 then acc else msb (acc + 1) (v lsr 1) in
+    ((l - 1) * base_bits) + msb 0 top
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

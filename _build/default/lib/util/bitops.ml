@@ -1,0 +1,45 @@
+(* Small bit-manipulation helpers shared across the library. *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Bitops.log2_exact: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Bitops.ceil_log2";
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p lsl 1) in
+  go 0 1
+
+(* Reverse the low [bits] bits of [i]. *)
+let bit_reverse i ~bits =
+  let rec go acc i k =
+    if k = 0 then acc else go ((acc lsl 1) lor (i land 1)) (i lsr 1) (k - 1)
+  in
+  go 0 i bits
+
+(* Permute [a] in place into bit-reversed index order.  [Array.length a]
+   must be a power of two. *)
+let bit_reverse_permute a =
+  let n = Array.length a in
+  let bits = log2_exact n in
+  for i = 0 to n - 1 do
+    let j = bit_reverse i ~bits in
+    if i < j then begin
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    end
+  done
+
+let cdiv a b = (a + b - 1) / b
+
+let pow_int base e =
+  if e < 0 then invalid_arg "Bitops.pow_int";
+  let rec go acc base e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * base) (base * base) (e lsr 1)
+    else go acc (base * base) (e lsr 1)
+  in
+  go 1 base e

@@ -1,0 +1,22 @@
+(** Bit-manipulation helpers. *)
+
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+val is_pow2 : int -> bool
+
+(** Exact base-2 logarithm of a power of two. Raises otherwise. *)
+val log2_exact : int -> int
+
+(** Smallest [k] with [2{^k} >= n]; [n] must be positive. *)
+val ceil_log2 : int -> int
+
+(** [bit_reverse i ~bits] reverses the low [bits] bits of [i]. *)
+val bit_reverse : int -> bits:int -> int
+
+(** In-place bit-reversal permutation of a power-of-two-length array. *)
+val bit_reverse_permute : 'a array -> unit
+
+(** Ceiling division of positive ints. *)
+val cdiv : int -> int -> int
+
+(** Integer exponentiation (no overflow checking). *)
+val pow_int : int -> int -> int

@@ -1,0 +1,82 @@
+(* Complex arithmetic and power-of-two FFT.
+
+   [Complex] from the stdlib is boxed per value; for the encoding hot
+   loops we keep separate float arrays for real/imaginary parts.  This
+   module provides both a simple record type (clear call sites) and
+   array-based FFT kernels. *)
+
+type t = { re : float; im : float }
+
+let zero = { re = 0.0; im = 0.0 }
+let one = { re = 1.0; im = 0.0 }
+let make re im = { re; im }
+let re t = t.re
+let im t = t.im
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im); im = (a.re *. b.im) +. (a.im *. b.re) }
+
+let conj a = { re = a.re; im = -.a.im }
+let scale s a = { re = s *. a.re; im = s *. a.im }
+let norm2 a = (a.re *. a.re) +. (a.im *. a.im)
+let abs a = sqrt (norm2 a)
+
+let div a b =
+  let d = norm2 b in
+  { re = ((a.re *. b.re) +. (a.im *. b.im)) /. d;
+    im = ((a.im *. b.re) -. (a.re *. b.im)) /. d }
+
+(* e^{i theta} *)
+let polar theta = { re = cos theta; im = sin theta }
+
+let pp fmt a = Format.fprintf fmt "%g%+gi" a.re a.im
+
+(* In-place radix-2 DIT FFT on an array of complex values.
+   [sign = -1.] gives the forward transform with kernel e^{-2πi jk/n},
+   [sign = +1.] the inverse kernel (caller divides by n). *)
+let fft_in_place (a : t array) ~sign =
+  let n = Array.length a in
+  if n > 1 then begin
+    if not (Bitops.is_pow2 n) then invalid_arg "Cplx.fft_in_place: size not a power of 2";
+    Bitops.bit_reverse_permute a;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let ang = sign *. 2.0 *. Float.pi /. Float.of_int !len in
+      for i = 0 to (n / !len) - 1 do
+        let base = i * !len in
+        for j = 0 to half - 1 do
+          let w = polar (ang *. Float.of_int j) in
+          let u = a.(base + j) in
+          let v = mul w a.(base + j + half) in
+          a.(base + j) <- add u v;
+          a.(base + j + half) <- sub u v
+        done
+      done;
+      len := !len * 2
+    done
+  end
+
+let fft a =
+  let b = Array.copy a in
+  fft_in_place b ~sign:(-1.0);
+  b
+
+let ifft a =
+  let b = Array.copy a in
+  fft_in_place b ~sign:1.0;
+  let inv_n = 1.0 /. Float.of_int (Array.length a) in
+  Array.map (scale inv_n) b
+
+(* Naive DFT used as a test oracle. *)
+let dft_naive a =
+  let n = Array.length a in
+  Array.init n (fun k ->
+      let acc = ref zero in
+      for j = 0 to n - 1 do
+        let w = polar (-2.0 *. Float.pi *. Float.of_int (j * k) /. Float.of_int n) in
+        acc := add !acc (mul w a.(j))
+      done;
+      !acc)

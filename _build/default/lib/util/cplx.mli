@@ -1,0 +1,40 @@
+(** Complex arithmetic and power-of-two FFT used by CKKS encoding. *)
+
+type t = { re : float; im : float }
+
+val zero : t
+val one : t
+val make : float -> float -> t
+val re : t -> float
+val im : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val conj : t -> t
+val scale : float -> t -> t
+
+(** Squared magnitude. *)
+val norm2 : t -> float
+
+(** Magnitude. *)
+val abs : t -> float
+
+val div : t -> t -> t
+
+(** [polar theta] is e{^ iθ}. *)
+val polar : float -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** In-place radix-2 FFT; [sign = -1.0] forward, [+1.0] inverse kernel
+    (unnormalized). Array length must be a power of two. *)
+val fft_in_place : t array -> sign:float -> unit
+
+(** Forward DFT (allocating). *)
+val fft : t array -> t array
+
+(** Inverse DFT including the 1/n normalization (allocating). *)
+val ifft : t array -> t array
+
+(** Quadratic-time DFT, kept as a test oracle. *)
+val dft_naive : t array -> t array

@@ -1,0 +1,58 @@
+(* Deterministic splitmix64 PRNG.
+
+   All randomness in the library flows through this module so that key
+   generation, encryption and property tests are reproducible from a
+   seed.  The splitmix64 update is performed on int64 and results are
+   truncated to OCaml's native 63-bit int where needed. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative native int, uniform over [0, 2^62). *)
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let bits t n =
+  if n <= 0 || n > 62 then invalid_arg "Rng.bits";
+  next t land ((1 lsl n) - 1)
+
+(* Uniform in [0, bound) by rejection sampling to avoid modulo bias. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let mask_bits =
+    let rec go b = if 1 lsl b >= bound then b else go (b + 1) in
+    go 1
+  in
+  let rec draw () =
+    let v = bits t mask_bits in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  Float.of_int (bits t 53) /. Float.of_int (1 lsl 53)
+
+(* Standard normal via Box-Muller. *)
+let gaussian t ~sigma =
+  let u1 = max (float t) 1e-300 in
+  let u2 = float t in
+  sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* Ternary value in {-1, 0, 1} with P(-1)=P(1)=1/4. *)
+let ternary t =
+  match bits t 2 with
+  | 0 -> -1
+  | 1 -> 1
+  | _ -> 0
+
+let split t = { state = next_int64 t }

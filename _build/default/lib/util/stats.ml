@@ -1,0 +1,39 @@
+(* Basic summary statistics used by the bench harness and simulator. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let logs = List.map log xs in
+    exp (mean logs)
+
+let minimum xs = List.fold_left min infinity xs
+let maximum xs = List.fold_left max neg_infinity xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. Float.of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let max_abs_error ~expected ~actual =
+  if Array.length expected <> Array.length actual then
+    invalid_arg "Stats.max_abs_error: length mismatch";
+  let worst = ref 0.0 in
+  Array.iteri (fun i e -> worst := max !worst (Float.abs (e -. actual.(i)))) expected;
+  !worst
+
+(* -log2 of the max error: "bits of precision" as FHE papers report. *)
+let precision_bits ~expected ~actual =
+  let e = max_abs_error ~expected ~actual in
+  if e <= 0.0 then 52.0 else -.(log e /. log 2.0)

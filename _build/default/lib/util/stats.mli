@@ -1,0 +1,18 @@
+(** Summary statistics for the bench harness and tests. *)
+
+val mean : float list -> float
+
+(** Geometric mean; inputs must be positive. *)
+val geomean : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** Sample standard deviation. *)
+val stddev : float list -> float
+
+(** Largest absolute componentwise error between two equal-length arrays. *)
+val max_abs_error : expected:float array -> actual:float array -> float
+
+(** -log2 of [max_abs_error]: bits of precision, as FHE papers report. *)
+val precision_bits : expected:float array -> actual:float array -> float

@@ -1,0 +1,41 @@
+(** ASCII tables and bar charts used by the bench harness to regenerate
+    the paper's tables and figures as text. *)
+
+type align = Left | Right
+type t
+
+(** [create ~title ~header ?aligns ()] starts an empty table. [aligns]
+    defaults to all-[Right]. *)
+val create : title:string -> header:string list -> ?aligns:align list -> unit -> t
+
+(** Append a row; its width must match the header. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit
+
+(** [bar_chart ~title ~unit entries] renders labelled horizontal bars
+    scaled to the maximum value. *)
+val bar_chart : title:string -> unit:string -> ?width:int -> (string * float) list -> string
+
+val print_bar_chart : title:string -> unit:string -> ?width:int -> (string * float) list -> unit
+
+(** Build a table with one row per x tick and one column per series;
+    [value series x] renders a cell. *)
+val series_table :
+  title:string ->
+  x_label:string ->
+  series:(string * 'a) list ->
+  x_ticks:string list ->
+  value:('a -> string -> string) ->
+  t
+
+(** Human-readable duration (us/ms/s/min/h). *)
+val fmt_time : float -> string
+
+val fmt_float : ?digits:int -> float -> string
+
+(** "2.31x" style ratio. *)
+val fmt_ratio : float -> string
+
+val fmt_bytes : int -> string

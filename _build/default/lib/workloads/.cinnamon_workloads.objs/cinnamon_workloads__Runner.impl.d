@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Cinnamon_compiler Cinnamon_ir Cinnamon_sim Cinnamon_util Compile_config Float Hashtbl Kernels List Pipeline Specs

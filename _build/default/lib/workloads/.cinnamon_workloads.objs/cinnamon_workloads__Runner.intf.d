@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Cinnamon_compiler Cinnamon_ir Cinnamon_sim Compile_config Pipeline Specs

@@ -1,0 +1,1 @@
+lib/workloads/specs.ml: Cinnamon Kernels Printf

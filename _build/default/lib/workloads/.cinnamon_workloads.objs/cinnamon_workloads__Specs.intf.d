@@ -1,0 +1,1 @@
+lib/workloads/specs.mli: Cinnamon_ir Kernels

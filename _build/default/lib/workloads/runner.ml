@@ -1,0 +1,157 @@
+(* Benchmark execution: compile each kernel for a hardware
+   configuration, cycle-simulate it, and compose segment times
+   (hierarchical simulation; see DESIGN.md).
+
+   Stream placement follows the paper (§7.1): systems are organized in
+   groups of four chips (limb-level parallelism within a group), and
+   program-level parallelism runs one stream per group — Cinnamon-8
+   runs 2 concurrent streams, Cinnamon-12 runs 3.  Cinnamon-M and the
+   single-chip baseline run everything on one chip. *)
+
+open Cinnamon_compiler
+module Sim = Cinnamon_sim.Simulator
+module SC = Cinnamon_sim.Sim_config
+
+type system = {
+  sys_name : string;
+  sim : SC.t;
+  group_chips : int; (* chips per stream group *)
+  groups : int; (* concurrent streams *)
+}
+
+let cinnamon_system ?(group_chips = 4) (sc : SC.t) =
+  let group_chips = min group_chips sc.SC.chips in
+  { sys_name = sc.SC.name; sim = sc; group_chips; groups = max 1 (sc.SC.chips / group_chips) }
+
+let cinnamon_m = { sys_name = "Cinnamon-M"; sim = SC.cinnamon_m; group_chips = 1; groups = 1 }
+let cinnamon_1 = { sys_name = "Cinnamon-1"; sim = SC.cinnamon_1; group_chips = 1; groups = 1 }
+let cinnamon_4 = cinnamon_system SC.cinnamon_4
+let cinnamon_8 = cinnamon_system SC.cinnamon_8
+let cinnamon_12 = cinnamon_system SC.cinnamon_12
+
+(* Kernel simulation cache: (kernel name, system name) -> result. *)
+let cache : (string * string, Sim.result) Hashtbl.t = Hashtbl.create 32
+
+type options = {
+  default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
+  pass_mode : Compile_config.pass_mode;
+  progpar : bool; (* program-level parallelism inside the kernel *)
+}
+
+let default_options =
+  { default_ks = Cinnamon_ir.Poly_ir.Input_broadcast; pass_mode = Compile_config.Pass_full;
+    progpar = false }
+
+let compile_kernel ?(options = default_options) sys kernel =
+  let prog =
+    match (options.progpar, kernel) with
+    | true, Specs.K_bootstrap shape -> Kernels.bootstrap_program ~shape ~progpar:true ()
+    | _ -> Specs.kernel_program kernel
+  in
+  let group_size = if options.progpar then max 1 (sys.group_chips / 2) else sys.group_chips in
+  let cfg =
+    {
+      (Compile_config.paper ~chips:sys.group_chips ~group_size ()) with
+      Compile_config.default_ks = options.default_ks;
+      pass_mode = options.pass_mode;
+    }
+  in
+  Pipeline.compile ~rf_bytes:sys.sim.SC.rf_bytes cfg prog
+
+let simulate_kernel ?(options = default_options) ?(use_cache = true) sys kernel =
+  let key =
+    ( Specs.kernel_name kernel
+      ^ (match options.pass_mode with
+        | Compile_config.No_pass -> ":nopass"
+        | Compile_config.Pass_ib_only -> ":ibpass"
+        | Compile_config.Pass_full -> "")
+      ^ Cinnamon_ir.Poly_ir.algorithm_name options.default_ks
+      ^ (if options.progpar then ":pp" else ""),
+      sys.sys_name )
+  in
+  match if use_cache then Hashtbl.find_opt cache key else None with
+  | Some r -> r
+  | None ->
+    let r = compile_kernel ~options sys kernel in
+    (* the kernel runs on one group; simulate that group *)
+    let group_sim = { sys.sim with SC.chips = sys.group_chips } in
+    let res = Sim.run group_sim r.Pipeline.machine in
+    if use_cache then Hashtbl.replace cache key res;
+    res
+
+type segment_time = {
+  seg_kernel : string;
+  seg_seconds : float;
+  seg_util : Sim.utilization;
+}
+
+type bench_result = {
+  br_system : string;
+  br_bench : string;
+  br_seconds : float;
+  br_segments : segment_time list;
+  br_util : Sim.utilization;
+}
+
+(* Whole-machine variant of a system: one group spanning every chip,
+   used for single-instance segments (a lone bootstrap runs
+   limb-parallel over all chips rather than leaving groups idle). *)
+let widened sys =
+  if sys.groups = 1 then sys
+  else
+    {
+      sys_name = sys.sys_name ^ ":wide";
+      sim = sys.sim;
+      group_chips = sys.sim.SC.chips;
+      groups = 1;
+    }
+
+let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
+  let segments =
+    List.map
+      (fun (s : Specs.segment) ->
+        (* single-instance work uses the whole machine limb-parallel
+           (with the two EvalMod streams when it is a bootstrap);
+           multi-instance work runs one instance per group *)
+        let eff_sys, eff_options =
+          if s.Specs.instances = 1 && sys.groups > 1 then
+            (widened sys, { options with progpar = true })
+          else (sys, options)
+        in
+        let r = simulate_kernel ~options:eff_options eff_sys s.Specs.kernel in
+        (* waves of parallel instances over the available groups *)
+        let waves = Cinnamon_util.Bitops.cdiv s.Specs.instances eff_sys.groups in
+        let seconds = Float.of_int (s.Specs.repeats * waves) *. r.Sim.seconds in
+        (* fraction of the machine's groups actually busy, averaged over
+           the waves — idle groups de-rate reported utilization (the
+           paper's Fig. 15 narrow-section effect) *)
+        let occupancy =
+          Float.of_int s.Specs.instances /. Float.of_int (waves * eff_sys.groups)
+          *. (Float.of_int (eff_sys.groups * eff_sys.group_chips) /. Float.of_int sys.sim.SC.chips)
+        in
+        let scale_util u =
+          { Sim.compute = u.Sim.compute *. occupancy;
+            memory = u.Sim.memory *. occupancy;
+            network = u.Sim.network *. occupancy }
+        in
+        { seg_kernel = Specs.kernel_name s.Specs.kernel; seg_seconds = seconds;
+          seg_util = scale_util r.Sim.util })
+      b.Specs.segments
+  in
+  let total = List.fold_left (fun a s -> a +. s.seg_seconds) 0.0 segments in
+  (* time-weighted utilization over segments *)
+  let weighted f =
+    List.fold_left (fun a s -> a +. (f s.seg_util *. s.seg_seconds)) 0.0 segments /. max total 1e-12
+  in
+  {
+    br_system = sys.sys_name;
+    br_bench = b.Specs.bench_name;
+    br_seconds = total;
+    br_segments = segments;
+    br_util = { Sim.compute = weighted (fun u -> u.Sim.compute);
+                memory = weighted (fun u -> u.Sim.memory);
+                network = weighted (fun u -> u.Sim.network) };
+  }
+
+(* Systems of Table 2 / Fig. 11. *)
+let all_systems = [ cinnamon_m; cinnamon_4; cinnamon_8; cinnamon_12 ]

@@ -1,0 +1,54 @@
+(** Benchmark execution: compile kernels per hardware configuration,
+    cycle-simulate them (cached), and compose segment times with
+    stream-level parallelism (hierarchical simulation; DESIGN.md). *)
+
+open Cinnamon_compiler
+module Sim = Cinnamon_sim.Simulator
+module SC = Cinnamon_sim.Sim_config
+
+type system = {
+  sys_name : string;
+  sim : SC.t;
+  group_chips : int;  (** chips per stream group *)
+  groups : int;  (** concurrent streams *)
+}
+
+val cinnamon_system : ?group_chips:int -> SC.t -> system
+val cinnamon_m : system
+val cinnamon_1 : system
+val cinnamon_4 : system
+val cinnamon_8 : system
+val cinnamon_12 : system
+
+type options = {
+  default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
+  pass_mode : Compile_config.pass_mode;
+  progpar : bool;  (** two EvalMod streams inside bootstrap kernels *)
+}
+
+val default_options : options
+
+(** Compile a kernel for one group of the system. *)
+val compile_kernel : ?options:options -> system -> Specs.kernel -> Pipeline.result
+
+(** Compile + simulate a kernel on one group; results are cached per
+    (kernel, options, system). *)
+val simulate_kernel : ?options:options -> ?use_cache:bool -> system -> Specs.kernel -> Sim.result
+
+(** The system with one group spanning every chip. *)
+val widened : system -> system
+
+type segment_time = { seg_kernel : string; seg_seconds : float; seg_util : Sim.utilization }
+
+type bench_result = {
+  br_system : string;
+  br_bench : string;
+  br_seconds : float;
+  br_segments : segment_time list;
+  br_util : Sim.utilization;  (** time-weighted, idle-group de-rated *)
+}
+
+val run_benchmark : ?options:options -> system -> Specs.benchmark -> bench_result
+
+(** The Table 2 / Fig. 11 systems. *)
+val all_systems : system list

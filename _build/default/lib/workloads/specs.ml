@@ -1,0 +1,184 @@
+(* Benchmark descriptions (paper §6.2).
+
+   Each benchmark is a sequence of segments; a segment names a kernel
+   program, how many independent instances of it run (the available
+   program-level parallelism), and how many times the segment repeats
+   sequentially.  The simulator's composer cycle-simulates each kernel
+   once per hardware configuration and combines:
+
+     segment time = repeats * ceil(instances / concurrent streams)
+                    * kernel time
+
+   which is exact for a deterministic in-order machine, conservatively
+   ignoring inter-kernel pipeline overlap (see DESIGN.md).
+
+   Instance and bootstrap counts follow the paper: ResNet-20 is a
+   single-ciphertext program with ~50 bootstraps; a 128-token BERT-Base
+   inference needs 3 ciphertexts per activation tensor, ~1,400
+   bootstraps, 6-wide attention streams and 12-wide GELU streams
+   covering ~85% of the program. *)
+
+type kernel =
+  | K_bootstrap of Kernels.boot_shape
+  | K_matvec of int (* diagonals *)
+  | K_conv
+  | K_relu
+  | K_helr_iter
+  | K_attention
+  | K_gelu
+  | K_layernorm
+
+type segment = {
+  kernel : kernel;
+  instances : int; (* independent parallel instances (ciphertexts) *)
+  repeats : int; (* sequential repetitions *)
+}
+
+type benchmark = {
+  bench_name : string;
+  segments : segment list;
+  (* paper-reported reference times, for EXPERIMENTS.md comparisons *)
+  paper_times : (string * float) list; (* config name -> seconds *)
+}
+
+let seg ?(instances = 1) ?(repeats = 1) kernel = { kernel; instances; repeats }
+
+(* --- Bootstrapping: one ciphertext, l=2 -> 51, refreshing 13 levels. --- *)
+let bootstrap_13 =
+  {
+    bench_name = "Bootstrap";
+    segments = [ seg (K_bootstrap Kernels.boot_shape_13) ];
+    paper_times =
+      [
+        ("Cinnamon-M", 1.87e-3);
+        ("Cinnamon-4", 1.98e-3);
+        ("Cinnamon-8", 1.71e-3);
+        ("Cinnamon-12", 1.63e-3);
+        ("CraterLake", 6.33e-3);
+        ("CiFHER", 5.58e-3);
+        ("ARK", 3.5e-3);
+        ("CPU", 33.0);
+      ];
+  }
+
+let bootstrap_21 =
+  {
+    bench_name = "Bootstrap-21";
+    segments = [ seg (K_bootstrap Kernels.boot_shape_21) ];
+    paper_times = [];
+  }
+
+(* --- ResNet-20 on one CIFAR-10 image: 19 conv blocks + ReLUs, ~50
+   bootstraps, single ciphertext (no program-level parallelism). --- *)
+let resnet20 =
+  {
+    bench_name = "ResNet";
+    segments =
+      [
+        seg ~repeats:19 K_conv;
+        seg ~repeats:19 K_relu;
+        seg ~repeats:50 (K_bootstrap Kernels.boot_shape_13);
+        seg (K_matvec 10) (* final FC layer *);
+      ];
+    paper_times =
+      [
+        ("Cinnamon-M", 105.94e-3);
+        ("Cinnamon-4", 94.52e-3);
+        ("Cinnamon-8", 73.85e-3);
+        ("Cinnamon-12", 70.57e-3);
+        ("CraterLake", 321.26e-3);
+        ("CiFHER", 189e-3);
+        ("ARK", 125e-3);
+        ("CPU", 17.5 *. 60.0);
+      ];
+  }
+
+
+(* --- HELR: 30 training iterations, minibatch 256 on MNIST; two
+   ciphertexts of parallelism (weights + data pipeline), ~20
+   bootstraps. --- *)
+let helr =
+  {
+    bench_name = "HELR";
+    segments =
+      [
+        seg ~repeats:30 ~instances:2 K_helr_iter;
+        seg ~repeats:20 ~instances:2 (K_bootstrap Kernels.boot_shape_13);
+      ];
+    paper_times =
+      [
+        ("Cinnamon-M", 73.20e-3);
+        ("Cinnamon-4", 87.61e-3);
+        ("Cinnamon-8", 68.74e-3);
+        ("Cinnamon-12", 48.76e-3);
+        ("CraterLake", 121.91e-3);
+        ("CiFHER", 106.88e-3);
+        ("CPU", 14.9 *. 60.0);
+      ];
+  }
+
+(* --- BERT-Base, 128-token input: 12 layers; attention exposes 6
+   parallel ciphertexts, GELU 12; ~1,400 bootstraps dominate. --- *)
+let bert =
+  {
+    bench_name = "BERT";
+    segments =
+      [
+        (* per layer: attention on 6 parallel cts, 2 layernorms,
+           GELU on 12 parallel cts; bootstraps spread through *)
+        seg ~repeats:12 ~instances:6 K_attention;
+        seg ~repeats:24 ~instances:3 K_layernorm;
+        seg ~repeats:12 ~instances:12 K_gelu;
+        seg ~repeats:117 ~instances:12 (K_bootstrap Kernels.boot_shape_13);
+        (* 117*12 = 1404 bootstraps, 12-wide *)
+      ];
+    paper_times =
+      [
+        ("Cinnamon-M", 3.83);
+        ("Cinnamon-4", 3.83);
+        ("Cinnamon-8", 2.07);
+        ("Cinnamon-12", 1.67);
+        ("CPU", 1037.5 *. 60.0);
+      ];
+  }
+
+let all = [ bootstrap_13; resnet20; helr; bert ]
+
+(* Build the ct-IR program of one kernel instance. *)
+let kernel_program = function
+  | K_bootstrap shape -> Kernels.bootstrap_program ~shape ()
+  | K_matvec d -> Kernels.matvec_program ~diagonals:d ()
+  | K_conv ->
+    Cinnamon.Dsl.program (fun p ->
+        let v = Cinnamon.Dsl.input p "x" in
+        Cinnamon.Dsl.output (Kernels.conv_block p ~tag:"conv" v) "out")
+  | K_relu ->
+    Cinnamon.Dsl.program (fun p ->
+        let v = Cinnamon.Dsl.input p "x" in
+        Cinnamon.Dsl.output (Kernels.relu_block v ~tag:"relu") "out")
+  | K_helr_iter ->
+    Cinnamon.Dsl.program (fun p ->
+        let w = Cinnamon.Dsl.input p "w" in
+        Cinnamon.Dsl.output (Kernels.helr_iteration p ~tag:"helr" w) "out")
+  | K_attention ->
+    Cinnamon.Dsl.program (fun p ->
+        let v = Cinnamon.Dsl.input p "x" in
+        Cinnamon.Dsl.output (Kernels.attention_block p ~tag:"attn" v) "out")
+  | K_gelu ->
+    Cinnamon.Dsl.program (fun p ->
+        let v = Cinnamon.Dsl.input p "x" in
+        Cinnamon.Dsl.output (Kernels.gelu_block v ~tag:"gelu") "out")
+  | K_layernorm ->
+    Cinnamon.Dsl.program (fun p ->
+        let v = Cinnamon.Dsl.input p "x" in
+        Cinnamon.Dsl.output (Kernels.layernorm_block p ~tag:"ln" v) "out")
+
+let kernel_name = function
+  | K_bootstrap s -> if s.Kernels.evalmod_degree > 63 then "bootstrap-21" else "bootstrap-13"
+  | K_matvec d -> Printf.sprintf "matvec-%d" d
+  | K_conv -> "conv"
+  | K_relu -> "relu"
+  | K_helr_iter -> "helr-iter"
+  | K_attention -> "attention"
+  | K_gelu -> "gelu"
+  | K_layernorm -> "layernorm"

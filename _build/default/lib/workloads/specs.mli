@@ -1,0 +1,38 @@
+(** Benchmark descriptions (paper §6.2): each benchmark is a sequence
+    of segments naming a kernel, its parallel instance count (the
+    program-level parallelism), and sequential repeats.  Instance and
+    bootstrap counts follow the paper (BERT: 6-wide attention, 12-wide
+    GELU, ~1,400 bootstraps; ResNet: one ciphertext, ~50 bootstraps). *)
+
+type kernel =
+  | K_bootstrap of Kernels.boot_shape
+  | K_matvec of int  (** diagonals *)
+  | K_conv
+  | K_relu
+  | K_helr_iter
+  | K_attention
+  | K_gelu
+  | K_layernorm
+
+type segment = { kernel : kernel; instances : int; repeats : int }
+
+type benchmark = {
+  bench_name : string;
+  segments : segment list;
+  paper_times : (string * float) list;  (** config name → seconds (paper) *)
+}
+
+val seg : ?instances:int -> ?repeats:int -> kernel -> segment
+val bootstrap_13 : benchmark
+val bootstrap_21 : benchmark
+val resnet20 : benchmark
+val helr : benchmark
+val bert : benchmark
+
+(** Table 2's four benchmarks. *)
+val all : benchmark list
+
+(** Build one kernel instance as ciphertext IR. *)
+val kernel_program : kernel -> Cinnamon_ir.Ct_ir.t
+
+val kernel_name : kernel -> string

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Area Cinnamon_arch Float Lazy List Perf_dollar Printf Yield

@@ -1,0 +1,1 @@
+test/test_bootstrap.ml: Alcotest Array Bootstrap Cinnamon_ckks Cinnamon_rns Cinnamon_util Ciphertext Encoding Encrypt Eval Float Keys Lazy Linear_algebra List Params Printf

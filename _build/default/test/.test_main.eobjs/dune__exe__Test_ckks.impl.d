@@ -1,0 +1,1 @@
+test/test_ckks.ml: Alcotest Approx Array Cinnamon_ckks Cinnamon_rns Cinnamon_util Ciphertext Encoding Encrypt Eval Float Keys Keyswitch Lazy Linear_algebra List Params Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cinnamon Cinnamon_compiler Cinnamon_ir Ct_ir Limb_ir List Poly_ir Printf

@@ -1,0 +1,1 @@
+test/test_rns.ml: Alcotest Array Base_conv Basis Cinnamon_rns Cinnamon_util Float Lazy List Mod_updown Modarith Ntt Prime_gen Printf QCheck2 QCheck_alcotest Rns_poly

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cinnamon Cinnamon_compiler Cinnamon_isa Cinnamon_sim Compile_config Float Lazy Pipeline

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bigint Bitops Cinnamon_util Cplx Float List QCheck2 QCheck_alcotest Rng Stats String Table

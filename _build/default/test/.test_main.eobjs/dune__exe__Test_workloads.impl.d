@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cinnamon_ir Cinnamon_sim Cinnamon_util Cinnamon_workloads Ct_ir Kernels List Printf Runner Specs

@@ -1,0 +1,115 @@
+(* Tests for the architecture models: area (Table 1), yield/cost
+   (Table 3), performance-per-dollar (Fig. 12). *)
+
+open Cinnamon_arch
+
+let close ?(tol = 0.05) a b = Float.abs (a -. b) /. Float.abs b < tol
+
+let test_area_matches_table1 () =
+  let a = Lazy.force Area.cinnamon_chip in
+  (* component totals tied to the published breakdown *)
+  Alcotest.(check bool) "total near 223.18" true (close ~tol:0.06 a.Area.total_mm2 223.18);
+  Alcotest.(check (float 0.01)) "register file" 80.9 a.Area.register_file_mm2;
+  Alcotest.(check (float 0.01)) "HBM PHYs" 38.64 a.Area.hbm_phy_mm2;
+  Alcotest.(check (float 0.01)) "net PHYs" 9.66 a.Area.net_phy_mm2;
+  Alcotest.(check (float 0.01)) "BCU buffers" 11.44 a.Area.bcu_buffers_mm2
+
+let test_area_components_present () =
+  let a = Lazy.force Area.cinnamon_chip in
+  let find name =
+    List.find (fun (c : Area.component) -> c.Area.comp_name = name) a.Area.components
+  in
+  Alcotest.(check (float 0.01)) "NTT" 34.08 (find "NTT").Area.area_mm2;
+  Alcotest.(check (float 0.01)) "BCU" 14.12 (find "Base Conversion Unit").Area.area_mm2;
+  Alcotest.(check int) "2 adders" 2 (find "Addition").Area.count
+
+let test_bcu_halving_saves_area () =
+  (* §4.7: halving BCU lanes halves BCU logic area *)
+  let full = Area.area_of { Area.cinnamon_chip_config with Area.bcu_lanes = 256 } in
+  let half = Lazy.force Area.cinnamon_chip in
+  let bcu a =
+    (List.find (fun (c : Area.component) -> c.Area.comp_name = "Base Conversion Unit")
+       a.Area.components).Area.area_mm2
+  in
+  Alcotest.(check bool) "halved" true (close (bcu full /. 2.0) (bcu half))
+
+let test_cinnamon_m_larger () =
+  let m = Lazy.force Area.cinnamon_m in
+  let c = Lazy.force Area.cinnamon_chip in
+  Alcotest.(check bool) "M is ~3x one chip" true
+    (m.Area.total_mm2 > 2.0 *. c.Area.total_mm2 && m.Area.total_mm2 < 4.0 *. c.Area.total_mm2)
+
+(* --- yield -------------------------------------------------------------------- *)
+
+let test_yield_matches_paper () =
+  List.iter
+    (fun (a : Yield.accelerator) ->
+      let model = Yield.yield_of ~area_mm2:a.Yield.die_area_mm2 in
+      let paper = List.assoc a.Yield.accel_name Yield.paper_yields in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s yield %.2f vs paper %.2f" a.Yield.accel_name model paper)
+        true
+        (Float.abs (model -. paper) < 0.02))
+    Yield.table3
+
+let test_yield_decreases_with_area () =
+  Alcotest.(check bool) "monotone" true
+    (Yield.yield_of ~area_mm2:100.0 > Yield.yield_of ~area_mm2:400.0)
+
+let test_dies_per_wafer_sane () =
+  let d = Yield.dies_per_wafer ~area_mm2:223.18 in
+  Alcotest.(check bool) "hundreds of dies" true (d > 150 && d < 350)
+
+let test_small_chips_cheaper_per_good_die () =
+  let small = Yield.cost_per_good_die ~area_mm2:223.18 ~wafer_price:10_500.0 in
+  let mono = Yield.cost_per_good_die ~area_mm2:719.78 ~wafer_price:10_500.0 in
+  (* the monolithic die costs much more than 719/223 ~ 3.2x because of
+     yield loss *)
+  Alcotest.(check bool) "superlinear cost" true (mono /. small > 4.0)
+
+let test_system_cost_scales_with_chips () =
+  let c4 = Yield.system_cost (Yield.cinnamon_n 4) in
+  let c8 = Yield.system_cost (Yield.cinnamon_n 8) in
+  Alcotest.(check bool) "8 chips cost 2x of 4" true (close (c8 /. c4) 2.0)
+
+(* --- perf per dollar -------------------------------------------------------------- *)
+
+let test_perf_dollar_relative () =
+  let pts =
+    [
+      Perf_dollar.point ~name:"a" ~seconds:1.0 ~cost:1.0;
+      Perf_dollar.point ~name:"b" ~seconds:0.5 ~cost:1.0;
+      Perf_dollar.point ~name:"c" ~seconds:1.0 ~cost:2.0;
+    ]
+  in
+  let rel = Perf_dollar.relative ~baseline:"a" pts in
+  Alcotest.(check (float 1e-9)) "b is 2x" 2.0 (List.assoc "b" rel);
+  Alcotest.(check (float 1e-9)) "c is 0.5x" 0.5 (List.assoc "c" rel)
+
+let test_paper_perf_dollar_shape () =
+  (* with the paper's own Table 2 + Table 3 numbers, Cinnamon-4 beats
+     CraterLake by a large factor on bootstrap — the Fig. 12 claim *)
+  let cl_time = 6.33e-3 and c4_time = 1.98e-3 in
+  let cl = Perf_dollar.point ~name:"CraterLake" ~seconds:cl_time ~cost:(Yield.system_cost Yield.craterlake) in
+  let c4 = Perf_dollar.point ~name:"Cinnamon-4" ~seconds:c4_time ~cost:(Yield.system_cost (Yield.cinnamon_n 4)) in
+  let rel = Perf_dollar.relative ~baseline:"CraterLake" [ cl; c4 ] in
+  let adv = List.assoc "Cinnamon-4" rel in
+  Alcotest.(check bool)
+    (Printf.sprintf "advantage %.2fx (paper: ~5x)" adv)
+    true (adv > 3.0 && adv < 12.0)
+
+let suite =
+  ( "arch",
+    [
+      Alcotest.test_case "area vs table 1" `Quick test_area_matches_table1;
+      Alcotest.test_case "area components" `Quick test_area_components_present;
+      Alcotest.test_case "BCU halving" `Quick test_bcu_halving_saves_area;
+      Alcotest.test_case "Cinnamon-M area" `Quick test_cinnamon_m_larger;
+      Alcotest.test_case "yield vs table 3" `Quick test_yield_matches_paper;
+      Alcotest.test_case "yield monotone" `Quick test_yield_decreases_with_area;
+      Alcotest.test_case "dies per wafer" `Quick test_dies_per_wafer_sane;
+      Alcotest.test_case "yielded cost superlinear" `Quick test_small_chips_cheaper_per_good_die;
+      Alcotest.test_case "system cost linear in chips" `Quick test_system_cost_scales_with_chips;
+      Alcotest.test_case "perf/$ relative" `Quick test_perf_dollar_relative;
+      Alcotest.test_case "perf/$ paper shape" `Quick test_paper_perf_dollar_shape;
+    ] )

@@ -1,0 +1,172 @@
+(* Tests for CKKS bootstrapping: linear-map correctness on plaintext,
+   each pipeline stage against the decrypted intermediate, and the
+   end-to-end refresh (precision + level gain). *)
+
+open Cinnamon_ckks
+module Rng = Cinnamon_util.Rng
+module Cplx = Cinnamon_util.Cplx
+module Stats = Cinnamon_util.Stats
+
+(* Shared boot environment (expensive: deep chain, sparse secret). *)
+let env =
+  lazy
+    (let params = Lazy.force Params.boot in
+     let cfg = Bootstrap.default_config () in
+     let rng = Rng.create ~seed:202 in
+     let sk = Keys.gen_secret_key params rng in
+     let pk = Keys.gen_public_key params sk rng in
+     let rots = Bootstrap.required_rotations params ~slots:cfg.Bootstrap.slots in
+     let ek = Keys.gen_eval_key params sk ~rotations:rots ~conjugation:true rng in
+     (params, cfg, sk, pk, Eval.context params ek))
+
+(* --- plaintext checks of the linear maps -------------------------------- *)
+
+let test_embedding_matrix_identity () =
+  (* E(a+ib) must reproduce decode on the subring *)
+  let n = 1 lsl 11 and slots = 8 in
+  let gap = n / 2 / slots in
+  let rng = Rng.create ~seed:1 in
+  let z = Array.init slots (fun _ -> Cplx.make (Rng.float rng -. 0.5) (Rng.float rng -. 0.5)) in
+  let delta = 2.0 ** 26.0 in
+  let coeffs = Encoding.encode_coeffs ~n ~delta z in
+  let a = Array.init slots (fun j -> Float.of_int coeffs.(j * gap) /. delta) in
+  let b = Array.init slots (fun j -> Float.of_int coeffs.((j * gap) + (n / 2)) /. delta) in
+  let mats = Bootstrap.matrices ~n ~slots in
+  let apb = Array.init slots (fun j -> Cplx.make a.(j) b.(j)) in
+  let z' = Linear_algebra.matvec_plain mats.Bootstrap.m_fwd apb in
+  Array.iteri
+    (fun j zj -> Alcotest.(check bool) "E(a+ib)=z" true (Cplx.abs (Cplx.sub zj z'.(j)) < 1e-6))
+    z
+
+let test_c2s_matrices_invert () =
+  let n = 1 lsl 11 and slots = 8 in
+  let gap = n / 2 / slots in
+  let rng = Rng.create ~seed:2 in
+  let z = Array.init slots (fun _ -> Cplx.make (Rng.float rng -. 0.5) (Rng.float rng -. 0.5)) in
+  let delta = 2.0 ** 26.0 in
+  let coeffs = Encoding.encode_coeffs ~n ~delta z in
+  let a = Array.init slots (fun j -> Float.of_int coeffs.(j * gap) /. delta) in
+  let b = Array.init slots (fun j -> Float.of_int coeffs.((j * gap) + (n / 2)) /. delta) in
+  let mats = Bootstrap.matrices ~n ~slots in
+  (* the C2S combination applied to the subsummed slot values g*z *)
+  let gz = Array.map (Cplx.scale (Float.of_int gap)) z in
+  let u = Linear_algebra.matvec_plain mats.Bootstrap.m1 gz in
+  let v = Linear_algebra.matvec_plain mats.Bootstrap.m2 (Array.map Cplx.conj gz) in
+  Array.iteri
+    (fun j _ ->
+      let ca = Cplx.add u.(j) v.(j) in
+      let cb = Cplx.mul (Cplx.make 0.0 1.0) (Cplx.sub v.(j) u.(j)) in
+      Alcotest.(check bool) "a recovered" true (Float.abs (ca.Cplx.re -. a.(j)) < 1e-6);
+      Alcotest.(check bool) "a real" true (Float.abs ca.Cplx.im < 1e-6);
+      Alcotest.(check bool) "b recovered" true (Float.abs (cb.Cplx.re -. b.(j)) < 1e-6))
+    z
+
+(* --- pipeline stages ------------------------------------------------------ *)
+
+let test_mod_raise_structure () =
+  let params, _, sk, pk, _ = Lazy.force env in
+  let rng = Rng.create ~seed:3 in
+  let xs = Array.init 8 (fun i -> Float.of_int (i - 4) /. 600.0) in
+  let ct = Encrypt.encrypt_real params pk ~level:0 xs rng in
+  let raised = Bootstrap.mod_raise params ct in
+  Alcotest.(check int) "raised to top" (Params.top_level params) (Ciphertext.level raised);
+  (* decrypted coefficients are m + q0*I with |t| <= K'*q0 *)
+  let q0 = Float.of_int (Cinnamon_rns.Basis.value params.Params.q_basis 0) in
+  let rp = Encrypt.decrypt_poly sk raised in
+  let bound = 6.0 *. q0 in
+  for i = 0 to params.Params.n - 1 do
+    Alcotest.(check bool) "coefficient bounded by K'q0" true
+      (Float.abs (Cinnamon_rns.Rns_poly.coeff_float rp i) < bound)
+  done
+
+let test_sub_sum_projects () =
+  let params, cfg, sk, pk, ctx = Lazy.force env in
+  let rng = Rng.create ~seed:4 in
+  let xs = Array.init 8 (fun i -> Float.of_int (i - 4) /. 600.0) in
+  let ct = Encrypt.encrypt_real params pk ~level:0 xs rng in
+  let raised = Bootstrap.mod_raise params ct in
+  let summed = Bootstrap.sub_sum ctx cfg raised in
+  let rp = Encrypt.decrypt_poly sk raised in
+  let sp = Encrypt.decrypt_poly sk summed in
+  let n = params.Params.n in
+  let gap = n / 2 / cfg.Bootstrap.slots in
+  let q0 = Float.of_int (Cinnamon_rns.Basis.value params.Params.q_basis 0) in
+  (* on-subring coefficients multiplied by the gap count *)
+  for k = 0 to (2 * cfg.Bootstrap.slots) - 1 do
+    let got = Cinnamon_rns.Rns_poly.coeff_float sp (k * gap) in
+    let expect = Float.of_int gap *. Cinnamon_rns.Rns_poly.coeff_float rp (k * gap) in
+    Alcotest.(check bool) "subring scaled by g" true (Float.abs (got -. expect) /. q0 < 0.01)
+  done;
+  (* off-subring coefficients killed (relative to q0-sized content) *)
+  let off = ref 0.0 in
+  for j = 0 to n - 1 do
+    if j mod gap <> 0 then off := max !off (Float.abs (Cinnamon_rns.Rns_poly.coeff_float sp j))
+  done;
+  Alcotest.(check bool) "off-subring small" true (!off < q0 /. 100.0)
+
+let test_coeff_to_slot () =
+  let params, cfg, sk, pk, ctx = Lazy.force env in
+  let rng = Rng.create ~seed:5 in
+  let xs = Array.init 8 (fun i -> Float.of_int (i - 4) /. 600.0) in
+  let ct = Encrypt.encrypt_real params pk ~level:0 xs rng in
+  let raised = Bootstrap.mod_raise params ct in
+  let rp = Encrypt.decrypt_poly sk raised in
+  let summed = Bootstrap.sub_sum ctx cfg raised in
+  let ct_a, ct_b = Bootstrap.coeff_to_slot ctx cfg summed in
+  let n = params.Params.n in
+  let gap = n / 2 / cfg.Bootstrap.slots in
+  let delta = params.Params.scale in
+  let da = Encrypt.decrypt_real params sk ct_a in
+  let db = Encrypt.decrypt_real params sk ct_b in
+  for k = 0 to cfg.Bootstrap.slots - 1 do
+    let ta = Cinnamon_rns.Rns_poly.coeff_float rp (k * gap) /. delta in
+    let tb = Cinnamon_rns.Rns_poly.coeff_float rp ((k + cfg.Bootstrap.slots) * gap) /. delta in
+    Alcotest.(check bool) "slot a = coeff/delta" true (Float.abs (da.(k) -. ta) < 0.05 *. (1.0 +. Float.abs ta));
+    Alcotest.(check bool) "slot b = coeff/delta" true (Float.abs (db.(k) -. tb) < 0.05 *. (1.0 +. Float.abs tb))
+  done
+
+let test_bootstrap_end_to_end () =
+  let params, cfg, sk, pk, ctx = Lazy.force env in
+  let rng = Rng.create ~seed:6 in
+  let xs = Array.init 8 (fun i -> Float.of_int (i - 4) /. 512.0) in
+  let ct = Encrypt.encrypt_real params pk ~level:0 xs rng in
+  let out = Bootstrap.bootstrap ctx cfg params ct in
+  Alcotest.(check bool) "levels refreshed" true (Ciphertext.level out >= 7);
+  let got = Encrypt.decrypt_real params sk out in
+  let err = Stats.max_abs_error ~expected:xs ~actual:got in
+  Alcotest.(check bool)
+    (Printf.sprintf "precision (err=%g, %.1f bits)" err (Stats.precision_bits ~expected:xs ~actual:got))
+    true (err < 1e-3)
+
+let test_bootstrap_then_compute () =
+  (* the refreshed ciphertext supports further multiplications *)
+  let params, cfg, sk, pk, ctx = Lazy.force env in
+  let rng = Rng.create ~seed:7 in
+  let xs = Array.init 8 (fun i -> Float.of_int (i + 1) /. 1024.0) in
+  let ct = Encrypt.encrypt_real params pk ~level:0 xs rng in
+  let out = Bootstrap.bootstrap ctx cfg params ct in
+  let sq = Eval.square ctx out in
+  let got = Encrypt.decrypt_real params sk sq in
+  let expect = Array.map (fun x -> x *. x) xs in
+  Alcotest.(check bool) "square after refresh" true
+    (Stats.max_abs_error ~expected:expect ~actual:got < 1e-3)
+
+let test_required_rotations_cover () =
+  let params, cfg, _, _, _ = Lazy.force env in
+  let rots = Bootstrap.required_rotations params ~slots:cfg.Bootstrap.slots in
+  Alcotest.(check bool) "non-empty" true (List.length rots > 0);
+  (* subsum needs slots * 2^t amounts *)
+  Alcotest.(check bool) "contains slots" true (List.mem cfg.Bootstrap.slots rots)
+
+let suite =
+  ( "bootstrap",
+    [
+      Alcotest.test_case "embedding matrix" `Quick test_embedding_matrix_identity;
+      Alcotest.test_case "C2S matrices invert" `Quick test_c2s_matrices_invert;
+      Alcotest.test_case "mod raise" `Slow test_mod_raise_structure;
+      Alcotest.test_case "sub sum projection" `Slow test_sub_sum_projects;
+      Alcotest.test_case "coeff to slot" `Slow test_coeff_to_slot;
+      Alcotest.test_case "end-to-end refresh" `Slow test_bootstrap_end_to_end;
+      Alcotest.test_case "compute after refresh" `Slow test_bootstrap_then_compute;
+      Alcotest.test_case "rotation planning" `Quick test_required_rotations_cover;
+    ] )

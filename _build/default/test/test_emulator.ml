@@ -1,0 +1,169 @@
+(* Tests for the emulator: structural ISA validation and end-to-end
+   functional execution of compiled programs through the parallel
+   keyswitching algorithms, compared against plain CKKS evaluation and
+   the expected plaintext result (the paper's §6.2 emulator check). *)
+
+open Cinnamon_compiler
+open Cinnamon_ckks
+module Dsl = Cinnamon.Dsl
+module F = Cinnamon_emulator.Functional
+module Rng = Cinnamon_util.Rng
+module Cplx = Cinnamon_util.Cplx
+module Stats = Cinnamon_util.Stats
+
+(* --- structural checks (Check) --------------------------------------------- *)
+
+let compile_small prog = Pipeline.compile (Compile_config.paper ~chips:4 ()) prog
+
+let test_check_accepts_compiled () =
+  let prog =
+    Dsl.program (fun p ->
+        let v = Dsl.input p "v" in
+        Dsl.output (Dsl.bsgs_matvec v ~diagonals:9 ~name:"m") "out")
+  in
+  let r = compile_small prog in
+  let report = Cinnamon_emulator.Check.check r.Pipeline.machine in
+  Alcotest.(check bool)
+    (Format.asprintf "%a" Cinnamon_emulator.Check.pp_report report)
+    true
+    (Cinnamon_emulator.Check.ok report)
+
+let test_check_catches_bad_read () =
+  let open Cinnamon_isa.Isa in
+  let bad =
+    {
+      programs =
+        [|
+          { chip = 0; instrs = [| Valu { op = Op_add; dst = 1; a = 0; b = 0 } |]; n_regs = 2 };
+        |];
+      limb_bytes = 1024;
+      n = 64;
+    }
+  in
+  let report = Cinnamon_emulator.Check.check bad in
+  Alcotest.(check bool) "flags never-written read" false (Cinnamon_emulator.Check.ok report)
+
+let test_check_catches_missing_collective () =
+  let open Cinnamon_isa.Isa in
+  let bad =
+    {
+      programs =
+        [|
+          { chip = 0;
+            instrs = [| Net_bcast { group = [ 0; 1 ]; limbs = 1; coll_id = 0; sends = []; recvs = [] } |];
+            n_regs = 1 };
+          { chip = 1; instrs = [||]; n_regs = 1 };
+        |];
+      limb_bytes = 1024;
+      n = 64;
+    }
+  in
+  let report = Cinnamon_emulator.Check.check bad in
+  Alcotest.(check bool) "flags missing participant" false (Cinnamon_emulator.Check.ok report)
+
+(* --- functional emulation ---------------------------------------------------- *)
+
+(* Program: a small BSGS matvec followed by a slot-sum, covering both
+   keyswitch patterns plus relinearization (via a square). *)
+let demo_program =
+  Dsl.program (fun p ->
+      let v = Dsl.input p "v" in
+      let m = Dsl.bsgs_matvec v ~diagonals:9 ~name:"m" in
+      let s = Dsl.square m in
+      Dsl.output s "out")
+
+let emu_env =
+  lazy
+    (let params = Lazy.force Params.small in
+     let rng = Rng.create ~seed:505 in
+     let cfg = Compile_config.functional ~chips:4 params in
+     let poly = Lower_poly.lower cfg demo_program in
+     let _report = Keyswitch_pass.run cfg poly in
+     let rotations = F.rotations_of demo_program in
+     let keys = F.gen_keys params ~chips:4 ~rotations rng in
+     (params, cfg, poly, keys, rng))
+
+let test_emulator_end_to_end () =
+  let params, _, poly, keys, _ = Lazy.force emu_env in
+  let rng = Rng.create ~seed:506 in
+  let slots = 64 in
+  let xs = Array.init slots (fun i -> 0.3 *. sin (Float.of_int i)) in
+  let ct = Encrypt.encrypt_real params keys.F.pk xs rng in
+  let inputs = Hashtbl.create 4 in
+  Hashtbl.add inputs "v" ct;
+  let plaintexts = Hashtbl.create 8 in
+  let diags =
+    List.init 9 (fun d ->
+        let v = Array.init slots (fun i -> Cplx.make (0.2 *. cos (Float.of_int (i + d))) 0.0) in
+        Hashtbl.add plaintexts (Printf.sprintf "m.diag%d" d) v;
+        v)
+  in
+  let env = F.make_env ~params ~keys ~plaintexts ~inputs ~poly in
+  let outputs = F.run env demo_program in
+  let out = List.assoc "out" outputs in
+  let got = Encrypt.decrypt_real params keys.F.sk out in
+  (* expected: BSGS matvec with 4 diagonals then square *)
+  let rotate_vec v k = Array.init slots (fun i -> v.((i + k) mod slots)) in
+  let g = 3 (* bsgs group size for 9 diagonals *) in
+  let expect = Array.make slots 0.0 in
+  List.iteri
+    (fun d dv ->
+      let i = d / g and j = d mod g in
+      let rot_d = rotate_vec xs j in
+      let dvr = Array.map Cplx.re dv in
+      (* diag was pre-rotated by -g*i in matvec_bsgs's plain analog;
+         here the DSL names plain diagonals directly, so emulate the
+         same arithmetic: term = rot(x, j) * diag, then rotated by g*i *)
+      let term = Array.map2 ( *. ) rot_d dvr in
+      let term = rotate_vec term (g * i) in
+      Array.iteri (fun k v -> expect.(k) <- expect.(k) +. v) term)
+    diags;
+  let expect = Array.map (fun x -> x *. x) expect in
+  Alcotest.(check bool)
+    (Printf.sprintf "emulated = expected (err %g)" (Stats.max_abs_error ~expected:expect ~actual:got))
+    true
+    (Stats.max_abs_error ~expected:expect ~actual:got < 1e-2);
+  (* communication happened through parallel algorithms *)
+  Alcotest.(check bool) "parallel comm recorded" true
+    (env.F.comm.Keyswitch_alg.n_broadcast + env.F.comm.Keyswitch_alg.n_aggregate > 0)
+
+let test_emulator_uses_pass_algorithms () =
+  let _, _, poly, _, _ = Lazy.force emu_env in
+  let algs = F.algorithms_of_poly poly in
+  let has alg = Hashtbl.fold (fun _ a acc -> acc || a = alg) algs false in
+  Alcotest.(check bool) "input-broadcast present" true (has Cinnamon_ir.Poly_ir.Input_broadcast);
+  Alcotest.(check bool) "output-aggregation present" true (has Cinnamon_ir.Poly_ir.Output_aggregation)
+
+let test_emulator_add_only_program () =
+  let params, _, poly, keys, _ = Lazy.force emu_env in
+  ignore poly;
+  let rng = Rng.create ~seed:507 in
+  let prog =
+    Dsl.program (fun p ->
+        let a = Dsl.input p "a" and b = Dsl.input p "b" in
+        Dsl.output (Dsl.add (Dsl.mul_const a 2.0) b) "out")
+  in
+  let cfg = Compile_config.functional ~chips:4 params in
+  let poly' = Lower_poly.lower cfg prog in
+  let _ = Keyswitch_pass.run cfg poly' in
+  let xs = Array.init 64 (fun i -> Float.of_int i /. 100.0) in
+  let ys = Array.init 64 (fun i -> Float.of_int (64 - i) /. 100.0) in
+  let inputs = Hashtbl.create 4 in
+  Hashtbl.add inputs "a" (Encrypt.encrypt_real params keys.F.pk xs rng);
+  Hashtbl.add inputs "b" (Encrypt.encrypt_real params keys.F.pk ys rng);
+  let env = F.make_env ~params ~keys ~plaintexts:(Hashtbl.create 1) ~inputs ~poly:poly' in
+  let out = List.assoc "out" (F.run env prog) in
+  let got = Encrypt.decrypt_real params keys.F.sk out in
+  let expect = Array.map2 (fun x y -> (2.0 *. x) +. y) xs ys in
+  Alcotest.(check bool) "2a+b" true (Stats.max_abs_error ~expected:expect ~actual:got < 1e-2)
+
+let suite =
+  ( "emulator",
+    [
+      Alcotest.test_case "check accepts compiled" `Quick test_check_accepts_compiled;
+      Alcotest.test_case "check catches bad read" `Quick test_check_catches_bad_read;
+      Alcotest.test_case "check catches missing participant" `Quick test_check_catches_missing_collective;
+      Alcotest.test_case "functional e2e" `Slow test_emulator_end_to_end;
+      Alcotest.test_case "pass algorithms used" `Quick test_emulator_uses_pass_algorithms;
+      Alcotest.test_case "add-only program" `Quick test_emulator_add_only_program;
+    ] )

@@ -1,0 +1,173 @@
+(* Tests for the parallel keyswitching algorithms (paper §4.3.1,
+   Fig. 8): functional equivalence with the sequential reference and
+   the communication accounting behind §7.4's algorithmic analysis. *)
+
+open Cinnamon_ckks
+open Cinnamon_rns
+open Cinnamon_compiler
+module Rng = Cinnamon_util.Rng
+module KA = Keyswitch_alg
+
+let env =
+  lazy
+    (let params = Lazy.force Params.small in
+     let rng = Rng.create ~seed:303 in
+     let sk = Keys.gen_secret_key params rng in
+     let relin = Keys.gen_relin_key params sk rng in
+     let s = Keys.sk_over sk (Params.qp_basis params) in
+     let rr4 = KA.gen_round_robin_key params sk ~s_from:(Rns_poly.mul s s) ~chips:4 rng in
+     let rr3 = KA.gen_round_robin_key params sk ~s_from:(Rns_poly.mul s s) ~chips:3 rng in
+     (params, sk, relin, rr4, rr3))
+
+let random_input ?(seed = 7) params =
+  let rng = Rng.create ~seed in
+  Rns_poly.random ~n:params.Params.n ~basis:params.Params.q_basis ~domain:Rns_poly.Eval rng
+
+let decrypt_diff params sk (k0a, k1a) (k0b, k1b) =
+  let s = Keys.sk_over sk (Rns_poly.basis k0a) in
+  let da = Rns_poly.add k0a (Rns_poly.mul k1a s) in
+  let db = Rns_poly.add k0b (Rns_poly.mul k1b s) in
+  let diff = Rns_poly.sub da db in
+  let worst = ref 0.0 in
+  for i = 0 to params.Params.n - 1 do
+    worst := max !worst (Float.abs (Rns_poly.coeff_float diff i))
+  done;
+  !worst
+
+(* --- input broadcast ------------------------------------------------------ *)
+
+let test_input_broadcast_bit_exact () =
+  let params, _, relin, _, _ = Lazy.force env in
+  let c = random_input params in
+  let seq = Keyswitch.keyswitch params relin c in
+  let cnt = KA.new_counter () in
+  let par = KA.run_input_broadcast params relin c ~chips:4 cnt in
+  Alcotest.(check bool) "k0 identical" true (Rns_poly.equal (fst seq) (fst par));
+  Alcotest.(check bool) "k1 identical" true (Rns_poly.equal (snd seq) (snd par))
+
+let test_input_broadcast_any_chip_count () =
+  let params, _, relin, _, _ = Lazy.force env in
+  let c = random_input ~seed:8 params in
+  let seq = Keyswitch.keyswitch params relin c in
+  List.iter
+    (fun chips ->
+      let cnt = KA.new_counter () in
+      let par = KA.run_input_broadcast params relin c ~chips cnt in
+      Alcotest.(check bool) (Printf.sprintf "%d chips" chips) true
+        (Rns_poly.equal (fst seq) (fst par) && Rns_poly.equal (snd seq) (snd par)))
+    [ 1; 2; 3; 8 ]
+
+let test_input_broadcast_comm () =
+  let params, _, relin, _, _ = Lazy.force env in
+  let c = random_input ~seed:9 params in
+  let cnt = KA.new_counter () in
+  ignore (KA.run_input_broadcast params relin c ~chips:4 cnt);
+  Alcotest.(check int) "exactly 1 broadcast" 1 cnt.KA.n_broadcast;
+  Alcotest.(check int) "no aggregations" 0 cnt.KA.n_aggregate;
+  (* l limbs reach 3 other chips each *)
+  Alcotest.(check int) "limbs moved" (Rns_poly.level c * 3) cnt.KA.limbs_moved
+
+(* --- output aggregation ---------------------------------------------------- *)
+
+let test_output_aggregation_equivalent () =
+  let params, sk, relin, rr4, _ = Lazy.force env in
+  let c = random_input ~seed:10 params in
+  let seq = Keyswitch.keyswitch params relin c in
+  let cnt = KA.new_counter () in
+  let par = KA.run_output_aggregation params rr4 c ~chips:4 cnt in
+  (* different digit decomposition => different noise, same plaintext *)
+  let err = decrypt_diff params sk seq par in
+  Alcotest.(check bool)
+    (Printf.sprintf "decrypt-equivalent (err 2^%.1f vs Q 2^238)" (log err /. log 2.0))
+    true (err < 1e12)
+
+let test_output_aggregation_comm () =
+  let params, _, _, rr4, _ = Lazy.force env in
+  let c = random_input ~seed:11 params in
+  let cnt = KA.new_counter () in
+  ignore (KA.run_output_aggregation params rr4 c ~chips:4 cnt);
+  Alcotest.(check int) "exactly 2 aggregations" 2 cnt.KA.n_aggregate;
+  Alcotest.(check int) "no broadcasts" 0 cnt.KA.n_broadcast
+
+let test_output_aggregation_odd_chips () =
+  let params, sk, relin, _, rr3 = Lazy.force env in
+  let c = random_input ~seed:12 params in
+  let seq = Keyswitch.keyswitch params relin c in
+  let cnt = KA.new_counter () in
+  let par = KA.run_output_aggregation params rr3 c ~chips:3 cnt in
+  Alcotest.(check bool) "3-chip digits" true (decrypt_diff params sk seq par < 1e12)
+
+(* --- CiFHER --------------------------------------------------------------- *)
+
+let test_cifher_exact_and_3_broadcasts () =
+  let params, _, relin, _, _ = Lazy.force env in
+  let c = random_input ~seed:13 params in
+  let seq = Keyswitch.keyswitch params relin c in
+  let cnt = KA.new_counter () in
+  let par = KA.run_cifher params relin c ~chips:4 cnt in
+  Alcotest.(check bool) "bit-exact" true (Rns_poly.equal (fst seq) (fst par));
+  Alcotest.(check int) "3 broadcasts" 3 cnt.KA.n_broadcast
+
+(* --- dispatcher ------------------------------------------------------------ *)
+
+let test_dispatcher_rejects_mismatch () =
+  let params, _, relin, _, _ = Lazy.force env in
+  let c = random_input ~seed:14 params in
+  let cnt = KA.new_counter () in
+  Alcotest.check_raises "OA needs round-robin key"
+    (Invalid_argument "Keyswitch_alg.run: algorithm/key mismatch") (fun () ->
+      ignore
+        (KA.run params ~algorithm:Cinnamon_ir.Poly_ir.Output_aggregation ~chips:4
+           ~key:(KA.Standard relin) c cnt))
+
+let test_dispatcher_routes () =
+  let params, _, relin, rr4, _ = Lazy.force env in
+  let c = random_input ~seed:15 params in
+  let cnt = KA.new_counter () in
+  let a = KA.run params ~algorithm:Cinnamon_ir.Poly_ir.Seq ~chips:4 ~key:(KA.Standard relin) c cnt in
+  let b =
+    KA.run params ~algorithm:Cinnamon_ir.Poly_ir.Input_broadcast ~chips:4 ~key:(KA.Standard relin) c cnt
+  in
+  Alcotest.(check bool) "seq = ib" true (Rns_poly.equal (fst a) (fst b));
+  let _ =
+    KA.run params ~algorithm:Cinnamon_ir.Poly_ir.Output_aggregation ~chips:4 ~key:(KA.Round_robin rr4)
+      c cnt
+  in
+  Alcotest.(check bool) "counter accumulated" true (cnt.KA.n_broadcast >= 1 && cnt.KA.n_aggregate = 2)
+
+(* rotation keyswitching through the parallel algorithms, end to end *)
+let test_parallel_rotation_correct () =
+  let params, sk, _, _, _ = Lazy.force env in
+  let rng = Rng.create ~seed:404 in
+  let pk = Keys.gen_public_key params sk rng in
+  let swk = Keys.gen_rotation_key params sk ~rot:3 rng in
+  let xs = Array.init 64 (fun i -> Float.of_int i /. 100.0) in
+  let ct = Encrypt.encrypt_real params pk xs rng in
+  let k = Keys.galois_of_rotation ~n:params.Params.n 3 in
+  let c0r = Rns_poly.automorphism ct.Ciphertext.c0 ~k in
+  let c1r = Rns_poly.automorphism ct.Ciphertext.c1 ~k in
+  let cnt = KA.new_counter () in
+  let k0, k1 = KA.run_input_broadcast params swk c1r ~chips:4 cnt in
+  let rotated =
+    Ciphertext.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:(Ciphertext.scale ct)
+      ~slots:(Ciphertext.slots ct)
+  in
+  let got = Encrypt.decrypt_real params sk rotated in
+  let expect = Array.init 64 (fun i -> xs.((i + 3) mod 64)) in
+  Alcotest.(check bool) "parallel rotation decrypts" true
+    (Cinnamon_util.Stats.max_abs_error ~expected:expect ~actual:got < 1e-3)
+
+let suite =
+  ( "keyswitch-alg",
+    [
+      Alcotest.test_case "input-broadcast bit-exact" `Quick test_input_broadcast_bit_exact;
+      Alcotest.test_case "input-broadcast chip counts" `Slow test_input_broadcast_any_chip_count;
+      Alcotest.test_case "input-broadcast comm" `Quick test_input_broadcast_comm;
+      Alcotest.test_case "output-agg equivalent" `Quick test_output_aggregation_equivalent;
+      Alcotest.test_case "output-agg comm" `Quick test_output_aggregation_comm;
+      Alcotest.test_case "output-agg 3 chips" `Quick test_output_aggregation_odd_chips;
+      Alcotest.test_case "cifher exact + comm" `Quick test_cifher_exact_and_3_broadcasts;
+      Alcotest.test_case "dispatcher key check" `Quick test_dispatcher_rejects_mismatch;
+      Alcotest.test_case "dispatcher routing" `Quick test_dispatcher_routes;
+      Alcotest.test_case "parallel rotation e2e" `Quick test_parallel_rotation_correct;
+    ] )

@@ -1,0 +1,163 @@
+(* Cross-module property tests: algebraic laws that must hold over
+   randomized inputs (qcheck), complementing the targeted unit tests. *)
+
+open Cinnamon_ckks
+module Rng = Cinnamon_util.Rng
+module Cplx = Cinnamon_util.Cplx
+module Stats = Cinnamon_util.Stats
+
+let qtest ?(count = 15) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let env =
+  lazy
+    (let params = Lazy.force Params.small in
+     let rng = Rng.create ~seed:808 in
+     let sk = Keys.gen_secret_key params rng in
+     let pk = Keys.gen_public_key params sk rng in
+     let ek = Keys.gen_eval_key params sk ~rotations:[ 1; 2; 3; 4; 5; 6; 7 ] ~conjugation:true rng in
+     (params, sk, pk, ek, Eval.context params ek))
+
+let vec seed = Array.init 64 (fun i -> 0.4 *. sin (Float.of_int ((seed * 67) + i)))
+
+(* --- encoding properties ----------------------------------------------- *)
+
+let test_encoding_conjugate_symmetry =
+  qtest "decode of real vector is real" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let params = Lazy.force Params.small in
+      let pt =
+        Encoding.encode_real ~basis:params.Params.q_basis ~n:params.Params.n
+          ~delta:params.Params.scale (vec seed)
+      in
+      let z = Encoding.decode ~delta:params.Params.scale ~slots:64 pt in
+      Array.for_all (fun c -> Float.abs c.Cplx.im < 1e-5) z)
+
+let test_encoding_scale_invariance =
+  qtest "decode(encode at 2*delta, read at 2*delta) = id" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let params = Lazy.force Params.small in
+      let d2 = 2.0 *. params.Params.scale in
+      let xs = vec seed in
+      let pt = Encoding.encode_real ~basis:params.Params.q_basis ~n:params.Params.n ~delta:d2 xs in
+      let back = Encoding.decode_real ~delta:d2 ~slots:64 pt in
+      Stats.max_abs_error ~expected:xs ~actual:back < 1e-5)
+
+let test_encoding_negate =
+  qtest "encode(-x) = -encode(x) up to rounding" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let params = Lazy.force Params.small in
+      let xs = vec seed in
+      let enc v =
+        Encoding.encode_real ~basis:params.Params.q_basis ~n:params.Params.n
+          ~delta:params.Params.scale v
+      in
+      let sum = Cinnamon_rns.Rns_poly.add
+          (Cinnamon_rns.Rns_poly.to_eval (enc xs))
+          (Cinnamon_rns.Rns_poly.to_eval (enc (Array.map Float.neg xs))) in
+      let back = Encoding.decode_real ~delta:params.Params.scale ~slots:64 sum in
+      Array.for_all (fun v -> Float.abs v < 1e-5) back)
+
+(* --- homomorphism laws ---------------------------------------------------- *)
+
+let test_add_commutes =
+  qtest ~count:5 "enc(a)+enc(b) decrypts to a+b (both orders)" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let params, sk, pk, _, _ = Lazy.force env in
+      let rng = Rng.create ~seed:(seed + 1) in
+      let a = vec seed and b = vec (seed + 13) in
+      let ca = Encrypt.encrypt_real params pk a rng in
+      let cb = Encrypt.encrypt_real params pk b rng in
+      let d1 = Encrypt.decrypt_real params sk (Eval.add ca cb) in
+      let d2 = Encrypt.decrypt_real params sk (Eval.add cb ca) in
+      Stats.max_abs_error ~expected:d1 ~actual:d2 < 1e-9)
+
+let test_mul_distributes =
+  qtest ~count:4 "a*(b+c) ~ a*b + a*c" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let params, sk, pk, _, ctx = Lazy.force env in
+      let rng = Rng.create ~seed:(seed + 2) in
+      let a = vec seed and b = vec (seed + 5) and c = vec (seed + 9) in
+      let ca = Encrypt.encrypt_real params pk a rng in
+      let cb = Encrypt.encrypt_real params pk b rng in
+      let cc = Encrypt.encrypt_real params pk c rng in
+      let lhs = Encrypt.decrypt_real params sk (Eval.mul ctx ca (Eval.add cb cc)) in
+      let rhs = Encrypt.decrypt_real params sk (Eval.add (Eval.mul ctx ca cb) (Eval.mul ctx ca cc)) in
+      Stats.max_abs_error ~expected:lhs ~actual:rhs < 1e-3)
+
+let test_rotation_group_action =
+  qtest ~count:4 "rot r . rot s = rot (r+s)" QCheck2.Gen.(pair (int_range 1 3) (int_range 1 4))
+    (fun (r, s) ->
+      let params, sk, pk, _, ctx = Lazy.force env in
+      let rng = Rng.create ~seed:(r + (10 * s)) in
+      let a = vec (r + s) in
+      let ca = Encrypt.encrypt_real params pk a rng in
+      let lhs = Encrypt.decrypt_real params sk (Eval.rotate ctx (Eval.rotate ctx ca r) s) in
+      let rhs = Encrypt.decrypt_real params sk (Eval.rotate ctx ca (r + s)) in
+      Stats.max_abs_error ~expected:rhs ~actual:lhs < 1e-3)
+
+let test_conjugate_involution =
+  qtest ~count:3 "conj . conj = id" QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let params, sk, pk, _, ctx = Lazy.force env in
+      let rng = Rng.create ~seed:(seed + 3) in
+      let a = vec seed in
+      let ca = Encrypt.encrypt_real params pk a rng in
+      let back = Encrypt.decrypt_real params sk (Eval.conjugate ctx (Eval.conjugate ctx ca)) in
+      Stats.max_abs_error ~expected:a ~actual:back < 1e-3)
+
+(* --- noise-analysis properties ---------------------------------------------- *)
+
+let test_noise_add_bounded_by_sum =
+  qtest ~count:20 "log2_add dominates max"
+    QCheck2.Gen.(pair (float_range (-30.0) 0.0) (float_range (-30.0) 0.0))
+    (fun (a, b) ->
+      let open Cinnamon_compiler in
+      (* the add rule must be at least the max and at most max+1 bit *)
+      let prog =
+        Cinnamon.Dsl.program (fun p ->
+            let x = Cinnamon.Dsl.input p "x" and y = Cinnamon.Dsl.input p "y" in
+            Cinnamon.Dsl.output (Cinnamon.Dsl.add x y) "o")
+      in
+      ignore a;
+      ignore b;
+      let est = Noise.analyze prog in
+      let fresh = Noise.fresh_noise_bits ~n:(1 lsl 16) ~sigma:3.2 ~delta:(2.0 ** 26.0) in
+      est.Noise.worst >= fresh && est.Noise.worst <= fresh +. 1.01)
+
+(* --- simulator properties ------------------------------------------------------ *)
+
+let test_sim_scale_free =
+  qtest ~count:5 "simulated time independent of seed-like permutations" QCheck2.Gen.(int_bound 3)
+    (fun _ ->
+      (* determinism under repetition (stronger than the unit test: the
+         kernel cache is bypassed) *)
+      let open Cinnamon_workloads in
+      let r1 = Runner.simulate_kernel ~use_cache:false Runner.cinnamon_4 (Specs.K_matvec 9) in
+      let r2 = Runner.simulate_kernel ~use_cache:false Runner.cinnamon_4 (Specs.K_matvec 9) in
+      r1.Cinnamon_sim.Simulator.cycles = r2.Cinnamon_sim.Simulator.cycles)
+
+(* --- workload composition properties -------------------------------------------- *)
+
+let test_more_groups_never_slower =
+  qtest ~count:1 "HELR on 8 chips <= on 4 chips" QCheck2.Gen.unit
+    (fun () ->
+      let open Cinnamon_workloads in
+      let t4 = (Runner.run_benchmark Runner.cinnamon_4 Specs.helr).Runner.br_seconds in
+      let t8 = (Runner.run_benchmark Runner.cinnamon_8 Specs.helr).Runner.br_seconds in
+      t8 <= t4 +. 1e-9)
+
+let suite =
+  ( "properties",
+    [
+      test_encoding_conjugate_symmetry;
+      test_encoding_scale_invariance;
+      test_encoding_negate;
+      test_add_commutes;
+      test_mul_distributes;
+      test_rotation_group_action;
+      test_conjugate_involution;
+      test_noise_add_bounded_by_sum;
+      test_sim_scale_free;
+      test_more_groups_never_slower;
+    ] )

@@ -1,0 +1,220 @@
+(* Tests for Cinnamon_util: PRNG, bit ops, bignum, complex FFT, stats. *)
+
+open Cinnamon_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_ternary_range () =
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let v = Rng.ternary rng in
+    Alcotest.(check bool) "ternary" true (v >= -1 && v <= 1)
+  done
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "unit interval" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create ~seed:4 in
+  let n = 20000 in
+  let samples = List.init n (fun _ -> Rng.gaussian rng ~sigma:3.2) in
+  let mean = Stats.mean samples in
+  let sd = Stats.stddev samples in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.1);
+  Alcotest.(check bool) "sigma near 3.2" true (Float.abs (sd -. 3.2) < 0.1)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "streams differ" true (Rng.next a <> Rng.next b)
+
+(* --- Bitops ----------------------------------------------------------- *)
+
+let test_is_pow2 () =
+  List.iter (fun v -> Alcotest.(check bool) "pow2" true (Bitops.is_pow2 v)) [ 1; 2; 4; 1024 ];
+  List.iter (fun v -> Alcotest.(check bool) "not pow2" false (Bitops.is_pow2 v)) [ 0; 3; 6; -4 ]
+
+let test_log2_exact () =
+  Alcotest.(check int) "log2 1024" 10 (Bitops.log2_exact 1024);
+  Alcotest.check_raises "non pow2" (Invalid_argument "Bitops.log2_exact: not a power of two")
+    (fun () -> ignore (Bitops.log2_exact 12))
+
+let test_ceil_log2 () =
+  Alcotest.(check int) "ceil 1" 0 (Bitops.ceil_log2 1);
+  Alcotest.(check int) "ceil 5" 3 (Bitops.ceil_log2 5);
+  Alcotest.(check int) "ceil 8" 3 (Bitops.ceil_log2 8)
+
+let test_bit_reverse () =
+  Alcotest.(check int) "rev(1,3)" 4 (Bitops.bit_reverse 1 ~bits:3);
+  Alcotest.(check int) "rev(6,3)" 3 (Bitops.bit_reverse 6 ~bits:3)
+
+let test_bit_reverse_involution =
+  qtest "bit_reverse is an involution" QCheck2.Gen.(pair (int_bound 255) (int_range 8 8))
+    (fun (i, bits) -> Bitops.bit_reverse (Bitops.bit_reverse i ~bits) ~bits = i)
+
+let test_bit_reverse_permute () =
+  let a = Array.init 8 (fun i -> i) in
+  Bitops.bit_reverse_permute a;
+  Alcotest.(check (array int)) "permutation" [| 0; 4; 2; 6; 1; 5; 3; 7 |] a
+
+let test_cdiv () =
+  Alcotest.(check int) "7/2" 4 (Bitops.cdiv 7 2);
+  Alcotest.(check int) "8/2" 4 (Bitops.cdiv 8 2)
+
+let test_pow_int () =
+  Alcotest.(check int) "3^5" 243 (Bitops.pow_int 3 5);
+  Alcotest.(check int) "x^0" 1 (Bitops.pow_int 7 0)
+
+(* --- Bigint ----------------------------------------------------------- *)
+
+let big = Alcotest.testable Bigint.pp Bigint.equal
+
+let test_bigint_roundtrip =
+  qtest "of_int/to_int roundtrip" QCheck2.Gen.(int_bound max_int)
+    (fun n -> Bigint.to_int_opt (Bigint.of_int n) = Some n)
+
+let test_bigint_string_roundtrip () =
+  let s = "123456789012345678901234567890123456789" in
+  Alcotest.(check string) "decimal roundtrip" s (Bigint.to_string (Bigint.of_string s))
+
+let test_bigint_add_sub =
+  qtest "(a+b)-b = a" QCheck2.Gen.(pair (int_bound (1 lsl 40)) (int_bound (1 lsl 40)))
+    (fun (a, b) ->
+      let ba = Bigint.of_int a and bb = Bigint.of_int b in
+      Bigint.equal (Bigint.sub (Bigint.add ba bb) bb) ba)
+
+let test_bigint_mul_matches_int =
+  qtest "mul matches native" QCheck2.Gen.(pair (int_bound (1 lsl 30)) (int_bound (1 lsl 30)))
+    (fun (a, b) -> Bigint.to_int_opt (Bigint.mul (Bigint.of_int a) (Bigint.of_int b)) = Some (a * b))
+
+let test_bigint_divmod =
+  qtest "divmod reconstructs" QCheck2.Gen.(pair (int_bound (1 lsl 55)) (int_range 1 ((1 lsl 30) - 1)))
+    (fun (a, m) ->
+      let q, r = Bigint.divmod_small (Bigint.of_int a) m in
+      r >= 0 && r < m && Bigint.to_int_opt (Bigint.add (Bigint.mul_small q m) (Bigint.of_int r)) = Some a)
+
+let test_bigint_mul_big () =
+  (* (10^20)^2 = 10^40 *)
+  let x = Bigint.of_string "100000000000000000000" in
+  Alcotest.check big "10^40" (Bigint.of_string ("1" ^ String.make 40 '0')) (Bigint.mul x x)
+
+let test_bigint_bit_length () =
+  Alcotest.(check int) "bits of 0" 0 (Bigint.bit_length Bigint.zero);
+  Alcotest.(check int) "bits of 1" 1 (Bigint.bit_length Bigint.one);
+  Alcotest.(check int) "bits of 2^20" 21 (Bigint.bit_length (Bigint.of_int (1 lsl 20)))
+
+let test_bigint_compare () =
+  let a = Bigint.of_string "999999999999999999999999" in
+  let b = Bigint.add a Bigint.one in
+  Alcotest.(check bool) "a < a+1" true (Bigint.compare a b < 0);
+  Alcotest.(check bool) "a = a" true (Bigint.compare a a = 0)
+
+(* --- Cplx ------------------------------------------------------------- *)
+
+let test_fft_roundtrip () =
+  let rng = Rng.create ~seed:5 in
+  let a = Array.init 64 (fun _ -> Cplx.make (Rng.float rng -. 0.5) (Rng.float rng -. 0.5)) in
+  let b = Cplx.ifft (Cplx.fft a) in
+  Array.iteri
+    (fun i x -> Alcotest.(check bool) "roundtrip" true (Cplx.abs (Cplx.sub x a.(i)) < 1e-9))
+    b
+
+let test_fft_matches_naive () =
+  let rng = Rng.create ~seed:6 in
+  let a = Array.init 32 (fun _ -> Cplx.make (Rng.float rng -. 0.5) (Rng.float rng -. 0.5)) in
+  let fast = Cplx.fft a in
+  let slow = Cplx.dft_naive a in
+  Array.iteri
+    (fun i x -> Alcotest.(check bool) "matches naive" true (Cplx.abs (Cplx.sub x slow.(i)) < 1e-8))
+    fast
+
+let test_cplx_algebra () =
+  let i = Cplx.make 0.0 1.0 in
+  let m = Cplx.mul i i in
+  check_float "i*i = -1 (re)" (-1.0) m.Cplx.re;
+  check_float "i*i = -1 (im)" 0.0 m.Cplx.im;
+  let d = Cplx.div Cplx.one i in
+  check_float "1/i = -i" (-1.0) d.Cplx.im
+
+let test_polar () =
+  let p = Cplx.polar (Float.pi /. 2.0) in
+  Alcotest.(check bool) "e^{i pi/2} = i" true (Float.abs p.Cplx.re < 1e-12 && Float.abs (p.Cplx.im -. 1.0) < 1e-12)
+
+(* --- Stats / Table ------------------------------------------------------ *)
+
+let test_stats () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "max_abs_error" 0.5
+    (Stats.max_abs_error ~expected:[| 1.0; 2.0 |] ~actual:[| 1.5; 2.0 |]);
+  Alcotest.(check bool) "precision_bits" true
+    (Float.abs (Stats.precision_bits ~expected:[| 1.0 |] ~actual:[| 1.0 +. (1.0 /. 1024.0) |] -. 10.0) < 0.01)
+
+let test_table_render () =
+  let t = Table.create ~title:"t" ~header:[ "a"; "b" ] () in
+  Table.add_row t [ "1"; "2" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains title" true (String.length s > 0 && String.sub s 0 4 = "== t");
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Table.add_row: width mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_fmt_time () =
+  Alcotest.(check string) "ms" "1.50ms" (Table.fmt_time 1.5e-3);
+  Alcotest.(check string) "s" "2.00s" (Table.fmt_time 2.0);
+  Alcotest.(check string) "min" "5.0min" (Table.fmt_time 300.0)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng ternary" `Quick test_rng_ternary_range;
+      Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+      Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+      Alcotest.test_case "log2_exact" `Quick test_log2_exact;
+      Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+      Alcotest.test_case "bit_reverse" `Quick test_bit_reverse;
+      test_bit_reverse_involution;
+      Alcotest.test_case "bit_reverse_permute" `Quick test_bit_reverse_permute;
+      Alcotest.test_case "cdiv" `Quick test_cdiv;
+      Alcotest.test_case "pow_int" `Quick test_pow_int;
+      test_bigint_roundtrip;
+      Alcotest.test_case "bigint decimal" `Quick test_bigint_string_roundtrip;
+      test_bigint_add_sub;
+      test_bigint_mul_matches_int;
+      test_bigint_divmod;
+      Alcotest.test_case "bigint big mul" `Quick test_bigint_mul_big;
+      Alcotest.test_case "bigint bit_length" `Quick test_bigint_bit_length;
+      Alcotest.test_case "bigint compare" `Quick test_bigint_compare;
+      Alcotest.test_case "fft roundtrip" `Quick test_fft_roundtrip;
+      Alcotest.test_case "fft vs naive" `Quick test_fft_matches_naive;
+      Alcotest.test_case "cplx algebra" `Quick test_cplx_algebra;
+      Alcotest.test_case "polar" `Quick test_polar;
+      Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "fmt_time" `Quick test_fmt_time;
+    ] )

@@ -1,0 +1,129 @@
+(* Tests for the benchmark workload generators: op counts, ciphertext
+   and bootstrap budgets matching the paper's workload descriptions,
+   and the hierarchical runner. *)
+
+open Cinnamon_workloads
+open Cinnamon_ir
+
+let test_bootstrap_kernel_shape () =
+  let prog = Kernels.bootstrap_program () in
+  let c = Ct_ir.count_ops prog in
+  (* C2S+S2C: 6 BSGS matmuls of 32 diagonals -> 192 plaintext mults
+     (plus EvalMod PS coefficients) *)
+  Alcotest.(check bool) "plaintext mults from matmuls" true (c.Ct_ir.n_mul_plain >= 192);
+  (* 6 matmuls x ~11 rotations each, plus conjugation *)
+  Alcotest.(check bool) "rotations present" true (c.Ct_ir.n_rotate >= 60);
+  Alcotest.(check int) "conjugate for the ct_a/ct_b split" 1 c.Ct_ir.n_conjugate;
+  (* relinearizations from the sine towers *)
+  Alcotest.(check bool) "ct-ct mults" true (c.Ct_ir.n_mul_ct >= 20)
+
+let test_bootstrap_21_deeper () =
+  let p13 = Kernels.bootstrap_program ~shape:Kernels.boot_shape_13 () in
+  let p21 = Kernels.bootstrap_program ~shape:Kernels.boot_shape_21 () in
+  Alcotest.(check bool) "boot-21 has more work" true
+    ((Ct_ir.count_ops p21).Ct_ir.n_mul_ct > (Ct_ir.count_ops p13).Ct_ir.n_mul_ct)
+
+let test_parallel_bootstraps_scale () =
+  let p1 = Kernels.bootstrap_program ~parallel:1 () in
+  let p4 = Kernels.bootstrap_program ~parallel:4 () in
+  let s1 = Ct_ir.size p1 and s4 = Ct_ir.size p4 in
+  Alcotest.(check bool) "4 bootstraps ~ 4x nodes" true (s4 > 3 * s1 && s4 < 5 * s1)
+
+let test_progpar_creates_streams () =
+  let p = Kernels.bootstrap_program ~progpar:true () in
+  (* default stream 0 plus two EvalMod streams *)
+  Alcotest.(check int) "three streams" 3 p.Ct_ir.num_streams
+
+let test_attention_block_structure () =
+  let prog = Specs.kernel_program Specs.K_attention in
+  let c = Ct_ir.count_ops prog in
+  (* 4 projections + scores + softmax mults *)
+  Alcotest.(check bool) "has ct-ct mults" true (c.Ct_ir.n_mul_ct >= 8);
+  Alcotest.(check bool) "projection mults" true (c.Ct_ir.n_mul_plain >= 96)
+
+let test_all_kernels_build () =
+  List.iter
+    (fun k ->
+      let prog = Specs.kernel_program k in
+      Alcotest.(check bool) (Specs.kernel_name k) true (Ct_ir.size prog > 0))
+    [
+      Specs.K_bootstrap Kernels.boot_shape_13; Specs.K_matvec 10; Specs.K_conv; Specs.K_relu;
+      Specs.K_helr_iter; Specs.K_attention; Specs.K_gelu; Specs.K_layernorm;
+    ]
+
+let test_bert_bootstrap_count () =
+  (* paper: ~1,400 bootstraps for a 128-token inference *)
+  let boots =
+    List.fold_left
+      (fun acc (s : Specs.segment) ->
+        match s.Specs.kernel with
+        | Specs.K_bootstrap _ -> acc + (s.Specs.repeats * s.Specs.instances)
+        | _ -> acc)
+      0 Specs.bert.Specs.segments
+  in
+  Alcotest.(check bool) (Printf.sprintf "%d bootstraps" boots) true (boots >= 1300 && boots <= 1500)
+
+let test_bert_stream_widths () =
+  (* paper: attention exposes 6 parallel ciphertexts, GELU 12 *)
+  let width k =
+    List.find_map
+      (fun (s : Specs.segment) -> if s.Specs.kernel = k then Some s.Specs.instances else None)
+      Specs.bert.Specs.segments
+  in
+  Alcotest.(check (option int)) "attention width" (Some 6) (width Specs.K_attention);
+  Alcotest.(check (option int)) "gelu width" (Some 12) (width Specs.K_gelu)
+
+let test_resnet_bootstrap_count () =
+  let boots =
+    List.fold_left
+      (fun acc (s : Specs.segment) ->
+        match s.Specs.kernel with
+        | Specs.K_bootstrap _ -> acc + (s.Specs.repeats * s.Specs.instances)
+        | _ -> acc)
+      0 Specs.resnet20.Specs.segments
+  in
+  Alcotest.(check int) "about fifty bootstraps" 50 boots
+
+let test_runner_groups () =
+  Alcotest.(check int) "cinnamon-8 runs 2 streams" 2 Runner.cinnamon_8.Runner.groups;
+  Alcotest.(check int) "cinnamon-12 runs 3 streams" 3 Runner.cinnamon_12.Runner.groups;
+  Alcotest.(check int) "cinnamon-4 one stream" 1 Runner.cinnamon_4.Runner.groups
+
+let test_runner_wave_math () =
+  (* 12 instances over 3 groups = 4 waves; over 1 group = 12 waves *)
+  let waves instances groups = Cinnamon_util.Bitops.cdiv instances groups in
+  Alcotest.(check int) "12/3" 4 (waves 12 3);
+  Alcotest.(check int) "12/1" 12 (waves 12 1);
+  Alcotest.(check int) "5/2" 3 (waves 5 2)
+
+let test_runner_small_kernel_end_to_end () =
+  (* compile+simulate the cheapest kernel through the runner *)
+  let r = Runner.simulate_kernel Runner.cinnamon_4 (Specs.K_matvec 9) in
+  Alcotest.(check bool) "positive time" true (r.Cinnamon_sim.Simulator.seconds > 0.0)
+
+let test_paper_times_recorded () =
+  List.iter
+    (fun (b : Specs.benchmark) ->
+      Alcotest.(check bool)
+        (b.Specs.bench_name ^ " has CPU reference")
+        true
+        (List.mem_assoc "CPU" b.Specs.paper_times || b.Specs.paper_times = []))
+    Specs.all
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "bootstrap kernel shape" `Quick test_bootstrap_kernel_shape;
+      Alcotest.test_case "bootstrap-21 deeper" `Quick test_bootstrap_21_deeper;
+      Alcotest.test_case "parallel bootstraps" `Quick test_parallel_bootstraps_scale;
+      Alcotest.test_case "progpar streams" `Quick test_progpar_creates_streams;
+      Alcotest.test_case "attention structure" `Quick test_attention_block_structure;
+      Alcotest.test_case "all kernels build" `Quick test_all_kernels_build;
+      Alcotest.test_case "BERT ~1400 bootstraps" `Quick test_bert_bootstrap_count;
+      Alcotest.test_case "BERT stream widths" `Quick test_bert_stream_widths;
+      Alcotest.test_case "ResNet 50 bootstraps" `Quick test_resnet_bootstrap_count;
+      Alcotest.test_case "runner stream groups" `Quick test_runner_groups;
+      Alcotest.test_case "wave math" `Quick test_runner_wave_math;
+      Alcotest.test_case "runner end-to-end" `Slow test_runner_small_kernel_end_to_end;
+      Alcotest.test_case "paper references" `Quick test_paper_times_recorded;
+    ] )
