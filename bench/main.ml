@@ -7,9 +7,12 @@
    functional OCaml kernels (NTT, base conversion, keyswitch, rescale)
    that calibrate the CPU baseline.
 
-   Usage: main.exe [section ...]
+   Usage: main.exe [section ...] [--trace FILE] [--metrics]
      sections: table1 table2 table3 fig6 fig11 fig12 fig13 fig14 fig15
                fig16 sec43 sec74 micro        (default: all)
+     --trace FILE  write a Chrome trace-event JSON of the run
+     --metrics     print the telemetry report (pass timings, counters,
+                   simulation-cache hits/misses) after the sections
 
    Run time for the full set is dominated by kernel compilation; the
    kernel cache in Cinnamon_workloads.Runner shares compiled streams
@@ -21,6 +24,7 @@ module SC = Cinnamon_sim.Sim_config
 module Sim = Cinnamon_sim.Simulator
 module CC = Cinnamon_compiler.Compile_config
 module PD = Cinnamon_arch.Paper_data
+module Tel = Cinnamon_telemetry.Telemetry
 
 let section_header name = Printf.printf "\n################ %s ################\n%!" name
 
@@ -289,14 +293,14 @@ let fig13 () =
   let variants =
     [
       ("CiFHER",
-       { Runner.default_options with Runner.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast;
+       { Runner.default_options with CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast;
          pass_mode = CC.No_pass });
       ("Input Broadcast",
-       { Runner.default_options with Runner.default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
+       { Runner.default_options with CC.default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
          pass_mode = CC.No_pass });
-      ("Input Broadcast + Pass", { Runner.default_options with Runner.pass_mode = CC.Pass_ib_only });
+      ("Input Broadcast + Pass", { Runner.default_options with CC.pass_mode = CC.Pass_ib_only });
       ("Cinnamon KS + Pass", Runner.default_options);
-      ("Cinnamon KS + Pass + ProgPar", { Runner.default_options with Runner.progpar = true });
+      ("Cinnamon KS + Pass + ProgPar", { Runner.default_options with CC.progpar = true });
     ]
   in
   let bandwidths = [ 256.0; 512.0; 1024.0 ] in
@@ -351,7 +355,7 @@ let fig14 () =
         { (SC.cinnamon_chip ~chips ~topology) with SC.name = Printf.sprintf "Cinnamon-%d" chips }
       in
       let sys = { Runner.sys_name = sc.SC.name; sim = sc; group_chips = chips; groups = 1 } in
-      let options = { Runner.default_options with Runner.progpar = true } in
+      let options = { Runner.default_options with CC.progpar = true } in
       let cell shape =
         let seq_t = seq shape in
         let r = Runner.simulate_kernel ~options sys (Specs.K_bootstrap shape) in
@@ -417,10 +421,10 @@ let sec43 () =
   let unopt =
     bytes
       { Runner.default_options with
-        Runner.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
+        CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
   in
   let pass = bytes Runner.default_options in
-  let pass_pp = bytes { Runner.default_options with Runner.progpar = true } in
+  let pass_pp = bytes { Runner.default_options with CC.progpar = true } in
   Printf.printf "Unoptimized (CiFHER-style, no pass): %s\n" (T.fmt_bytes unopt);
   Printf.printf "Cinnamon keyswitch pass:             %s  (%.2fx reduction; paper: %.1fx)\n"
     (T.fmt_bytes pass)
@@ -439,7 +443,7 @@ let sec74 () =
   let cifher =
     compiled
       { Runner.default_options with
-        Runner.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
+        CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
   in
   let cinn = compiled Runner.default_options in
   let traffic r = r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved in
@@ -531,9 +535,7 @@ let characterize () =
           string_of_int c.Cinnamon_ir.Ct_ir.n_mul_plain; string_of_int instrs;
           T.fmt_bytes r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved ];
       Printf.printf "  (characterize: %s done)\n%!" (Specs.kernel_name k))
-    [ Specs.K_bootstrap Kernels.boot_shape_13; Specs.K_bootstrap Kernels.boot_shape_21;
-      Specs.K_conv; Specs.K_relu; Specs.K_helr_iter; Specs.K_attention; Specs.K_gelu;
-      Specs.K_layernorm ];
+    (List.map snd Specs.kernels);
   T.print t;
   (* the paper's §3.1 data points *)
   Printf.printf
@@ -647,7 +649,16 @@ let sections =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let rec parse_args acc trace metrics = function
+    | [] -> (List.rev acc, trace, metrics)
+    | "--metrics" :: rest -> parse_args acc trace true rest
+    | "--trace" :: file :: rest -> parse_args acc (Some file) metrics rest
+    | s :: rest when String.length s > 8 && String.sub s 0 8 = "--trace=" ->
+      parse_args acc (Some (String.sub s 8 (String.length s - 8))) metrics rest
+    | s :: rest -> parse_args (s :: acc) trace metrics rest
+  in
+  let requested, trace, metrics = parse_args [] None false (List.tl (Array.to_list Sys.argv)) in
+  if trace <> None || metrics then Tel.enable ();
   let to_run =
     if requested = [] then sections
     else
@@ -663,7 +674,18 @@ let () =
   List.iter
     (fun (name, f) ->
       let t = Unix.gettimeofday () in
-      f ();
+      Tel.Span.with_ ~cat:"bench" ("section:" ^ name) f;
       Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
     to_run;
-  Printf.printf "\nAll sections done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nAll sections done in %.1fs\n" (Unix.gettimeofday () -. t0);
+  (match trace with
+  | Some file -> (
+    try
+      Tel.write_chrome_trace file;
+      Printf.printf "trace: wrote %d events to %s\n" (Tel.event_count ()) file
+    with Sys_error msg -> Printf.eprintf "error: cannot write trace file: %s\n" msg)
+  | None -> ());
+  if metrics then begin
+    print_newline ();
+    print_string (Tel.report ())
+  end

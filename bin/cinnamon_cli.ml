@@ -9,10 +9,17 @@
                  system and report time and utilization
      arch      — print the area and yield/cost models (Tables 1 and 3)
 
+   Kernel, benchmark and system names resolve through the registries in
+   Cinnamon_workloads (Specs.kernels/benchmarks, Runner.systems);
+   `compile --list` and `bench --list` print them.  Every work
+   subcommand takes --trace FILE (Chrome trace-event JSON of compiler
+   passes and per-chip simulator activity) and --metrics (plain-text
+   span/counter/stall report).
+
    Examples:
      cinnamon compile bootstrap-13 --chips 4
-     cinnamon simulate bootstrap-13 --chips 8 --link-gbps 512
-     cinnamon bench bert --system cinnamon-12
+     cinnamon simulate bootstrap-13 --chips 8 --link-gbps 512 --trace /tmp/t.json
+     cinnamon bench bert --system cinnamon-12 --metrics
      cinnamon arch *)
 
 open Cmdliner
@@ -21,25 +28,12 @@ module SC = Cinnamon_sim.Sim_config
 module Sim = Cinnamon_sim.Simulator
 module CC = Cinnamon_compiler.Compile_config
 module T = Cinnamon_util.Table
-
-let kernel_of_name = function
-  | "bootstrap-13" | "bootstrap" -> Ok (Specs.K_bootstrap Kernels.boot_shape_13)
-  | "bootstrap-21" -> Ok (Specs.K_bootstrap Kernels.boot_shape_21)
-  | "attention" -> Ok Specs.K_attention
-  | "gelu" -> Ok Specs.K_gelu
-  | "layernorm" -> Ok Specs.K_layernorm
-  | "conv" -> Ok Specs.K_conv
-  | "relu" -> Ok Specs.K_relu
-  | "helr-iter" -> Ok Specs.K_helr_iter
-  | s when String.length s > 7 && String.sub s 0 7 = "matvec-" ->
-    (try Ok (Specs.K_matvec (int_of_string (String.sub s 7 (String.length s - 7))))
-     with _ -> Error ("bad matvec size in " ^ s))
-  | s -> Error ("unknown kernel " ^ s ^ " (try: bootstrap-13, bootstrap-21, attention, gelu, layernorm, conv, relu, helr-iter, matvec-<n>)")
+module Tel = Cinnamon_telemetry.Telemetry
 
 let kernel_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (kernel_of_name s) in
+  let parse s = Result.map_error (fun e -> `Msg e) (Specs.find_kernel s) in
   let print fmt k = Format.pp_print_string fmt (Specs.kernel_name k) in
-  Arg.(required & pos 0 (some (conv (parse, print))) None & info [] ~docv:"KERNEL")
+  Arg.(value & pos 0 (some (conv (parse, print))) None & info [] ~docv:"KERNEL")
 
 let chips_arg = Arg.(value & opt int 4 & info [ "chips" ] ~docv:"N" ~doc:"Number of chips.")
 
@@ -48,11 +42,84 @@ let link_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print instruction histograms.")
 
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List the registry entries and exit.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto). \
+           Compiler passes appear on pid 0 in wall time; simulator activity on pid 1+chip \
+           with one cycle rendered as one microsecond.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print a telemetry report: pass timings, counters, and per-chip stall causes.")
+
+(* Enable the telemetry sink for the duration of [f] when --trace or
+   --metrics asked for it, then export. *)
+let with_telemetry ~trace ~metrics f =
+  if trace <> None || metrics then Tel.enable ();
+  let code = f () in
+  let code =
+    match trace with
+    | Some file -> (
+      try
+        Tel.write_chrome_trace file;
+        Printf.printf "trace: wrote %d events to %s\n" (Tel.event_count ()) file;
+        code
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write trace file: %s\n" msg;
+        max code 1)
+    | None -> code
+  in
+  if metrics then begin
+    print_newline ();
+    print_string (Tel.report ())
+  end;
+  code
+
+let print_stall_table (res : Sim.result) =
+  let t =
+    T.create ~title:"Per-chip cycle accounting"
+      ~header:[ "Chip"; "Busy"; "Operand"; "FU busy"; "HBM"; "Network"; "Idle"; "Total" ]
+      ~aligns:(T.Left :: List.init 7 (fun _ -> T.Right))
+      ()
+  in
+  Array.iteri
+    (fun i (cs : Sim.chip_stats) ->
+      T.add_row t
+        [ string_of_int i; string_of_int cs.Sim.cs_busy; string_of_int cs.Sim.cs_stall_operand;
+          string_of_int cs.Sim.cs_stall_fu; string_of_int cs.Sim.cs_stall_hbm;
+          string_of_int cs.Sim.cs_stall_network; string_of_int cs.Sim.cs_idle;
+          string_of_int cs.Sim.cs_total ])
+    res.Sim.per_chip_stats;
+  T.print t
+
+let print_kernel_registry () =
+  Printf.printf "kernels:\n";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Specs.kernels;
+  Printf.printf "  matvec-<n>\n"
+
+let print_bench_registry () =
+  Printf.printf "benchmarks:\n";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Specs.benchmarks;
+  Printf.printf "systems:\n";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Runner.systems
+
+let missing_positional what =
+  Printf.eprintf "missing %s argument (use --list to see the registry)\n" what;
+  2
+
 let config_of ~chips ~link =
   let topology = if chips > 8 then SC.Switch else SC.Ring in
   SC.with_link_gbps { (SC.cinnamon_chip ~chips ~topology) with SC.name = Printf.sprintf "Cinnamon-%d" chips } link
 
-let do_compile kernel chips verbose =
+let do_compile_kernel kernel chips verbose =
   let prog = Specs.kernel_program kernel in
   let cfg = CC.paper ~chips () in
   let r = Cinnamon_compiler.Pipeline.compile cfg prog in
@@ -90,54 +157,69 @@ let do_compile kernel chips verbose =
       r.Cinnamon_compiler.Pipeline.machine.Cinnamon_isa.Isa.programs;
   0
 
-let do_simulate kernel chips link =
-  let prog = Specs.kernel_program kernel in
-  let cfg = CC.paper ~chips () in
-  let r = Cinnamon_compiler.Pipeline.compile cfg prog in
-  let sc = config_of ~chips ~link in
-  let res = Sim.run sc r.Cinnamon_compiler.Pipeline.machine in
-  Printf.printf "%s on %s (%g GB/s links): %s\n" (Specs.kernel_name kernel) sc.SC.name link
-    (T.fmt_time res.Sim.seconds);
-  Printf.printf "utilization: compute %.0f%%, memory %.0f%%, network %.0f%%\n"
-    (100.0 *. res.Sim.util.Sim.compute) (100.0 *. res.Sim.util.Sim.memory)
-    (100.0 *. res.Sim.util.Sim.network);
-  0
+let do_compile kernel chips verbose list trace metrics =
+  if list then begin
+    print_kernel_registry ();
+    0
+  end
+  else
+    match kernel with
+    | None -> missing_positional "KERNEL"
+    | Some kernel -> with_telemetry ~trace ~metrics @@ fun () -> do_compile_kernel kernel chips verbose
 
-let bench_of_name = function
-  | "bootstrap" -> Ok Specs.bootstrap_13
-  | "resnet" -> Ok Specs.resnet20
-  | "helr" -> Ok Specs.helr
-  | "bert" -> Ok Specs.bert
-  | s -> Error ("unknown benchmark " ^ s ^ " (try: bootstrap, resnet, helr, bert)")
-
-let system_of_name = function
-  | "cinnamon-m" -> Ok Runner.cinnamon_m
-  | "cinnamon-1" -> Ok Runner.cinnamon_1
-  | "cinnamon-4" -> Ok Runner.cinnamon_4
-  | "cinnamon-8" -> Ok Runner.cinnamon_8
-  | "cinnamon-12" -> Ok Runner.cinnamon_12
-  | s -> Error ("unknown system " ^ s ^ " (try: cinnamon-m, cinnamon-1, cinnamon-4, cinnamon-8, cinnamon-12)")
+let do_simulate kernel chips link list trace metrics =
+  if list then begin
+    print_kernel_registry ();
+    0
+  end
+  else
+    match kernel with
+    | None -> missing_positional "KERNEL"
+    | Some kernel ->
+      with_telemetry ~trace ~metrics @@ fun () ->
+      let prog = Specs.kernel_program kernel in
+      let cfg = CC.paper ~chips () in
+      let r = Cinnamon_compiler.Pipeline.compile cfg prog in
+      let sc = config_of ~chips ~link in
+      let res = Sim.run sc r.Cinnamon_compiler.Pipeline.machine in
+      Printf.printf "%s on %s (%g GB/s links): %s\n" (Specs.kernel_name kernel) sc.SC.name link
+        (T.fmt_time res.Sim.seconds);
+      Printf.printf "utilization: compute %.0f%%, memory %.0f%%, network %.0f%%\n"
+        (100.0 *. res.Sim.util.Sim.compute) (100.0 *. res.Sim.util.Sim.memory)
+        (100.0 *. res.Sim.util.Sim.network);
+      if metrics then print_stall_table res;
+      0
 
 let bench_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (bench_of_name s) in
+  let parse s = Result.map_error (fun e -> `Msg e) (Specs.find_benchmark s) in
   let print fmt b = Format.pp_print_string fmt b.Specs.bench_name in
-  Arg.(required & pos 0 (some (conv (parse, print))) None & info [] ~docv:"BENCHMARK")
+  Arg.(value & pos 0 (some (conv (parse, print))) None & info [] ~docv:"BENCHMARK")
 
 let system_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (system_of_name s) in
+  let parse s = Result.map_error (fun e -> `Msg e) (Runner.find_system s) in
   let print fmt s = Format.pp_print_string fmt s.Runner.sys_name in
   Arg.(value & opt (conv (parse, print)) Runner.cinnamon_4 & info [ "system" ] ~docv:"SYS")
 
-let do_bench bench system =
-  let r = Runner.run_benchmark system bench in
-  Printf.printf "%s on %s: %s\n" r.Runner.br_bench r.Runner.br_system (T.fmt_time r.Runner.br_seconds);
-  List.iter
-    (fun s -> Printf.printf "  %-14s %s\n" s.Runner.seg_kernel (T.fmt_time s.Runner.seg_seconds))
-    r.Runner.br_segments;
-  (match List.assoc_opt r.Runner.br_system bench.Specs.paper_times with
-  | Some p -> Printf.printf "paper-reported: %s\n" (T.fmt_time p)
-  | None -> ());
-  0
+let do_bench bench system list trace metrics =
+  if list then begin
+    print_bench_registry ();
+    0
+  end
+  else
+    match bench with
+    | None -> missing_positional "BENCHMARK"
+    | Some bench ->
+      with_telemetry ~trace ~metrics @@ fun () ->
+      let r = Runner.run_benchmark system bench in
+      Printf.printf "%s on %s: %s\n" r.Runner.br_bench r.Runner.br_system
+        (T.fmt_time r.Runner.br_seconds);
+      List.iter
+        (fun s -> Printf.printf "  %-14s %s\n" s.Runner.seg_kernel (T.fmt_time s.Runner.seg_seconds))
+        r.Runner.br_segments;
+      (match List.assoc_opt r.Runner.br_system bench.Specs.paper_times with
+      | Some p -> Printf.printf "paper-reported: %s\n" (T.fmt_time p)
+      | None -> ());
+      0
 
 let do_arch () =
   let a = Lazy.force Cinnamon_arch.Area.cinnamon_chip in
@@ -154,15 +236,15 @@ let do_arch () =
 
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel through the Cinnamon pipeline")
-    Term.(const do_compile $ kernel_arg $ chips_arg $ verbose_arg)
+    Term.(const do_compile $ kernel_arg $ chips_arg $ verbose_arg $ list_arg $ trace_arg $ metrics_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Compile and cycle-simulate a kernel")
-    Term.(const do_simulate $ kernel_arg $ chips_arg $ link_arg)
+    Term.(const do_simulate $ kernel_arg $ chips_arg $ link_arg $ list_arg $ trace_arg $ metrics_arg)
 
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run a paper benchmark on a system")
-    Term.(const do_bench $ bench_arg $ system_arg)
+    Term.(const do_bench $ bench_arg $ system_arg $ list_arg $ trace_arg $ metrics_arg)
 
 let arch_cmd =
   Cmd.v (Cmd.info "arch" ~doc:"Print area and yield models") Term.(const do_arch $ const ())

@@ -16,6 +16,7 @@ type t = {
   group_size : int;
   default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
   pass_mode : pass_mode; (* reordering/batching pass of §4.3.1 *)
+  progpar : bool; (* exploit programmer-annotated concurrent streams *)
 }
 and pass_mode =
   | No_pass (* every site gets the default algorithm, unbatched *)
@@ -28,7 +29,7 @@ let n t = 1 lsl t.log_n
 (* The paper's architectural configuration: N = 64K, 28-bit limbs,
    bootstrap raises to l = 51. *)
 let paper ?(chips = 4) ?(group_size = 0) ?(default_ks = Cinnamon_ir.Poly_ir.Input_broadcast)
-    ?(pass_mode = Pass_full) () =
+    ?(pass_mode = Pass_full) ?(progpar = false) () =
   let group_size = if group_size = 0 then chips else group_size in
   {
     chips;
@@ -40,6 +41,7 @@ let paper ?(chips = 4) ?(group_size = 0) ?(default_ks = Cinnamon_ir.Poly_ir.Inpu
     group_size;
     default_ks;
     pass_mode;
+    progpar;
   }
 
 (* Small functional configuration matching the CKKS test presets, used
@@ -56,6 +58,7 @@ let functional ?(chips = 4) params =
     group_size = chips;
     default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
     pass_mode = Pass_full;
+    progpar = false;
   }
 
 (* Chip group hosting a given stream.  Stream 0 is the default stream:

@@ -11,6 +11,9 @@ type t = {
   group_size : int;  (** chips per concurrent stream group *)
   default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
   pass_mode : pass_mode;
+  progpar : bool;
+      (** exploit programmer-annotated concurrent streams (e.g. the two
+          EvalMod streams inside bootstrap kernels) *)
 }
 
 and pass_mode =
@@ -24,12 +27,16 @@ val limb_bytes : t -> int
 val n : t -> int
 
 (** The paper's architectural configuration (N = 64K, 52 limbs,
-    dnum = 3). *)
+    dnum = 3).  This is also the one compilation/run configuration
+    record threaded through [Cinnamon_workloads.Runner] — its
+    [default_ks], [pass_mode] and [progpar] fields select the
+    keyswitching policy an experiment runs under. *)
 val paper :
   ?chips:int ->
   ?group_size:int ->
   ?default_ks:Cinnamon_ir.Poly_ir.ks_algorithm ->
   ?pass_mode:pass_mode ->
+  ?progpar:bool ->
   unit ->
   t
 

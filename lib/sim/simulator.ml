@@ -11,10 +11,20 @@
    The model's granularity matches what the paper's evaluation needs:
    per-instruction FU occupancy, memory bandwidth, and network
    bandwidth — the three resources Figs. 13-16 trade against each
-   other. *)
+   other.
+
+   Telemetry: when the global sink is enabled the issue loop emits one
+   Chrome-trace event per instruction (pid = 1 + chip, tid = resource
+   row, timestamps in cycles) and keeps a per-chip account of where the
+   timeline went: cycles advancing under occupancy are busy, gaps are
+   stalls attributed to their binding constraint (operand dependence,
+   FU busy, HBM channel busy, or network rendezvous), and the tail
+   after a chip's last activity is idle, so for every chip
+   busy + stalls + idle = its total simulated cycles. *)
 
 module I = Cinnamon_isa.Isa
 module C = Sim_config
+module Tel = Cinnamon_telemetry.Telemetry
 
 type utilization = {
   compute : float; (* area-weighted-ish average busy fraction of FUs *)
@@ -22,11 +32,22 @@ type utilization = {
   network : float;
 }
 
+type chip_stats = {
+  cs_busy : int; (* cycles the chip's timeline advanced under occupancy *)
+  cs_stall_operand : int; (* waiting on source registers *)
+  cs_stall_fu : int; (* waiting on a busy functional unit *)
+  cs_stall_hbm : int; (* waiting on the HBM channel *)
+  cs_stall_network : int; (* waiting on the network port / rendezvous *)
+  cs_idle : int; (* tail after the chip's last activity *)
+  cs_total : int; (* = busy + stalls + idle *)
+}
+
 type result = {
   cycles : int;
   seconds : float;
   util : utilization;
   per_chip_cycles : int array;
+  per_chip_stats : chip_stats array;
 }
 
 type chip_state = {
@@ -39,10 +60,40 @@ type chip_state = {
   mutable busy_mem : int;
   mutable busy_net : int;
   mutable pc : int;
+  (* --- timeline accounting (always cheap; integers only) --- *)
+  mutable cursor : int; (* time accounted so far: busy + stalls *)
+  mutable acct_busy : int;
+  mutable st_operand : int;
+  mutable st_fu : int;
+  mutable st_hbm : int;
+  mutable st_network : int;
 }
 
 let fu_classes =
   [ I.C_add; I.C_mul; I.C_ntt; I.C_auto; I.C_bconv; I.C_transpose; I.C_prng ]
+
+(* Trace rows: one tid per FU class, then HBM and the network port. *)
+let fu_tid cls =
+  let rec index i = function
+    | [] -> 0
+    | c :: _ when c = cls -> i
+    | _ :: rest -> index (i + 1) rest
+  in
+  index 0 fu_classes
+
+let tid_hbm = List.length fu_classes
+let tid_net = tid_hbm + 1
+
+let fu_trace_name = function
+  | I.C_add -> "add"
+  | I.C_mul -> "mul"
+  | I.C_ntt -> "ntt"
+  | I.C_auto -> "auto"
+  | I.C_bconv -> "bconv"
+  | I.C_transpose -> "transpose"
+  | I.C_prng -> "prng"
+  | I.C_mem -> "mem"
+  | I.C_net -> "net"
 
 let new_chip_state n_regs =
   let fu_free = Hashtbl.create 8 in
@@ -57,9 +108,48 @@ let new_chip_state n_regs =
     busy_mem = 0;
     busy_net = 0;
     pc = 0;
+    cursor = 0;
+    acct_busy = 0;
+    st_operand = 0;
+    st_fu = 0;
+    st_hbm = 0;
+    st_network = 0;
   }
 
 let src_ready st regs = List.fold_left (fun t r -> max t st.reg_ready.(r)) 0 regs
+
+(* Stall causes, in attribution priority when several constraints tie. *)
+type cause = Operand | Fu_busy | Hbm_busy | Network
+
+let add_stall st cause n =
+  match cause with
+  | Operand -> st.st_operand <- st.st_operand + n
+  | Fu_busy -> st.st_fu <- st.st_fu + n
+  | Hbm_busy -> st.st_hbm <- st.st_hbm + n
+  | Network -> st.st_network <- st.st_network + n
+
+(* Account an instruction issuing at [issue] and occupying its resource
+   until [issue + occ].  [constraints] pairs each issue-time lower
+   bound with its stall cause; the gap between the accounted timeline
+   and [issue] is charged to the binding one. *)
+let account st ~issue ~occ constraints =
+  if issue > st.cursor then begin
+    let gap = issue - st.cursor in
+    let cause =
+      let rec pick = function
+        | [] -> Network (* residual: the collective release floor *)
+        | (t, c) :: rest -> if t >= issue then c else pick rest
+      in
+      pick constraints
+    in
+    add_stall st cause gap;
+    st.cursor <- issue
+  end;
+  let fin = issue + occ in
+  if fin > st.cursor then begin
+    st.acct_busy <- st.acct_busy + (fin - st.cursor);
+    st.cursor <- fin
+  end
 
 (* Advance one chip until it blocks on a collective (returning its id
    and arrival time) or finishes.
@@ -71,7 +161,9 @@ let src_ready st regs = List.fold_left (fun t r -> max t st.reg_ready.(r)) 0 reg
    constrains through data dependences and collectives.  [st.clock]
    tracks the release time of the last collective, which lower-bounds
    everything after it on this chip. *)
-let run_until_collective cfg ~n_elems prog st =
+let run_until_collective cfg ~n_elems ~chip prog st =
+  let traced = Tel.enabled () in
+  let pid = 1 + chip in
   let blocked = ref None in
   let instrs = prog.I.instrs in
   let nn = Array.length instrs in
@@ -84,18 +176,34 @@ let run_until_collective cfg ~n_elems prog st =
       (* arrival: the sent limbs must be computed, and this chip's
          network port must be free (successive collectives serialize on
          it); everything else keeps flowing *)
-      let arrival = max (max st.clock st.net_free) (src_ready st sends) in
+      let sends_ready = src_ready st sends in
+      let arrival = max (max st.clock st.net_free) sends_ready in
+      (* charge the wait up to the port being ready here; the
+         rendezvous + transfer window is charged at completion *)
+      account st ~issue:arrival ~occ:0
+        [ (sends_ready, Operand); (st.net_free, Network) ];
       blocked := Some (coll_id, group, limbs, arrival)
-    | I.Barrier id -> blocked := Some (id, [], 0, st.clock)
+    | I.Barrier id ->
+      account st ~issue:st.clock ~occ:0 [];
+      blocked := Some (id, [], 0, st.clock)
     | I.Vload { dst; _ } ->
       let d = C.mem_cycles cfg limb_bytes in
       let issue = max st.clock st.mem_free in
+      account st ~issue ~occ:d [ (st.mem_free, Hbm_busy) ];
+      if traced then
+        Tel.emit_complete ~cat:"sim" ~pid ~tid:tid_hbm ~ts:(Float.of_int issue)
+          ~dur:(Float.of_int d) "vload";
       st.mem_free <- issue + d;
       st.busy_mem <- st.busy_mem + d;
       st.reg_ready.(dst) <- issue + d
     | I.Vstore { src; _ } ->
       let d = C.mem_cycles cfg limb_bytes in
-      let issue = max (max st.clock st.mem_free) st.reg_ready.(src) in
+      let src_t = st.reg_ready.(src) in
+      let issue = max (max st.clock st.mem_free) src_t in
+      account st ~issue ~occ:d [ (src_t, Operand); (st.mem_free, Hbm_busy) ];
+      if traced then
+        Tel.emit_complete ~cat:"sim" ~pid ~tid:tid_hbm ~ts:(Float.of_int issue)
+          ~dur:(Float.of_int d) "vstore";
       st.mem_free <- issue + d;
       st.busy_mem <- st.busy_mem + d
     | _ ->
@@ -105,7 +213,12 @@ let run_until_collective cfg ~n_elems prog st =
       let occupancy = C.op_cycles cfg ~n:n_elems cls in
       let latency = occupancy + cfg.C.ntt_pipe_depth in
       let fu = try Hashtbl.find st.fu_free cls with Not_found -> 0 in
-      let issue = max (max st.clock fu) (src_ready st srcs) in
+      let srcs_t = src_ready st srcs in
+      let issue = max (max st.clock fu) srcs_t in
+      account st ~issue ~occ:occupancy [ (srcs_t, Operand); (fu, Fu_busy) ];
+      if traced then
+        Tel.emit_complete ~cat:"sim" ~pid ~tid:(fu_tid cls) ~ts:(Float.of_int issue)
+          ~dur:(Float.of_int occupancy) (fu_trace_name cls);
       Hashtbl.replace st.fu_free cls (issue + occupancy);
       st.busy_compute <- st.busy_compute + occupancy;
       List.iter (fun d -> st.reg_ready.(d) <- issue + latency) dsts);
@@ -116,10 +229,20 @@ let run_until_collective cfg ~n_elems prog st =
 (* Simulate a compiled machine program; N is taken from the program. *)
 let run cfg (mp : I.machine_program) : result =
   let n_elems = mp.I.n in
+  let traced = Tel.enabled () in
   let states =
     Array.map (fun p -> new_chip_state (max p.I.n_regs 512)) mp.I.programs
   in
   let chips = Array.length mp.I.programs in
+  if traced then
+    Array.iteri
+      (fun c _ ->
+        let pid = 1 + c in
+        Tel.name_process ~pid (Printf.sprintf "%s chip %d" cfg.C.name c);
+        List.iter (fun cls -> Tel.name_thread ~pid ~tid:(fu_tid cls) (fu_trace_name cls)) fu_classes;
+        Tel.name_thread ~pid ~tid:tid_hbm "hbm";
+        Tel.name_thread ~pid ~tid:tid_net "network")
+      mp.I.programs;
   let pending : (int, (int * int list * int * int) list) Hashtbl.t = Hashtbl.create 16 in
   (* coll_id -> arrivals (chip, group, limbs, time) *)
   let finished = Array.make chips false in
@@ -130,7 +253,7 @@ let run cfg (mp : I.machine_program) : result =
     progress := false;
     for c = 0 to chips - 1 do
       if (not finished.(c)) && blocked_on.(c) = None then begin
-        match run_until_collective cfg ~n_elems mp.I.programs.(c) states.(c) with
+        match run_until_collective cfg ~n_elems ~chip:c mp.I.programs.(c) states.(c) with
         | None ->
           finished.(c) <- true;
           progress := true
@@ -153,8 +276,23 @@ let run cfg (mp : I.machine_program) : result =
             let dur = C.net_cycles cfg bytes + hops in
             let t_done = t_arrive + dur in
             List.iter
-              (fun (c', _, _, _) ->
+              (fun (c', _, _, t_c) ->
                 let st' = states.(c') in
+                ignore t_c;
+                (* rendezvous wait (peers still arriving) then transfer *)
+                if t_arrive > st'.cursor then begin
+                  st'.st_network <- st'.st_network + (t_arrive - st'.cursor);
+                  st'.cursor <- t_arrive
+                end;
+                if t_done > st'.cursor then begin
+                  st'.acct_busy <- st'.acct_busy + (t_done - st'.cursor);
+                  st'.cursor <- t_done
+                end;
+                if traced then
+                  Tel.emit_complete ~cat:"sim" ~pid:(1 + c') ~tid:tid_net
+                    ~ts:(Float.of_int t_arrive) ~dur:(Float.of_int dur)
+                    ~args:[ ("bytes", Tel.Int bytes); ("coll_id", Tel.Int id) ]
+                    "collective";
                 st'.net_free <- t_done;
                 st'.busy_net <- st'.busy_net + dur;
                 (* make the received limbs available at completion *)
@@ -205,6 +343,23 @@ let run cfg (mp : I.machine_program) : result =
   in
   let cycles = Array.fold_left max 0 final in
   let cycles = max cycles 1 in
+  let per_chip_stats =
+    Array.map
+      (fun st ->
+        (* total is the machine-wide cycle count: a chip that finishes
+           early idles until the slowest chip is done *)
+        let stalls = st.st_operand + st.st_fu + st.st_hbm + st.st_network in
+        {
+          cs_busy = st.acct_busy;
+          cs_stall_operand = st.st_operand;
+          cs_stall_fu = st.st_fu;
+          cs_stall_hbm = st.st_hbm;
+          cs_stall_network = st.st_network;
+          cs_idle = cycles - st.acct_busy - stalls;
+          cs_total = cycles;
+        })
+      states
+  in
   let avg f = Array.fold_left (fun a st -> a +. f st) 0.0 states /. Float.of_int chips in
   {
     cycles;
@@ -218,4 +373,5 @@ let run cfg (mp : I.machine_program) : result =
         network = avg (fun st -> Float.of_int st.busy_net) /. Float.of_int cycles;
       };
     per_chip_cycles = final;
+    per_chip_stats;
   }

@@ -5,7 +5,12 @@
     (or HBM channel) is free, matching a statically scheduled machine
     (the paper's compiler performs cycle-level scheduling, §4.4).
     Collectives rendezvous across their chip group, occupy only the
-    network, and gate their received registers. *)
+    network, and gate their received registers.
+
+    When the {!Cinnamon_telemetry.Telemetry} sink is enabled, the
+    simulator emits one trace event per instruction (pid = 1 + chip,
+    tid = resource row, timestamps in cycles) and accounts each chip's
+    timeline into busy / stall-by-cause / idle cycles. *)
 
 type utilization = {
   compute : float;  (** average busy fraction of the compute FUs *)
@@ -13,11 +18,28 @@ type utilization = {
   network : float;  (** interconnect port busy fraction *)
 }
 
+(** Where one chip's simulated cycles went.  Busy counts cycles the
+    chip's timeline advanced under occupancy of any resource (FU, HBM,
+    or network transfer); gaps are stalls attributed to their binding
+    constraint; idle is the tail after the chip's last activity, up to
+    the machine-wide finish.  The parts always sum to [cs_total], the
+    machine's total simulated cycles. *)
+type chip_stats = {
+  cs_busy : int;
+  cs_stall_operand : int;  (** waiting on source registers *)
+  cs_stall_fu : int;  (** waiting on a busy functional unit *)
+  cs_stall_hbm : int;  (** waiting on the HBM channel *)
+  cs_stall_network : int;  (** waiting on the network port / rendezvous *)
+  cs_idle : int;
+  cs_total : int;
+}
+
 type result = {
   cycles : int;
   seconds : float;
   util : utilization;
   per_chip_cycles : int array;
+  per_chip_stats : chip_stats array;  (** stall-cause breakdown per chip *)
 }
 
 (** Simulate a compiled machine program on a hardware configuration.

@@ -11,6 +11,7 @@
 open Cinnamon_compiler
 module Sim = Cinnamon_sim.Simulator
 module SC = Cinnamon_sim.Sim_config
+module Tel = Cinnamon_telemetry.Telemetry
 
 type system = {
   sys_name : string;
@@ -29,53 +30,61 @@ let cinnamon_4 = cinnamon_system SC.cinnamon_4
 let cinnamon_8 = cinnamon_system SC.cinnamon_8
 let cinnamon_12 = cinnamon_system SC.cinnamon_12
 
-(* Kernel simulation cache: (kernel name, system name) -> result. *)
+(* Kernel simulation cache: (kernel name + options, system name) -> result. *)
 let cache : (string * string, Sim.result) Hashtbl.t = Hashtbl.create 32
 
-type options = {
-  default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
-  pass_mode : Compile_config.pass_mode;
-  progpar : bool; (* program-level parallelism inside the kernel *)
-}
+let c_cache_hits = Tel.Counter.make ~cat:"runner" "sim_cache.hits"
+let c_cache_misses = Tel.Counter.make ~cat:"runner" "sim_cache.misses"
 
-let default_options =
-  { default_ks = Cinnamon_ir.Poly_ir.Input_broadcast; pass_mode = Compile_config.Pass_full;
-    progpar = false }
+(* The runner's options ARE the compiler configuration: one record
+   carries keyswitch policy, digit layout and stream placement.  The
+   per-system fields (chips, group_size) are overridden from the
+   [system] at compile time. *)
+type options = Compile_config.t
+
+let default_options = Compile_config.paper ()
 
 let compile_kernel ?(options = default_options) sys kernel =
+  let progpar = options.Compile_config.progpar in
   let prog =
-    match (options.progpar, kernel) with
+    match (progpar, kernel) with
     | true, Specs.K_bootstrap shape -> Kernels.bootstrap_program ~shape ~progpar:true ()
     | _ -> Specs.kernel_program kernel
   in
-  let group_size = if options.progpar then max 1 (sys.group_chips / 2) else sys.group_chips in
-  let cfg =
-    {
-      (Compile_config.paper ~chips:sys.group_chips ~group_size ()) with
-      Compile_config.default_ks = options.default_ks;
-      pass_mode = options.pass_mode;
-    }
-  in
-  Pipeline.compile ~rf_bytes:sys.sim.SC.rf_bytes cfg prog
+  let group_size = if progpar then max 1 (sys.group_chips / 2) else sys.group_chips in
+  let cfg = { options with Compile_config.chips = sys.group_chips; group_size } in
+  Tel.Span.with_ ~cat:"runner" "compile_kernel"
+    ~args:[ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
+    (fun () -> Pipeline.compile ~rf_bytes:sys.sim.SC.rf_bytes cfg prog)
+
+(* Distinguishing cache-key suffix for a configuration. *)
+let options_key (o : options) =
+  Printf.sprintf "%s:%s%s:dnum%d"
+    (match o.Compile_config.pass_mode with
+    | Compile_config.No_pass -> "nopass"
+    | Compile_config.Pass_ib_only -> "ibpass"
+    | Compile_config.Pass_full -> "full")
+    (Cinnamon_ir.Poly_ir.algorithm_name o.Compile_config.default_ks)
+    (if o.Compile_config.progpar then ":pp" else "")
+    o.Compile_config.dnum
 
 let simulate_kernel ?(options = default_options) ?(use_cache = true) sys kernel =
-  let key =
-    ( Specs.kernel_name kernel
-      ^ (match options.pass_mode with
-        | Compile_config.No_pass -> ":nopass"
-        | Compile_config.Pass_ib_only -> ":ibpass"
-        | Compile_config.Pass_full -> "")
-      ^ Cinnamon_ir.Poly_ir.algorithm_name options.default_ks
-      ^ (if options.progpar then ":pp" else ""),
-      sys.sys_name )
-  in
+  let key = (Specs.kernel_name kernel ^ ":" ^ options_key options, sys.sys_name) in
   match if use_cache then Hashtbl.find_opt cache key else None with
-  | Some r -> r
+  | Some r ->
+    Tel.Counter.incr c_cache_hits;
+    r
   | None ->
+    if use_cache then Tel.Counter.incr c_cache_misses;
     let r = compile_kernel ~options sys kernel in
     (* the kernel runs on one group; simulate that group *)
     let group_sim = { sys.sim with SC.chips = sys.group_chips } in
-    let res = Sim.run group_sim r.Pipeline.machine in
+    let res =
+      Tel.Span.with_ ~cat:"runner" "simulate_kernel"
+        ~args:
+          [ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
+        (fun () -> Sim.run group_sim r.Pipeline.machine)
+    in
     if use_cache then Hashtbl.replace cache key res;
     res
 
@@ -107,15 +116,23 @@ let widened sys =
     }
 
 let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
+  Tel.Span.with_ ~cat:"runner" "run_benchmark"
+    ~args:[ ("bench", Tel.Str b.Specs.bench_name); ("system", Tel.Str sys.sys_name) ]
+  @@ fun () ->
   let segments =
     List.map
       (fun (s : Specs.segment) ->
+        Tel.Span.with_ ~cat:"runner" "segment"
+          ~args:
+            [ ("kernel", Tel.Str (Specs.kernel_name s.Specs.kernel));
+              ("instances", Tel.Int s.Specs.instances); ("repeats", Tel.Int s.Specs.repeats) ]
+        @@ fun () ->
         (* single-instance work uses the whole machine limb-parallel
            (with the two EvalMod streams when it is a bootstrap);
            multi-instance work runs one instance per group *)
         let eff_sys, eff_options =
           if s.Specs.instances = 1 && sys.groups > 1 then
-            (widened sys, { options with progpar = true })
+            (widened sys, { options with Compile_config.progpar = true })
           else (sys, options)
         in
         let r = simulate_kernel ~options:eff_options eff_sys s.Specs.kernel in
@@ -134,6 +151,7 @@ let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
             memory = u.Sim.memory *. occupancy;
             network = u.Sim.network *. occupancy }
         in
+        Tel.Span.add_args [ ("sim_seconds", Tel.Float seconds) ];
         { seg_kernel = Specs.kernel_name s.Specs.kernel; seg_seconds = seconds;
           seg_util = scale_util r.Sim.util })
       b.Specs.segments
@@ -155,3 +173,22 @@ let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
 
 (* Systems of Table 2 / Fig. 11. *)
 let all_systems = [ cinnamon_m; cinnamon_4; cinnamon_8; cinnamon_12 ]
+
+(* Registry: the name → system mapping entry points dispatch through
+   (companion to [Specs.kernels]/[Specs.benchmarks]). *)
+let systems =
+  [
+    ("cinnamon-m", cinnamon_m);
+    ("cinnamon-1", cinnamon_1);
+    ("cinnamon-4", cinnamon_4);
+    ("cinnamon-8", cinnamon_8);
+    ("cinnamon-12", cinnamon_12);
+  ]
+
+let find_system name =
+  match List.assoc_opt name systems with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown system %S; known systems: %s" name
+         (String.concat ", " (List.map fst systems)))

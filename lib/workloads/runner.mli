@@ -20,12 +20,16 @@ val cinnamon_4 : system
 val cinnamon_8 : system
 val cinnamon_12 : system
 
-type options = {
-  default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
-  pass_mode : Compile_config.pass_mode;
-  progpar : bool;  (** two EvalMod streams inside bootstrap kernels *)
-}
+(** The runner's options {e are} the compiler configuration: one record
+    ([Compile_config.t]) carries the keyswitch policy ([default_ks],
+    [pass_mode]), the digit layout ([dnum]/[alpha]) and stream
+    placement ([progpar]).  [chips] and [group_size] are overridden
+    from the target {!system} when a kernel is compiled, so an options
+    value built from {!default_options} works for every system. *)
+type options = Compile_config.t
 
+(** [Compile_config.paper ()]: full keyswitch pass, input-broadcast
+    default, no program-level parallelism. *)
 val default_options : options
 
 (** Compile a kernel for one group of the system. *)
@@ -52,3 +56,9 @@ val run_benchmark : ?options:options -> system -> Specs.benchmark -> bench_resul
 
 (** The Table 2 / Fig. 11 systems. *)
 val all_systems : system list
+
+(** Registry: the name → system mapping entry points dispatch through
+    (companion to [Specs.kernels] / [Specs.benchmarks]). *)
+val systems : (string * system) list
+
+val find_system : string -> (system, string) result

@@ -36,3 +36,22 @@ val all : benchmark list
 val kernel_program : kernel -> Cinnamon_ir.Ct_ir.t
 
 val kernel_name : kernel -> string
+
+(** {1 Registries}
+
+    The single name → artifact mapping every entry point (CLI, bench
+    harness, tests) dispatches through. *)
+
+(** All named kernels ("matvec-10" stands in for the parametric
+    [matvec-<n>] family). *)
+val kernels : (string * kernel) list
+
+(** Look a kernel up by name.  Accepts every registry name plus the
+    "bootstrap" shorthand and parametric "matvec-<n>"; unknown names
+    return an [Error] listing the registry. *)
+val find_kernel : string -> (kernel, string) result
+
+(** All named benchmarks. *)
+val benchmarks : (string * benchmark) list
+
+val find_benchmark : string -> (benchmark, string) result

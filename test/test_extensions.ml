@@ -149,7 +149,7 @@ let test_power_energy_consistent () =
   let fake_util u =
     { Cinnamon_sim.Simulator.cycles = 1_000_000; seconds = 1e-3;
       util = { Cinnamon_sim.Simulator.compute = u; memory = u; network = u };
-      per_chip_cycles = [| 1_000_000 |] }
+      per_chip_cycles = [| 1_000_000 |]; per_chip_stats = [||] }
   in
   let e_lo = Power.of_simulation Power.cinnamon_chip Cinnamon_sim.Sim_config.cinnamon_4 (fake_util 0.1) in
   let e_hi = Power.of_simulation Power.cinnamon_chip Cinnamon_sim.Sim_config.cinnamon_4 (fake_util 0.9) in

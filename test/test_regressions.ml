@@ -57,7 +57,7 @@ let test_chebyshev_ps_division () =
    re-scanned while blocked, double-advancing program counters and
    deadlocking on sub-group collectives (program-parallel kernels). *)
 let test_progpar_simulation_terminates () =
-  let options = { Runner.default_options with Runner.progpar = true } in
+  let options = { Runner.default_options with Compile_config.progpar = true } in
   let compiled =
     Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
   in

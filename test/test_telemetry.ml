@@ -1,0 +1,269 @@
+(* Tests for the telemetry subsystem: trace export well-formedness,
+   the simulator's per-chip cycle accounting invariant, the registry
+   round-trips, and the disabled-by-default guarantee. *)
+
+open Cinnamon_workloads
+module Tel = Cinnamon_telemetry.Telemetry
+module Sim = Cinnamon_sim.Simulator
+module SC = Cinnamon_sim.Sim_config
+module Pipeline = Cinnamon_compiler.Pipeline
+
+(* ------------------------------------------------ minimal JSON checker
+
+   A recursive-descent validator (no JSON dependency in the tree): we
+   only need "does the exporter emit well-formed JSON", not a full
+   decoder. *)
+
+let json_well_formed (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail = ref false in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = match peek () with Some c' when c' = c -> advance () | _ -> fail := true in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some ('t' | 'f' | 'n') -> keyword ()
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail := true
+    end
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' ->
+          advance ();
+          continue := false
+        | _ ->
+          fail := true;
+          continue := false
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' ->
+          advance ();
+          continue := false
+        | _ ->
+          fail := true;
+          continue := false
+      done
+    end
+  and string_lit () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && not !fail do
+      match peek () with
+      | None -> fail := true
+      | Some '\\' ->
+        advance ();
+        advance ()
+      | Some '"' ->
+        advance ();
+        closed := true
+      | Some _ -> advance ()
+    done
+  and keyword () =
+    let ok kw =
+      let l = String.length kw in
+      !pos + l <= n && String.sub s !pos l = kw
+    in
+    if ok "true" then pos := !pos + 4
+    else if ok "false" then pos := !pos + 5
+    else if ok "null" then pos := !pos + 4
+    else fail := true
+  and number () =
+    let num_char = function
+      | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail := true
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* ------------------------------------------------------------ fixture
+
+   One bootstrap-13 compile + simulate on Cinnamon-4 with the sink
+   enabled; the trace and the simulation result are shared by the
+   tests below. *)
+
+let traced_run =
+  lazy
+    (let kernel =
+       match Specs.find_kernel "bootstrap-13" with
+       | Ok k -> k
+       | Error e -> failwith e
+     in
+     Tel.reset ();
+     Tel.enable ();
+     let compiled = Runner.compile_kernel Runner.cinnamon_4 kernel in
+     let res = Sim.run SC.cinnamon_4 compiled.Pipeline.machine in
+     let file = Filename.temp_file "cinnamon_trace" ".json" in
+     Tel.write_chrome_trace file;
+     let events = Tel.event_count () in
+     Tel.disable ();
+     let ic = open_in_bin file in
+     let len = in_channel_length ic in
+     let contents = really_input_string ic len in
+     close_in ic;
+     Sys.remove file;
+     Tel.reset ();
+     (contents, events, res))
+
+let test_trace_json_well_formed () =
+  let contents, events, _ = Lazy.force traced_run in
+  Alcotest.(check bool) "events recorded" true (events > 0);
+  Alcotest.(check bool) "trace JSON is well-formed" true (json_well_formed contents);
+  (* compiler-pass spans and per-chip simulator events are both present *)
+  let has sub =
+    let ls = String.length sub and ln = String.length contents in
+    let rec scan i = i + ls <= ln && (String.sub contents i ls = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "has lower_poly span" true (has "\"lower_poly\"");
+  Alcotest.(check bool) "has lower_limb span" true (has "\"lower_limb\"");
+  Alcotest.(check bool) "has regalloc span" true (has "\"regalloc+lower_isa\"");
+  Alcotest.(check bool) "has chip-1 events" true (has "\"pid\":1");
+  Alcotest.(check bool) "has chip-4 events" true (has "\"pid\":4");
+  Alcotest.(check bool) "has collective events" true (has "\"collective\"")
+
+let check_accounting (res : Sim.result) =
+  Alcotest.(check int) "one stats record per chip" (Array.length res.Sim.per_chip_cycles)
+    (Array.length res.Sim.per_chip_stats);
+  Array.iteri
+    (fun i (cs : Sim.chip_stats) ->
+      let lbl s = Printf.sprintf "chip %d: %s" i s in
+      Alcotest.(check bool) (lbl "busy >= 0") true (cs.Sim.cs_busy >= 0);
+      Alcotest.(check bool) (lbl "operand stall >= 0") true (cs.Sim.cs_stall_operand >= 0);
+      Alcotest.(check bool) (lbl "fu stall >= 0") true (cs.Sim.cs_stall_fu >= 0);
+      Alcotest.(check bool) (lbl "hbm stall >= 0") true (cs.Sim.cs_stall_hbm >= 0);
+      Alcotest.(check bool) (lbl "network stall >= 0") true (cs.Sim.cs_stall_network >= 0);
+      Alcotest.(check bool) (lbl "idle >= 0") true (cs.Sim.cs_idle >= 0);
+      Alcotest.(check int) (lbl "total = machine cycles") res.Sim.cycles cs.Sim.cs_total;
+      Alcotest.(check int)
+        (lbl "busy + stalls + idle = total")
+        cs.Sim.cs_total
+        (cs.Sim.cs_busy + cs.Sim.cs_stall_operand + cs.Sim.cs_stall_fu + cs.Sim.cs_stall_hbm
+       + cs.Sim.cs_stall_network + cs.Sim.cs_idle))
+    res.Sim.per_chip_stats
+
+let test_stall_accounting_sums () =
+  let _, _, res = Lazy.force traced_run in
+  check_accounting res
+
+(* The invariant must hold with the sink disabled too (accounting is
+   always on; only event emission is gated), and on another topology. *)
+let test_stall_accounting_disabled_sink () =
+  let kernel = Specs.K_bootstrap Kernels.boot_shape_13 in
+  let compiled = Runner.compile_kernel Runner.cinnamon_4 kernel in
+  Alcotest.(check bool) "sink disabled" false (Tel.enabled ());
+  check_accounting (Sim.run { SC.cinnamon_4 with SC.topology = SC.Switch } compiled.Pipeline.machine)
+
+let test_kernel_registry_round_trip () =
+  List.iter
+    (fun (name, k) ->
+      match Specs.find_kernel name with
+      | Ok k' ->
+        Alcotest.(check string) ("round-trip " ^ name) (Specs.kernel_name k) (Specs.kernel_name k');
+        Alcotest.(check string) ("name matches " ^ name) name (Specs.kernel_name k')
+      | Error e -> Alcotest.failf "registry name %s rejected: %s" name e)
+    Specs.kernels;
+  (* parametric and shorthand forms *)
+  (match Specs.find_kernel "matvec-32" with
+  | Ok k -> Alcotest.(check string) "matvec-32 parses" "matvec-32" (Specs.kernel_name k)
+  | Error e -> Alcotest.failf "matvec-32 rejected: %s" e);
+  (match Specs.find_kernel "bootstrap" with
+  | Ok k -> Alcotest.(check string) "bootstrap shorthand" "bootstrap-13" (Specs.kernel_name k)
+  | Error e -> Alcotest.failf "bootstrap rejected: %s" e)
+
+let contains ~needle hay =
+  let ls = String.length needle and ln = String.length hay in
+  let rec scan i = i + ls <= ln && (String.sub hay i ls = needle || scan (i + 1)) in
+  scan 0
+
+let test_registry_rejects_unknown () =
+  (match Specs.find_kernel "no-such-kernel" with
+  | Ok _ -> Alcotest.fail "unknown kernel accepted"
+  | Error e ->
+    Alcotest.(check bool) "error names the offender" true (contains ~needle:"no-such-kernel" e);
+    Alcotest.(check bool) "error lists the registry" true (contains ~needle:"bootstrap-13" e));
+  (match Specs.find_benchmark "no-such-bench" with
+  | Ok _ -> Alcotest.fail "unknown benchmark accepted"
+  | Error e -> Alcotest.(check bool) "benchmark error lists registry" true (contains ~needle:"resnet" e));
+  match Runner.find_system "no-such-system" with
+  | Ok _ -> Alcotest.fail "unknown system accepted"
+  | Error e -> Alcotest.(check bool) "system error lists registry" true (contains ~needle:"cinnamon-4" e)
+
+let test_benchmark_system_registries () =
+  List.iter
+    (fun (name, b) ->
+      match Specs.find_benchmark name with
+      | Ok b' -> Alcotest.(check string) name b.Specs.bench_name b'.Specs.bench_name
+      | Error e -> Alcotest.failf "benchmark %s rejected: %s" name e)
+    Specs.benchmarks;
+  List.iter
+    (fun (name, s) ->
+      match Runner.find_system name with
+      | Ok s' -> Alcotest.(check string) name s.Runner.sys_name s'.Runner.sys_name
+      | Error e -> Alcotest.failf "system %s rejected: %s" name e)
+    Runner.systems
+
+let test_disabled_sink_records_nothing () =
+  Alcotest.(check bool) "sink disabled" false (Tel.enabled ());
+  let before = Tel.event_count () in
+  let v = Tel.Span.with_ ~cat:"test" "should-not-record" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span is transparent" 42 v;
+  let c = Tel.Counter.make ~cat:"test" "disabled_counter" in
+  Tel.Counter.add c 7;
+  Alcotest.(check int) "counter did not move" 0 (Tel.Counter.value c);
+  Alcotest.(check int) "no events recorded" before (Tel.event_count ())
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "trace JSON well-formed and complete" `Quick test_trace_json_well_formed;
+      Alcotest.test_case "stall accounting sums to total" `Quick test_stall_accounting_sums;
+      Alcotest.test_case "stall accounting with sink disabled" `Quick
+        test_stall_accounting_disabled_sink;
+      Alcotest.test_case "kernel registry round-trips" `Quick test_kernel_registry_round_trip;
+      Alcotest.test_case "registries reject unknown names" `Quick test_registry_rejects_unknown;
+      Alcotest.test_case "benchmark and system registries" `Quick test_benchmark_system_registries;
+      Alcotest.test_case "disabled sink records nothing" `Quick test_disabled_sink_records_nothing;
+    ] )
