@@ -7,16 +7,26 @@
    functional OCaml kernels (NTT, base conversion, keyswitch, rescale)
    that calibrate the CPU baseline.
 
-   Usage: main.exe [section ...] [--trace FILE] [--metrics]
+   Usage: main.exe [section ...] [--jobs N] [--quick] [--cache-dir DIR]
+                   [--bench-out FILE] [--trace FILE] [--metrics]
      sections: table1 table2 table3 fig6 fig11 fig12 fig13 fig14 fig15
                fig16 sec43 sec74 micro        (default: all)
-     --trace FILE  write a Chrome trace-event JSON of the run
-     --metrics     print the telemetry report (pass timings, counters,
-                   simulation-cache hits/misses) after the sections
+     --jobs N        worker domains for the Table-2/Fig-11 sweep
+                     (0 = Domain.recommended_domain_count; 1 = sequential)
+     --quick         restrict the sweep to the Bootstrap benchmark and
+                     default the section list to table2 (CI smoke run)
+     --cache-dir DIR persist simulation results under DIR
+                     (conventionally _cinnamon_cache/); warm runs skip
+                     re-simulation entirely
+     --bench-out F   where to write the perf-trajectory JSON
+                     (default BENCH_cinnamon.json; "-" disables)
+     --trace FILE    write a Chrome trace-event JSON of the run
+     --metrics       print the telemetry report (pass timings, counters,
+                     simulation-cache hits/misses) after the sections
 
    Run time for the full set is dominated by kernel compilation; the
-   kernel cache in Cinnamon_workloads.Runner shares compiled streams
-   across sections. *)
+   result cache in Cinnamon_exec shares compiled+simulated kernels
+   across sections (and, with --cache-dir, across runs). *)
 
 open Cinnamon_workloads
 module T = Cinnamon_util.Table
@@ -25,6 +35,11 @@ module Sim = Cinnamon_sim.Simulator
 module CC = Cinnamon_compiler.Compile_config
 module PD = Cinnamon_arch.Paper_data
 module Tel = Cinnamon_telemetry.Telemetry
+module Exec = Cinnamon_exec
+module Json = Cinnamon_util.Json
+
+let jobs = ref 0 (* 0 = Pool.default_jobs () *)
+let quick = ref false
 
 let section_header name = Printf.printf "\n################ %s ################\n%!" name
 
@@ -91,21 +106,31 @@ let table3 () =
 
 let measured_table2 : (string * string, float) Hashtbl.t = Hashtbl.create 16
 let measured_util : (string * string, Sim.utilization) Hashtbl.t = Hashtbl.create 16
+let sweep_state : Runner.sweep option ref = ref None
 
+let bench_list () = if !quick then [ Specs.bootstrap_13 ] else Specs.all
+
+(* The Table-2/Fig-11 sweep: every benchmark on every system, fanned
+   across the domain pool.  Runs once; table2/fig11/fig12/fig15 all
+   read the memoized results.  Numbers are identical for every --jobs
+   value (the pool only warms the result cache; composition is
+   sequential). *)
 let run_table2 () =
-  List.iter
-    (fun (b : Specs.benchmark) ->
-      List.iter
-        (fun sys ->
-          let key = (b.Specs.bench_name, sys.Runner.sys_name) in
-          if not (Hashtbl.mem measured_table2 key) then begin
-            let r = Runner.run_benchmark sys b in
-            Hashtbl.replace measured_table2 key r.Runner.br_seconds;
-            Hashtbl.replace measured_util key r.Runner.br_util;
-            Printf.printf "  (table2: %s on %s done)\n%!" b.Specs.bench_name sys.Runner.sys_name
-          end)
-        Runner.all_systems)
-    Specs.all
+  if !sweep_state = None then begin
+    let pairs =
+      List.concat_map
+        (fun (b : Specs.benchmark) -> List.map (fun sys -> (sys, b)) Runner.all_systems)
+        (bench_list ())
+    in
+    let sw = Runner.run_sweep ~jobs:!jobs pairs in
+    List.iter
+      (fun (r : Runner.bench_result) ->
+        Hashtbl.replace measured_table2 (r.Runner.br_bench, r.Runner.br_system) r.Runner.br_seconds;
+        Hashtbl.replace measured_util (r.Runner.br_bench, r.Runner.br_system) r.Runner.br_util;
+        Printf.printf "  (table2: %s on %s done)\n%!" r.Runner.br_bench r.Runner.br_system)
+      sw.Runner.sw_results;
+    sweep_state := Some sw
+  end
 
 let table2 () =
   section_header "Table 2: execution time (measured simulation vs paper)";
@@ -145,7 +170,7 @@ let table2 () =
           others
       in
       T.add_row t ((b.Specs.bench_name :: cells) @ other_cells))
-    Specs.all;
+    (bench_list ());
   T.print t;
   match Hashtbl.find_opt measured_table2 ("BERT", "Cinnamon-12") with
   | Some bert12 ->
@@ -176,7 +201,7 @@ let fig11 () =
       T.print_bar_chart
         ~title:(Printf.sprintf "%s (speedup over %s)" b.Specs.bench_name base_name)
         ~unit:"x" entries)
-    Specs.all
+    (bench_list ())
 
 let fig12 () =
   section_header "Fig. 12: relative performance per dollar";
@@ -219,7 +244,7 @@ let fig12 () =
         T.print_bar_chart
           ~title:(Printf.sprintf "%s (perf/$ relative to %s)" b.Specs.bench_name baseline)
           ~unit:"x" rel)
-    Specs.all
+    (bench_list ())
 
 let fig15 () =
   section_header "Fig. 15: hardware utilization";
@@ -290,17 +315,18 @@ let fig13 () =
     (Runner.simulate_kernel Runner.cinnamon_1 (Specs.K_bootstrap Kernels.boot_shape_13)).Sim.seconds
   in
   Printf.printf "Sequential (1 chip): %s\n%!" (T.fmt_time seq);
+  let paper = CC.paper () in
   let variants =
     [
       ("CiFHER",
-       { Runner.default_options with CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast;
+       { paper with CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast;
          pass_mode = CC.No_pass });
       ("Input Broadcast",
-       { Runner.default_options with CC.default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
+       { paper with CC.default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
          pass_mode = CC.No_pass });
-      ("Input Broadcast + Pass", { Runner.default_options with CC.pass_mode = CC.Pass_ib_only });
-      ("Cinnamon KS + Pass", Runner.default_options);
-      ("Cinnamon KS + Pass + ProgPar", { Runner.default_options with CC.progpar = true });
+      ("Input Broadcast + Pass", { paper with CC.pass_mode = CC.Pass_ib_only });
+      ("Cinnamon KS + Pass", paper);
+      ("Cinnamon KS + Pass + ProgPar", { paper with CC.progpar = true });
     ]
   in
   let bandwidths = [ 256.0; 512.0; 1024.0 ] in
@@ -311,9 +337,9 @@ let fig13 () =
       ~aligns:((T.Left :: List.map (fun _ -> T.Right) bandwidths) @ [ T.Right ]) ()
   in
   List.iter
-    (fun (name, options) ->
+    (fun (name, config) ->
       let compiled =
-        Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+        Runner.compile_kernel ~config Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
       in
       let speedups =
         List.map
@@ -354,11 +380,11 @@ let fig14 () =
       let sc =
         { (SC.cinnamon_chip ~chips ~topology) with SC.name = Printf.sprintf "Cinnamon-%d" chips }
       in
-      let sys = { Runner.sys_name = sc.SC.name; sim = sc; group_chips = chips; groups = 1 } in
-      let options = { Runner.default_options with CC.progpar = true } in
+      let sys = Runner.make_system ~name:sc.SC.name ~group_chips:chips ~groups:1 sc in
+      let config = { (CC.paper ()) with CC.progpar = true } in
       let cell shape =
         let seq_t = seq shape in
-        let r = Runner.simulate_kernel ~options sys (Specs.K_bootstrap shape) in
+        let r = Runner.simulate_kernel ~config sys (Specs.K_bootstrap shape) in
         seq_t /. r.Sim.seconds
       in
       let p13 = List.assoc sc.SC.name (List.assoc "Bootstrap-13" PD.fig14) in
@@ -412,19 +438,19 @@ let fig16 () =
 
 let sec43 () =
   section_header "s4.3.1: keyswitch pass communication reduction per bootstrap";
-  let bytes options =
+  let bytes config =
     let r =
-      Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+      Runner.compile_kernel ~config Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
     in
     r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved
   in
+  let paper = CC.paper () in
   let unopt =
     bytes
-      { Runner.default_options with
-        CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
+      { paper with CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
   in
-  let pass = bytes Runner.default_options in
-  let pass_pp = bytes { Runner.default_options with CC.progpar = true } in
+  let pass = bytes paper in
+  let pass_pp = bytes { paper with CC.progpar = true } in
   Printf.printf "Unoptimized (CiFHER-style, no pass): %s\n" (T.fmt_bytes unopt);
   Printf.printf "Cinnamon keyswitch pass:             %s  (%.2fx reduction; paper: %.1fx)\n"
     (T.fmt_bytes pass)
@@ -437,15 +463,15 @@ let sec43 () =
 
 let sec74 () =
   section_header "s7.4: Cinnamon vs CiFHER keyswitching (Cinnamon-4, bootstrap)";
-  let compiled options =
-    Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+  let compiled config =
+    Runner.compile_kernel ~config Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
   in
+  let paper = CC.paper () in
   let cifher =
     compiled
-      { Runner.default_options with
-        CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
+      { paper with CC.default_ks = Cinnamon_ir.Poly_ir.Cifher_broadcast; pass_mode = CC.No_pass }
   in
-  let cinn = compiled Runner.default_options in
+  let cinn = compiled paper in
   let traffic r = r.Cinnamon_compiler.Pipeline.comm.Cinnamon_ir.Limb_ir.bytes_moved in
   let time r = (Sim.run SC.cinnamon_4 r.Cinnamon_compiler.Pipeline.machine).Sim.seconds in
   let tr_ratio = Float.of_int (traffic cifher) /. Float.of_int (traffic cinn) in
@@ -636,6 +662,73 @@ let micro () =
   Printf.printf "Analytic 48-core CPU bootstrap: %s\n"
     (T.fmt_time Cinnamon_sim.Cpu_model.analytic_bootstrap_seconds)
 
+(* ------------------------------------------------------ perf trajectory *)
+
+(* BENCH_cinnamon.json: the machine-readable record of the sweep — one
+   entry per (benchmark, system) and per distinct simulated kernel,
+   plus cache effectiveness and wall-clock.  Consumed by CI (uploaded
+   as an artifact) to track the perf trajectory across commits. *)
+let write_bench_json file ~wall_seconds =
+  match !sweep_state with
+  | None -> () (* no sweep section ran; nothing to record *)
+  | Some sw ->
+    let st = Exec.Result_cache.stats () in
+    let lookups = st.Exec.Result_cache.hits + st.Exec.Result_cache.disk_hits + st.Exec.Result_cache.misses in
+    let hit_rate =
+      if lookups = 0 then 0.0
+      else
+        Float.of_int (st.Exec.Result_cache.hits + st.Exec.Result_cache.disk_hits) /. Float.of_int lookups
+    in
+    let j =
+      Json.Obj
+        [
+          ("schema", Json.Str "cinnamon-bench-v1");
+          ("generated_by", Json.Str "bench/main");
+          ("jobs", Json.Int sw.Runner.sw_jobs);
+          ("quick", Json.Bool !quick);
+          ("wall_seconds", Json.Float wall_seconds);
+          ( "cache",
+            Json.Obj
+              [
+                ("hits", Json.Int st.Exec.Result_cache.hits);
+                ("disk_hits", Json.Int st.Exec.Result_cache.disk_hits);
+                ("misses", Json.Int st.Exec.Result_cache.misses);
+                ("stores", Json.Int st.Exec.Result_cache.stores);
+                ("hit_rate", Json.Float hit_rate);
+              ] );
+          ( "kernels",
+            Json.List
+              (List.map
+                 (fun (k : Runner.kernel_time) ->
+                   Json.Obj
+                     [
+                       ("kernel", Json.Str k.Runner.kt_kernel);
+                       ("system", Json.Str k.Runner.kt_system);
+                       ("cycles", Json.Int k.Runner.kt_result.Sim.cycles);
+                       ("seconds", Json.Float k.Runner.kt_result.Sim.seconds);
+                     ])
+                 sw.Runner.sw_kernels) );
+          ( "benchmarks",
+            Json.List
+              (List.map
+                 (fun (r : Runner.bench_result) ->
+                   Json.Obj
+                     [
+                       ("bench", Json.Str r.Runner.br_bench);
+                       ("system", Json.Str r.Runner.br_system);
+                       ("seconds", Json.Float r.Runner.br_seconds);
+                     ])
+                 sw.Runner.sw_results) );
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "bench: wrote %s (%d kernels, %d benchmark points, %.0f%% cache hit rate)\n%!"
+      file (List.length sw.Runner.sw_kernels) (List.length sw.Runner.sw_results)
+      (100.0 *. hit_rate)
+
 (* --------------------------------------------------------------- dispatch *)
 
 let sections =
@@ -649,15 +742,52 @@ let sections =
 
 let () =
   let t0 = Unix.gettimeofday () in
+  let bench_out = ref "BENCH_cinnamon.json" in
+  let split_eq flag s =
+    (* "--flag=value" -> Some value *)
+    let p = flag ^ "=" in
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  let bad_arg s =
+    Printf.eprintf "bad argument %s\n" s;
+    exit 2
+  in
   let rec parse_args acc trace metrics = function
     | [] -> (List.rev acc, trace, metrics)
     | "--metrics" :: rest -> parse_args acc trace true rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse_args acc trace metrics rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n -> jobs := n; parse_args acc trace metrics rest
+      | None -> bad_arg ("--jobs " ^ n))
+    | "--cache-dir" :: dir :: rest ->
+      Exec.Result_cache.set_dir (Some dir);
+      parse_args acc trace metrics rest
+    | "--bench-out" :: file :: rest ->
+      bench_out := file;
+      parse_args acc trace metrics rest
     | "--trace" :: file :: rest -> parse_args acc (Some file) metrics rest
-    | s :: rest when String.length s > 8 && String.sub s 0 8 = "--trace=" ->
-      parse_args acc (Some (String.sub s 8 (String.length s - 8))) metrics rest
+    | s :: rest when split_eq "--trace" s <> None ->
+      parse_args acc (split_eq "--trace" s) metrics rest
+    | s :: rest when split_eq "--jobs" s <> None -> (
+      match int_of_string_opt (Option.get (split_eq "--jobs" s)) with
+      | Some n -> jobs := n; parse_args acc trace metrics rest
+      | None -> bad_arg s)
+    | s :: rest when split_eq "--cache-dir" s <> None ->
+      Exec.Result_cache.set_dir (split_eq "--cache-dir" s);
+      parse_args acc trace metrics rest
+    | s :: rest when split_eq "--bench-out" s <> None ->
+      bench_out := Option.get (split_eq "--bench-out" s);
+      parse_args acc trace metrics rest
     | s :: rest -> parse_args (s :: acc) trace metrics rest
   in
   let requested, trace, metrics = parse_args [] None false (List.tl (Array.to_list Sys.argv)) in
+  let requested = if requested = [] && !quick then [ "table2" ] else requested in
   if trace <> None || metrics then Tel.enable ();
   let to_run =
     if requested = [] then sections
@@ -677,7 +807,9 @@ let () =
       Tel.Span.with_ ~cat:"bench" ("section:" ^ name) f;
       Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
     to_run;
-  Printf.printf "\nAll sections done in %.1fs\n" (Unix.gettimeofday () -. t0);
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nAll sections done in %.1fs\n" wall_seconds;
+  if !bench_out <> "-" then write_bench_json !bench_out ~wall_seconds;
   (match trace with
   | Some file -> (
     try

@@ -20,6 +20,7 @@
      cinnamon compile bootstrap-13 --chips 4
      cinnamon simulate bootstrap-13 --chips 8 --link-gbps 512 --trace /tmp/t.json
      cinnamon bench bert --system cinnamon-12 --metrics
+     cinnamon bench bert --system cinnamon-12 --jobs 4 --cache-dir _cinnamon_cache
      cinnamon arch *)
 
 open Cmdliner
@@ -200,7 +201,25 @@ let system_arg =
   let print fmt s = Format.pp_print_string fmt s.Runner.sys_name in
   Arg.(value & opt (conv (parse, print)) Runner.cinnamon_4 & info [ "system" ] ~docv:"SYS")
 
-let do_bench bench system list trace metrics =
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for kernel compilation+simulation (0 = \
+           Domain.recommended_domain_count, 1 = sequential).  Results are identical for \
+           every value.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist simulation results as JSON under $(docv) (conventionally \
+           _cinnamon_cache/); later runs with the same configurations skip re-simulation.")
+
+let do_bench bench system jobs cache_dir list trace metrics =
   if list then begin
     print_bench_registry ();
     0
@@ -210,7 +229,8 @@ let do_bench bench system list trace metrics =
     | None -> missing_positional "BENCHMARK"
     | Some bench ->
       with_telemetry ~trace ~metrics @@ fun () ->
-      let r = Runner.run_benchmark system bench in
+      Cinnamon_exec.Result_cache.set_dir cache_dir;
+      let r = List.hd (Runner.run_benchmarks ~jobs [ (system, bench) ]) in
       Printf.printf "%s on %s: %s\n" r.Runner.br_bench r.Runner.br_system
         (T.fmt_time r.Runner.br_seconds);
       List.iter
@@ -244,7 +264,9 @@ let simulate_cmd =
 
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run a paper benchmark on a system")
-    Term.(const do_bench $ bench_arg $ system_arg $ list_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const do_bench $ bench_arg $ system_arg $ jobs_arg $ cache_dir_arg $ list_arg $ trace_arg
+      $ metrics_arg)
 
 let arch_cmd =
   Cmd.v (Cmd.info "arch" ~doc:"Print area and yield models") Term.(const do_arch $ const ())

@@ -1,0 +1,49 @@
+(* Structural cache keys for compile+simulate results.
+
+   The key renders EVERY behavioural field of the compile configuration
+   and the simulated hardware configuration, plus the kernel name, so
+   two jobs share a cache entry only when the compiler and simulator
+   would provably do identical work.  This replaces the hand-rolled
+   option strings that silently omitted fields (alpha, chips, rf_bytes,
+   ...) and served stale results across configurations.
+
+   Cosmetic fields are excluded on purpose: Sim_config.name carries
+   decorations like "@512GB/s" or ":wide" that restate behavioural
+   fields already in the key.
+
+   [schema] versions the rendering itself; bump it whenever a field is
+   added to either record or the rendering changes, so persistent cache
+   entries written by older code can never be misread. *)
+
+module CC = Cinnamon_compiler.Compile_config
+module SC = Cinnamon_sim.Sim_config
+
+type t = string
+
+let schema = "ck2"
+
+let pass_mode_name = function
+  | CC.No_pass -> "nopass"
+  | CC.Pass_ib_only -> "ibpass"
+  | CC.Pass_full -> "full"
+
+let topology_name = function SC.Ring -> "ring" | SC.Switch -> "switch"
+
+let make ~(config : CC.t) ~(sim : SC.t) ~kernel =
+  Printf.sprintf
+    "%s|k=%s|cc:chips=%d,log_n=%d,limb_bits=%d,top_limbs=%d,dnum=%d,alpha=%d,group_size=%d,ks=%s,pass=%s,pp=%b|sc:chips=%d,clk=%g,cl=%d,lanes=%d,bcu=%d,rf=%d,hbm=%g,link=%g,topo=%s,hop=%d,pipe=%d"
+    schema kernel config.CC.chips config.CC.log_n config.CC.limb_bits config.CC.top_limbs
+    config.CC.dnum config.CC.alpha config.CC.group_size
+    (Cinnamon_ir.Poly_ir.algorithm_name config.CC.default_ks)
+    (pass_mode_name config.CC.pass_mode)
+    config.CC.progpar sim.SC.chips sim.SC.clock_ghz sim.SC.clusters sim.SC.lanes_per_cluster
+    sim.SC.bcu_lanes_per_cluster sim.SC.rf_bytes sim.SC.hbm_gbps sim.SC.link_gbps
+    (topology_name sim.SC.topology)
+    sim.SC.hop_latency_cycles sim.SC.ntt_pipe_depth
+
+let to_string t = t
+let equal = String.equal
+let hash = Hashtbl.hash
+
+(* Filesystem-safe identifier for the on-disk tier. *)
+let digest t = Digest.to_hex (Digest.string t)

@@ -1,0 +1,24 @@
+(** Structural cache keys for compile+simulate results.
+
+    Derived from {e every} behavioural field of the compile
+    configuration and the simulated hardware configuration plus the
+    kernel name — two configurations differing in any field (alpha,
+    dnum, chips, rf_bytes, link bandwidth, ...) can never collide.
+    Cosmetic fields ([Sim_config.name]) are excluded. *)
+
+type t
+
+(** Current key-schema tag, embedded in every key (and hence in every
+    on-disk cache entry).  Bump on any rendering or field change. *)
+val schema : string
+
+val make : config:Cinnamon_compiler.Compile_config.t -> sim:Cinnamon_sim.Sim_config.t -> kernel:string -> t
+
+(** Canonical, human-readable rendering (also the equality witness). *)
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Filesystem-safe hex digest, used to name on-disk cache entries. *)
+val digest : t -> string

@@ -3,7 +3,14 @@
 
    Disabled by default; every entry point short-circuits on [on] so the
    instrumented hot paths (the simulator issue loop in particular) pay
-   one boolean load when tracing is off. *)
+   one boolean load when tracing is off.
+
+   Domain-safe: the shared sink (event buffer, span aggregates,
+   counters) is guarded by one mutex, while span stacks are per-domain
+   (Domain.DLS) so concurrent compile/simulate jobs nest their spans
+   independently; every domain's spans land in the shared buffer and
+   are merged at export.  Wall spans carry their domain id as the trace
+   tid, so parallel work renders as separate rows under pid 0. *)
 
 type arg = Int of int | Float of float | Str of string
 
@@ -25,13 +32,28 @@ let enabled () = !on
 let enable () = on := true
 let disable () = on := false
 
+(* One lock serializes every mutation of the shared sink.  Uncontended
+   Mutex.lock is cheap, and nothing below it blocks. *)
+let sink_mutex = Mutex.create ()
+
+let with_sink f =
+  Mutex.lock sink_mutex;
+  match f () with
+  | v ->
+    Mutex.unlock sink_mutex;
+    v
+  | exception e ->
+    Mutex.unlock sink_mutex;
+    raise e
+
 (* Recorded events, newest first. *)
 let events : event list ref = ref []
 let n_events = ref 0
 
 let record ev =
-  events := ev :: !events;
-  incr n_events
+  with_sink (fun () ->
+      events := ev :: !events;
+      incr n_events)
 
 let event_count () = !n_events
 
@@ -45,43 +67,53 @@ let now_us () = Unix.gettimeofday () *. 1e6
 module Span = struct
   type frame = { f_name : string; f_cat : string; f_t0 : float; mutable f_args : (string * arg) list }
 
-  let stack : frame list ref = ref []
+  (* Per-domain span stacks: nesting is a property of one domain's call
+     tree, so concurrent jobs each get their own stack (merged into the
+     shared event buffer when frames close). *)
+  let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+  let stack () = Domain.DLS.get stack_key
 
   let add_args args =
     if !on then
-      match !stack with
+      match !(stack ()) with
       | [] -> ()
       | f :: _ -> f.f_args <- f.f_args @ args
 
   let with_ ?(cat = "compile") ?(args = []) name f =
     if not !on then f ()
     else begin
+      let stack = stack () in
+      let tid = (Domain.self () :> int) in
       let frame = { f_name = name; f_cat = cat; f_t0 = now_us (); f_args = args } in
       stack := frame :: !stack;
       let finish () =
         (match !stack with _ :: rest -> stack := rest | [] -> ());
         let dur = now_us () -. frame.f_t0 in
-        record
-          {
-            ev_name = name;
-            ev_cat = frame.f_cat;
-            ev_ph = Complete;
-            ev_ts = frame.f_t0;
-            ev_dur = dur;
-            ev_pid = 0;
-            ev_tid = 0;
-            ev_args = frame.f_args;
-          };
-        let count, total =
-          match Hashtbl.find_opt span_totals name with
-          | Some ct -> ct
-          | None ->
-            let ct = (ref 0, ref 0.0) in
-            Hashtbl.add span_totals name ct;
-            ct
-        in
-        incr count;
-        total := !total +. dur
+        with_sink (fun () ->
+            events :=
+              {
+                ev_name = name;
+                ev_cat = frame.f_cat;
+                ev_ph = Complete;
+                ev_ts = frame.f_t0;
+                ev_dur = dur;
+                ev_pid = 0;
+                ev_tid = tid;
+                ev_args = frame.f_args;
+              }
+              :: !events;
+            incr n_events;
+            let count, total =
+              match Hashtbl.find_opt span_totals name with
+              | Some ct -> ct
+              | None ->
+                let ct = (ref 0, ref 0.0) in
+                Hashtbl.add span_totals name ct;
+                ct
+            in
+            incr count;
+            total := !total +. dur)
       in
       match f () with
       | v ->
@@ -103,20 +135,23 @@ module Counter = struct
 
   let make ?(cat = "misc") name =
     let c = { c_name = name; c_cat = cat; c_value = 0 } in
-    registry := c :: !registry;
+    with_sink (fun () -> registry := c :: !registry);
     c
 
-  let add c n = if !on then c.c_value <- c.c_value + n
+  (* Read-modify-write under the sink lock so parallel jobs never lose
+     increments. *)
+  let add c n = if !on then with_sink (fun () -> c.c_value <- c.c_value + n)
   let incr c = add c 1
   let value c = c.c_value
 end
 
 let reset () =
-  events := [];
-  n_events := 0;
-  Hashtbl.reset span_totals;
-  Span.stack := [];
-  List.iter (fun c -> c.Counter.c_value <- 0) !Counter.registry
+  with_sink (fun () ->
+      events := [];
+      n_events := 0;
+      Hashtbl.reset span_totals;
+      List.iter (fun c -> c.Counter.c_value <- 0) !Counter.registry);
+  Span.stack () := []
 
 (* ------------------------------------------------ virtual-time events *)
 
@@ -185,7 +220,8 @@ let write_chrome_trace file =
   let oc = open_out file in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
-  let evs = List.rev !events in
+  (* Snapshot under the lock; the list itself is immutable. *)
+  let evs = List.rev (with_sink (fun () -> !events)) in
   List.iteri
     (fun i ev ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -204,7 +240,8 @@ let write_chrome_trace file =
 let report () =
   let buf = Buffer.create 1024 in
   let spans =
-    Hashtbl.fold (fun name (count, total) acc -> (name, !count, !total) :: acc) span_totals []
+    with_sink (fun () ->
+        Hashtbl.fold (fun name (count, total) acc -> (name, !count, !total) :: acc) span_totals [])
     |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
   in
   if spans <> [] then begin

@@ -14,6 +14,12 @@
     one boolean load, so instrumented code pays no measurable cost until
     {!enable} is called (the CLI's [--trace]/[--metrics] flags do this).
 
+    The sink is {b domain-safe}: the shared event buffer, span
+    aggregates and counters are mutex-guarded, and span stacks are
+    per-domain (so jobs running on a {!Cinnamon_exec.Pool} nest their
+    spans independently and merge into one trace at export).  Wall
+    spans carry their domain id as the trace [tid].
+
     Two exporters: {!write_chrome_trace} produces Chrome trace-event
     JSON loadable in [chrome://tracing] or Perfetto (wall-clock spans
     live on pid 0; simulator events on pid [1+chip] with one cycle

@@ -1,0 +1,254 @@
+(* Minimal JSON: a value type, a compact printer, and a
+   recursive-descent parser.  No external dependency — this backs the
+   persistent simulation cache and the BENCH_*.json perf artifacts,
+   which only need objects/arrays/strings/numbers.
+
+   Integers are kept distinct from floats so cycle counts round-trip
+   exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ----------------------------------------------------------- printing *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_buffer ?(indent = 0) buf v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let nl n =
+    if indent >= 0 then begin
+      Buffer.add_char buf '\n';
+      pad n
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        nl (indent + 2);
+        to_buffer ~indent:(if indent >= 0 then indent + 2 else indent) buf x)
+      xs;
+    nl indent;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_char buf ',';
+        nl (indent + 2);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        if indent >= 0 then Buffer.add_char buf ' ';
+        to_buffer ~indent:(if indent >= 0 then indent + 2 else indent) buf x)
+      kvs;
+    nl indent;
+    Buffer.add_char buf '}'
+
+let to_string ?(compact = false) v =
+  let buf = Buffer.create 256 in
+  to_buffer ~indent:(if compact then -1 else 0) buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------ parsing *)
+
+exception Parse_error of string
+
+let of_string (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' ->
+        advance ();
+        closed := true
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' -> advance (); Buffer.add_char buf '\n'
+        | Some 't' -> advance (); Buffer.add_char buf '\t'
+        | Some 'r' -> advance (); Buffer.add_char buf '\r'
+        | Some 'b' -> advance (); Buffer.add_char buf '\b'
+        | Some 'f' -> advance (); Buffer.add_char buf '\012'
+        | Some '/' -> advance (); Buffer.add_char buf '/'
+        | Some '"' -> advance (); Buffer.add_char buf '"'
+        | Some '\\' -> advance (); Buffer.add_char buf '\\'
+        | Some 'u' ->
+          advance ();
+          let v = try hex4 () with _ -> error "bad \\u escape" in
+          (* Code points below 256 decode to the byte; others to '?'
+             (the cache/bench payloads are ASCII). *)
+          Buffer.add_char buf (if v < 256 then Char.chr v else '?')
+        | _ -> error "bad escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c
+    done;
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true | _ -> false in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if lit = "" then error "expected number";
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> error (Printf.sprintf "bad number %S" lit))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let kvs = ref [] in
+        let continue = ref true in
+        while !continue do
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          kvs := (k, v) :: !kvs;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some '}' ->
+            advance ();
+            continue := false
+          | _ -> error "expected ',' or '}'"
+        done;
+        Obj (List.rev !kvs)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let xs = ref [] in
+        let continue = ref true in
+        while !continue do
+          let v = parse_value () in
+          xs := v :: !xs;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some ']' ->
+            advance ();
+            continue := false
+          | _ -> error "expected ',' or ']'"
+        done;
+        List (List.rev !xs)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Bool true
+      end
+      else error "expected 'true'"
+    | Some 'f' ->
+      if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Bool false
+      end
+      else error "expected 'false'"
+    | Some 'n' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+        pos := !pos + 4;
+        Null
+      end
+      else error "expected 'null'"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> error "expected a JSON value"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---------------------------------------------------------- accessors *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (Float.of_int i) | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

@@ -1,0 +1,32 @@
+(** Minimal JSON values, printing, and parsing (no external dependency).
+
+    Backs the persistent simulation cache ([_cinnamon_cache/]) and the
+    [BENCH_*.json] perf-trajectory artifacts.  Integers are a distinct
+    constructor so cycle counts round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Pretty-printed by default; [~compact:true] emits no whitespace. *)
+val to_string : ?compact:bool -> t -> string
+
+(** Parse a complete JSON document.  [Error] carries a message with the
+    byte offset of the failure. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} — all return [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+
+(** [Int] values widen to float here. *)
+val to_float : t -> float option
+
+val to_str : t -> string option
+val to_list : t -> t list option

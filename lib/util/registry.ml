@@ -1,0 +1,24 @@
+(* Name -> artifact registries.  Every entry point (CLI, bench harness,
+   tests) dispatches through one of these; a failed lookup produces the
+   standard "unknown <what> ...; known <what>s: ..." error listing the
+   registry, so callers never hand-roll the message. *)
+
+type 'a t = {
+  what : string; (* singular noun used in error text, e.g. "kernel" *)
+  entries : (string * 'a) list;
+  extra : string list; (* names listed in errors but resolved elsewhere *)
+}
+
+let make ?(extra = []) ~what entries = { what; entries; extra }
+let entries t = t.entries
+let names t = List.map fst t.entries
+let known_names t = String.concat ", " (names t @ t.extra)
+
+let find t name =
+  match List.assoc_opt name t.entries with
+  | Some v -> Ok v
+  | None ->
+    Error
+      (Printf.sprintf "unknown %s %S; known %ss: %s" t.what name t.what (known_names t))
+
+let mem t name = List.mem_assoc name t.entries

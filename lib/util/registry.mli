@@ -1,0 +1,22 @@
+(** Name → artifact registries with uniform unknown-name errors.
+
+    [make ~what entries] builds a registry whose failed lookups render
+    ["unknown <what> \"name\"; known <what>s: a, b, c"].  [extra] names
+    appear in that listing without being resolvable here — used for
+    parametric families (e.g. ["matvec-<n>"]) whose parsing lives with
+    the caller. *)
+
+type 'a t
+
+val make : ?extra:string list -> what:string -> (string * 'a) list -> 'a t
+
+(** The entries, in registration order. *)
+val entries : 'a t -> (string * 'a) list
+
+val names : 'a t -> string list
+
+(** Comma-separated names plus [extra] — the listing used in errors. *)
+val known_names : 'a t -> string
+
+val find : 'a t -> string -> ('a, string) result
+val mem : 'a t -> string -> bool

@@ -6,87 +6,105 @@
    groups of four chips (limb-level parallelism within a group), and
    program-level parallelism runs one stream per group — Cinnamon-8
    runs 2 concurrent streams, Cinnamon-12 runs 3.  Cinnamon-M and the
-   single-chip baseline run everything on one chip. *)
+   single-chip baseline run everything on one chip.
+
+   Compile+simulate results are cached through the domain-safe
+   Cinnamon_exec.Result_cache, keyed structurally on the FULL compile
+   configuration plus the simulated hardware configuration plus the
+   kernel (Cinnamon_exec.Cache_key) — no hand-rolled key strings, no
+   silently omitted fields.  [run_sweep] fans the distinct
+   (kernel, config, system) jobs of a benchmark sweep across a
+   Cinnamon_exec.Pool and composes the (deterministic) cached results
+   sequentially, so jobs=1 and jobs=N produce identical numbers. *)
 
 open Cinnamon_compiler
 module Sim = Cinnamon_sim.Simulator
 module SC = Cinnamon_sim.Sim_config
 module Tel = Cinnamon_telemetry.Telemetry
+module Exec = Cinnamon_exec
 
 type system = {
   sys_name : string;
-  sim : SC.t;
+  sim : SC.t; (* the whole machine *)
+  group_sim : SC.t; (* one stream group: [sim] narrowed to [group_chips] *)
   group_chips : int; (* chips per stream group *)
   groups : int; (* concurrent streams *)
 }
 
+(* The one place a group's Sim_config is derived — every consumer
+   (simulation, cache keys, power models) sees the same record. *)
+let make_system ~name ~group_chips ~groups sim =
+  {
+    sys_name = name;
+    sim;
+    group_sim = { sim with SC.chips = group_chips };
+    group_chips;
+    groups;
+  }
+
 let cinnamon_system ?(group_chips = 4) (sc : SC.t) =
   let group_chips = min group_chips sc.SC.chips in
-  { sys_name = sc.SC.name; sim = sc; group_chips; groups = max 1 (sc.SC.chips / group_chips) }
+  make_system ~name:sc.SC.name ~group_chips ~groups:(max 1 (sc.SC.chips / group_chips)) sc
 
-let cinnamon_m = { sys_name = "Cinnamon-M"; sim = SC.cinnamon_m; group_chips = 1; groups = 1 }
-let cinnamon_1 = { sys_name = "Cinnamon-1"; sim = SC.cinnamon_1; group_chips = 1; groups = 1 }
+let cinnamon_m = make_system ~name:"Cinnamon-M" ~group_chips:1 ~groups:1 SC.cinnamon_m
+let cinnamon_1 = make_system ~name:"Cinnamon-1" ~group_chips:1 ~groups:1 SC.cinnamon_1
 let cinnamon_4 = cinnamon_system SC.cinnamon_4
 let cinnamon_8 = cinnamon_system SC.cinnamon_8
 let cinnamon_12 = cinnamon_system SC.cinnamon_12
 
-(* Kernel simulation cache: (kernel name + options, system name) -> result. *)
-let cache : (string * string, Sim.result) Hashtbl.t = Hashtbl.create 32
+(* Whole-machine variant of a system: one group spanning every chip,
+   used for single-instance segments (a lone bootstrap runs
+   limb-parallel over all chips rather than leaving groups idle).
+   The widened group_sim is constructed here, once — consumers never
+   patch SC.chips after the fact. *)
+let widened sys =
+  if sys.groups = 1 then sys
+  else
+    make_system
+      ~name:(sys.sys_name ^ ":wide")
+      ~group_chips:sys.sim.SC.chips ~groups:1 sys.sim
 
-let c_cache_hits = Tel.Counter.make ~cat:"runner" "sim_cache.hits"
-let c_cache_misses = Tel.Counter.make ~cat:"runner" "sim_cache.misses"
+(* The compiler configuration actually used for [sys]: chips and
+   stream-group size come from the system, everything else from the
+   caller's config.  This is also what the cache key is built from. *)
+let effective_config (config : Compile_config.t) sys =
+  let group_size =
+    if config.Compile_config.progpar then max 1 (sys.group_chips / 2) else sys.group_chips
+  in
+  { config with Compile_config.chips = sys.group_chips; group_size }
 
-(* The runner's options ARE the compiler configuration: one record
-   carries keyswitch policy, digit layout and stream placement.  The
-   per-system fields (chips, group_size) are overridden from the
-   [system] at compile time. *)
-type options = Compile_config.t
+let paper_config = Compile_config.paper ()
 
-let default_options = Compile_config.paper ()
-
-let compile_kernel ?(options = default_options) sys kernel =
-  let progpar = options.Compile_config.progpar in
+let compile_kernel ?(config = paper_config) sys kernel =
+  let progpar = config.Compile_config.progpar in
   let prog =
     match (progpar, kernel) with
     | true, Specs.K_bootstrap shape -> Kernels.bootstrap_program ~shape ~progpar:true ()
     | _ -> Specs.kernel_program kernel
   in
-  let group_size = if progpar then max 1 (sys.group_chips / 2) else sys.group_chips in
-  let cfg = { options with Compile_config.chips = sys.group_chips; group_size } in
+  let cfg = effective_config config sys in
   Tel.Span.with_ ~cat:"runner" "compile_kernel"
     ~args:[ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
-    (fun () -> Pipeline.compile ~rf_bytes:sys.sim.SC.rf_bytes cfg prog)
+    (fun () -> Pipeline.compile ~rf_bytes:sys.group_sim.SC.rf_bytes cfg prog)
 
-(* Distinguishing cache-key suffix for a configuration. *)
-let options_key (o : options) =
-  Printf.sprintf "%s:%s%s:dnum%d"
-    (match o.Compile_config.pass_mode with
-    | Compile_config.No_pass -> "nopass"
-    | Compile_config.Pass_ib_only -> "ibpass"
-    | Compile_config.Pass_full -> "full")
-    (Cinnamon_ir.Poly_ir.algorithm_name o.Compile_config.default_ks)
-    (if o.Compile_config.progpar then ":pp" else "")
-    o.Compile_config.dnum
+let cache_key ?(config = paper_config) sys kernel =
+  Exec.Cache_key.make
+    ~config:(effective_config config sys)
+    ~sim:sys.group_sim ~kernel:(Specs.kernel_name kernel)
 
-let simulate_kernel ?(options = default_options) ?(use_cache = true) sys kernel =
-  let key = (Specs.kernel_name kernel ^ ":" ^ options_key options, sys.sys_name) in
-  match if use_cache then Hashtbl.find_opt cache key else None with
-  | Some r ->
-    Tel.Counter.incr c_cache_hits;
-    r
-  | None ->
-    if use_cache then Tel.Counter.incr c_cache_misses;
-    let r = compile_kernel ~options sys kernel in
-    (* the kernel runs on one group; simulate that group *)
-    let group_sim = { sys.sim with SC.chips = sys.group_chips } in
-    let res =
-      Tel.Span.with_ ~cat:"runner" "simulate_kernel"
-        ~args:
-          [ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
-        (fun () -> Sim.run group_sim r.Pipeline.machine)
-    in
-    if use_cache then Hashtbl.replace cache key res;
-    res
+let compile_and_simulate ~config sys kernel =
+  let r = compile_kernel ~config sys kernel in
+  (* the kernel runs on one group; simulate that group *)
+  Tel.Span.with_ ~cat:"runner" "simulate_kernel"
+    ~args:[ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
+    (fun () -> Sim.run sys.group_sim r.Pipeline.machine)
+
+let simulate_kernel ?(config = paper_config) ?(use_cache = true) sys kernel =
+  if not use_cache then compile_and_simulate ~config sys kernel
+  else
+    Exec.Result_cache.find_or_compute
+      ~key:(cache_key ~config sys kernel)
+      (fun () -> compile_and_simulate ~config sys kernel)
 
 type segment_time = {
   seg_kernel : string;
@@ -102,20 +120,16 @@ type bench_result = {
   br_util : Sim.utilization;
 }
 
-(* Whole-machine variant of a system: one group spanning every chip,
-   used for single-instance segments (a lone bootstrap runs
-   limb-parallel over all chips rather than leaving groups idle). *)
-let widened sys =
-  if sys.groups = 1 then sys
-  else
-    {
-      sys_name = sys.sys_name ^ ":wide";
-      sim = sys.sim;
-      group_chips = sys.sim.SC.chips;
-      groups = 1;
-    }
+(* Which (system, config) a segment actually runs on: single-instance
+   work uses the whole machine limb-parallel (with the two EvalMod
+   streams when it is a bootstrap); multi-instance work runs one
+   instance per group. *)
+let segment_target config sys (s : Specs.segment) =
+  if s.Specs.instances = 1 && sys.groups > 1 then
+    (widened sys, { config with Compile_config.progpar = true })
+  else (sys, config)
 
-let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
+let run_benchmark ?(config = paper_config) sys (b : Specs.benchmark) =
   Tel.Span.with_ ~cat:"runner" "run_benchmark"
     ~args:[ ("bench", Tel.Str b.Specs.bench_name); ("system", Tel.Str sys.sys_name) ]
   @@ fun () ->
@@ -127,15 +141,8 @@ let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
             [ ("kernel", Tel.Str (Specs.kernel_name s.Specs.kernel));
               ("instances", Tel.Int s.Specs.instances); ("repeats", Tel.Int s.Specs.repeats) ]
         @@ fun () ->
-        (* single-instance work uses the whole machine limb-parallel
-           (with the two EvalMod streams when it is a bootstrap);
-           multi-instance work runs one instance per group *)
-        let eff_sys, eff_options =
-          if s.Specs.instances = 1 && sys.groups > 1 then
-            (widened sys, { options with Compile_config.progpar = true })
-          else (sys, options)
-        in
-        let r = simulate_kernel ~options:eff_options eff_sys s.Specs.kernel in
+        let eff_sys, eff_config = segment_target config sys s in
+        let r = simulate_kernel ~config:eff_config eff_sys s.Specs.kernel in
         (* waves of parallel instances over the available groups *)
         let waves = Cinnamon_util.Bitops.cdiv s.Specs.instances eff_sys.groups in
         let seconds = Float.of_int (s.Specs.repeats * waves) *. r.Sim.seconds in
@@ -171,24 +178,74 @@ let run_benchmark ?(options = default_options) sys (b : Specs.benchmark) =
                 network = weighted (fun u -> u.Sim.network) };
   }
 
+(* --------------------------------------------------- parallel sweeps *)
+
+type kernel_time = {
+  kt_kernel : string;
+  kt_system : string;
+  kt_result : Sim.result;
+}
+
+type sweep = {
+  sw_results : bench_result list; (* one per input pair, input order *)
+  sw_kernels : kernel_time list; (* distinct simulated kernels, input order *)
+  sw_jobs : int; (* worker count actually used *)
+}
+
+(* The distinct (system, config, kernel) compile+simulate jobs behind a
+   sweep, deduplicated by structural cache key in first-appearance
+   order.  These are the units fanned across the pool; composing the
+   benchmarks afterwards touches only the (warm) cache. *)
+let sweep_targets config pairs =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun (sys, (b : Specs.benchmark)) ->
+      List.filter_map
+        (fun (s : Specs.segment) ->
+          let eff_sys, eff_config = segment_target config sys s in
+          let key = Exec.Cache_key.to_string (cache_key ~config:eff_config eff_sys s.Specs.kernel) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some (eff_sys, eff_config, s.Specs.kernel)
+          end)
+        b.Specs.segments)
+    pairs
+
+let run_sweep ?(config = paper_config) ?(jobs = 0) pairs =
+  let targets = sweep_targets config pairs in
+  let pool = Exec.Pool.create ~jobs () in
+  let kernel_results =
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () ->
+        Exec.Pool.map pool
+          (fun (sys, cfg, kernel) ->
+            let r = simulate_kernel ~config:cfg sys kernel in
+            { kt_kernel = Specs.kernel_name kernel; kt_system = sys.sys_name; kt_result = r })
+          targets)
+  in
+  (* All kernels are cached now; composition is cheap and sequential,
+     hence identical for every jobs count. *)
+  let results = List.map (fun (sys, b) -> run_benchmark ~config sys b) pairs in
+  { sw_results = results; sw_kernels = kernel_results; sw_jobs = Exec.Pool.jobs pool }
+
+let run_benchmarks ?config ?jobs pairs = (run_sweep ?config ?jobs pairs).sw_results
+
 (* Systems of Table 2 / Fig. 11. *)
 let all_systems = [ cinnamon_m; cinnamon_4; cinnamon_8; cinnamon_12 ]
 
 (* Registry: the name → system mapping entry points dispatch through
    (companion to [Specs.kernels]/[Specs.benchmarks]). *)
-let systems =
-  [
-    ("cinnamon-m", cinnamon_m);
-    ("cinnamon-1", cinnamon_1);
-    ("cinnamon-4", cinnamon_4);
-    ("cinnamon-8", cinnamon_8);
-    ("cinnamon-12", cinnamon_12);
-  ]
+let system_registry =
+  Cinnamon_util.Registry.make ~what:"system"
+    [
+      ("cinnamon-m", cinnamon_m);
+      ("cinnamon-1", cinnamon_1);
+      ("cinnamon-4", cinnamon_4);
+      ("cinnamon-8", cinnamon_8);
+      ("cinnamon-12", cinnamon_12);
+    ]
 
-let find_system name =
-  match List.assoc_opt name systems with
-  | Some s -> Ok s
-  | None ->
-    Error
-      (Printf.sprintf "unknown system %S; known systems: %s" name
-         (String.concat ", " (List.map fst systems)))
+let systems = Cinnamon_util.Registry.entries system_registry
+let find_system name = Cinnamon_util.Registry.find system_registry name

@@ -1,46 +1,61 @@
 (** Benchmark execution: compile kernels per hardware configuration,
     cycle-simulate them (cached), and compose segment times with
-    stream-level parallelism (hierarchical simulation; DESIGN.md). *)
+    stream-level parallelism (hierarchical simulation; DESIGN.md).
+
+    Every entry point takes an optional [?config] (defaulting to
+    [Compile_config.paper ()]); the runner overrides its [chips] and
+    [group_size] fields per system (see {!effective_config}).
+    Compile+simulate results flow through the domain-safe
+    {!Cinnamon_exec.Result_cache}, keyed structurally with
+    {!Cinnamon_exec.Cache_key} on the full effective configuration —
+    two configs differing in any behavioral field (alpha, dnum, chips,
+    rf_bytes, ...) never share a cache entry. *)
 
 open Cinnamon_compiler
 module Sim = Cinnamon_sim.Simulator
 module SC = Cinnamon_sim.Sim_config
 
-type system = {
+type system = private {
   sys_name : string;
-  sim : SC.t;
+  sim : SC.t;  (** the whole machine *)
+  group_sim : SC.t;  (** one stream group: [sim] narrowed to [group_chips] *)
   group_chips : int;  (** chips per stream group *)
   groups : int;  (** concurrent streams *)
 }
 
+(** Smart constructor — the only way to build a {!system}; derives
+    [group_sim] from [sim] and [group_chips] so the two can never
+    disagree. *)
+val make_system : name:string -> group_chips:int -> groups:int -> SC.t -> system
+
+(** A paper-style system: groups of [group_chips] (default 4). *)
 val cinnamon_system : ?group_chips:int -> SC.t -> system
+
 val cinnamon_m : system
 val cinnamon_1 : system
 val cinnamon_4 : system
 val cinnamon_8 : system
 val cinnamon_12 : system
 
-(** The runner's options {e are} the compiler configuration: one record
-    ([Compile_config.t]) carries the keyswitch policy ([default_ks],
-    [pass_mode]), the digit layout ([dnum]/[alpha]) and stream
-    placement ([progpar]).  [chips] and [group_size] are overridden
-    from the target {!system} when a kernel is compiled, so an options
-    value built from {!default_options} works for every system. *)
-type options = Compile_config.t
+(** The system with one group spanning every chip, used for
+    single-instance segments.  Identity on single-group systems. *)
+val widened : system -> system
 
-(** [Compile_config.paper ()]: full keyswitch pass, input-broadcast
-    default, no program-level parallelism. *)
-val default_options : options
+(** The compiler configuration actually in effect for a system:
+    [chips] and [group_size] come from the system, everything else
+    from the caller's config. *)
+val effective_config : Compile_config.t -> system -> Compile_config.t
+
+(** The structural key {!simulate_kernel} files its result under. *)
+val cache_key : ?config:Compile_config.t -> system -> Specs.kernel -> Cinnamon_exec.Cache_key.t
 
 (** Compile a kernel for one group of the system. *)
-val compile_kernel : ?options:options -> system -> Specs.kernel -> Pipeline.result
+val compile_kernel : ?config:Compile_config.t -> system -> Specs.kernel -> Pipeline.result
 
-(** Compile + simulate a kernel on one group; results are cached per
-    (kernel, options, system). *)
-val simulate_kernel : ?options:options -> ?use_cache:bool -> system -> Specs.kernel -> Sim.result
-
-(** The system with one group spanning every chip. *)
-val widened : system -> system
+(** Compile + simulate a kernel on one group of the system;
+    [~use_cache:false] bypasses the result cache. *)
+val simulate_kernel :
+  ?config:Compile_config.t -> ?use_cache:bool -> system -> Specs.kernel -> Sim.result
 
 type segment_time = { seg_kernel : string; seg_seconds : float; seg_util : Sim.utilization }
 
@@ -52,13 +67,40 @@ type bench_result = {
   br_util : Sim.utilization;  (** time-weighted, idle-group de-rated *)
 }
 
-val run_benchmark : ?options:options -> system -> Specs.benchmark -> bench_result
+val run_benchmark : ?config:Compile_config.t -> system -> Specs.benchmark -> bench_result
+
+(** {1 Parallel sweeps} *)
+
+type kernel_time = {
+  kt_kernel : string;
+  kt_system : string;  (** effective system (may be a [":wide"] variant) *)
+  kt_result : Sim.result;
+}
+
+type sweep = {
+  sw_results : bench_result list;  (** one per input pair, in input order *)
+  sw_kernels : kernel_time list;  (** distinct kernel simulations, first-appearance order *)
+  sw_jobs : int;  (** worker domains actually used *)
+}
+
+(** [run_sweep ?config ?jobs pairs] runs every (system, benchmark)
+    pair: the distinct kernel compile+simulate jobs behind the sweep
+    are fanned across a {!Cinnamon_exec.Pool} with [jobs] workers
+    ([0], the default, means [Pool.default_jobs ()]), then benchmarks
+    are composed from the warm cache.  Results are bit-identical for
+    every [jobs] value. *)
+val run_sweep :
+  ?config:Compile_config.t -> ?jobs:int -> (system * Specs.benchmark) list -> sweep
+
+val run_benchmarks :
+  ?config:Compile_config.t -> ?jobs:int -> (system * Specs.benchmark) list -> bench_result list
 
 (** The Table 2 / Fig. 11 systems. *)
 val all_systems : system list
 
 (** Registry: the name → system mapping entry points dispatch through
     (companion to [Specs.kernels] / [Specs.benchmarks]). *)
-val systems : (string * system) list
+val system_registry : system Cinnamon_util.Registry.t
 
+val systems : (string * system) list
 val find_system : string -> (system, string) result

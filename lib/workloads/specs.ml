@@ -186,53 +186,47 @@ let kernel_name = function
 (* ------------------------------------------------------------ registries
 
    The single name → artifact mapping every entry point (CLI, bench
-   harness, tests) dispatches through.  [find_kernel] additionally
-   accepts the parametric "matvec-<n>" family and the "bootstrap"
-   shorthand; unknown names get an error listing the registry. *)
+   harness, tests) dispatches through (Cinnamon_util.Registry provides
+   the shared lookup-or-list-known-names behaviour).  [find_kernel]
+   additionally accepts the parametric "matvec-<n>" family and the
+   "bootstrap" shorthand. *)
 
-let kernels =
-  [
-    ("bootstrap-13", K_bootstrap Kernels.boot_shape_13);
-    ("bootstrap-21", K_bootstrap Kernels.boot_shape_21);
-    ("attention", K_attention);
-    ("gelu", K_gelu);
-    ("layernorm", K_layernorm);
-    ("conv", K_conv);
-    ("relu", K_relu);
-    ("helr-iter", K_helr_iter);
-    ("matvec-10", K_matvec 10);
-  ]
+module Registry = Cinnamon_util.Registry
 
-let known_names registry extra =
-  String.concat ", " (List.map fst registry @ extra)
+let kernel_registry =
+  Registry.make ~what:"kernel" ~extra:[ "matvec-<n>" ]
+    [
+      ("bootstrap-13", K_bootstrap Kernels.boot_shape_13);
+      ("bootstrap-21", K_bootstrap Kernels.boot_shape_21);
+      ("attention", K_attention);
+      ("gelu", K_gelu);
+      ("layernorm", K_layernorm);
+      ("conv", K_conv);
+      ("relu", K_relu);
+      ("helr-iter", K_helr_iter);
+      ("matvec-10", K_matvec 10);
+    ]
+
+let kernels = Registry.entries kernel_registry
 
 let find_kernel name =
-  match List.assoc_opt name kernels with
-  | Some k -> Ok k
-  | None -> (
-    match name with
-    | "bootstrap" -> Ok (K_bootstrap Kernels.boot_shape_13)
-    | s when String.length s > 7 && String.sub s 0 7 = "matvec-" -> (
-      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
-      | Some d when d > 0 -> Ok (K_matvec d)
-      | _ -> Error (Printf.sprintf "bad diagonal count in %S (want matvec-<n>, n > 0)" s))
-    | s ->
-      Error
-        (Printf.sprintf "unknown kernel %S; known kernels: %s" s
-           (known_names kernels [ "matvec-<n>" ])))
+  match name with
+  | "bootstrap" -> Ok (K_bootstrap Kernels.boot_shape_13)
+  | s when String.length s > 7 && String.sub s 0 7 = "matvec-" -> (
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some d when d > 0 -> Ok (K_matvec d)
+    | _ -> Error (Printf.sprintf "bad diagonal count in %S (want matvec-<n>, n > 0)" s))
+  | s -> Registry.find kernel_registry s
 
-let benchmarks =
-  [
-    ("bootstrap", bootstrap_13);
-    ("bootstrap-21", bootstrap_21);
-    ("resnet", resnet20);
-    ("helr", helr);
-    ("bert", bert);
-  ]
+let benchmark_registry =
+  Registry.make ~what:"benchmark"
+    [
+      ("bootstrap", bootstrap_13);
+      ("bootstrap-21", bootstrap_21);
+      ("resnet", resnet20);
+      ("helr", helr);
+      ("bert", bert);
+    ]
 
-let find_benchmark name =
-  match List.assoc_opt name benchmarks with
-  | Some b -> Ok b
-  | None ->
-    Error
-      (Printf.sprintf "unknown benchmark %S; known benchmarks: %s" name (known_names benchmarks []))
+let benchmarks = Registry.entries benchmark_registry
+let find_benchmark name = Registry.find benchmark_registry name

@@ -14,6 +14,7 @@ let () =
       Test_sim.suite;
       Test_arch.suite;
       Test_workloads.suite;
+      Test_exec.suite;
       Test_telemetry.suite;
       Test_regressions.suite;
       Test_extensions.suite;

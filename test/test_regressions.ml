@@ -57,9 +57,9 @@ let test_chebyshev_ps_division () =
    re-scanned while blocked, double-advancing program counters and
    deadlocking on sub-group collectives (program-parallel kernels). *)
 let test_progpar_simulation_terminates () =
-  let options = { Runner.default_options with Compile_config.progpar = true } in
+  let config = { (Compile_config.paper ()) with Compile_config.progpar = true } in
   let compiled =
-    Runner.compile_kernel ~options Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
+    Runner.compile_kernel ~config Runner.cinnamon_4 (Specs.K_bootstrap Kernels.boot_shape_13)
   in
   let res = Sim.run SC.cinnamon_4 compiled.Pipeline.machine in
   Alcotest.(check bool) "terminates with positive time" true (res.Sim.cycles > 0)

@@ -101,6 +101,62 @@ let test_runner_small_kernel_end_to_end () =
   let r = Runner.simulate_kernel Runner.cinnamon_4 (Specs.K_matvec 9) in
   Alcotest.(check bool) "positive time" true (r.Cinnamon_sim.Simulator.seconds > 0.0)
 
+(* Regression: [widened] used to keep the original group-narrowed
+   Sim_config, so "whole machine" simulations of a widened Cinnamon-8
+   silently ran on the group's 4 chips.  The widened system must carry
+   a group_sim spanning every chip, and simulations must report stats
+   for all of them. *)
+let test_widened_simulates_all_chips () =
+  let module SC = Cinnamon_sim.Sim_config in
+  let wide = Runner.widened Runner.cinnamon_8 in
+  Alcotest.(check int) "one group" 1 wide.Runner.groups;
+  Alcotest.(check int) "group spans machine" 8 wide.Runner.group_chips;
+  Alcotest.(check int) "group_sim spans machine" 8 wide.Runner.group_sim.SC.chips;
+  Alcotest.(check bool) "name decorated" true (wide.Runner.sys_name = "Cinnamon-8:wide");
+  let r = Runner.simulate_kernel wide (Specs.K_matvec 9) in
+  Alcotest.(check int) "per-chip cycles over all chips" 8
+    (Array.length r.Cinnamon_sim.Simulator.per_chip_cycles);
+  (* widening a single-group system is the identity *)
+  Alcotest.(check bool) "identity on one group" true
+    (Runner.widened Runner.cinnamon_4 == Runner.cinnamon_4)
+
+(* make_system derives group_sim from (sim, group_chips) — the two can
+   never disagree, whatever the caller passes. *)
+let test_make_system_consistent () =
+  let module SC = Cinnamon_sim.Sim_config in
+  let sys = Runner.make_system ~name:"t" ~group_chips:2 ~groups:3 SC.cinnamon_12 in
+  Alcotest.(check int) "group_sim chips" 2 sys.Runner.group_sim.SC.chips;
+  Alcotest.(check bool) "rest of sim preserved" true
+    ({ sys.Runner.group_sim with SC.chips = SC.cinnamon_12.SC.chips } = SC.cinnamon_12)
+
+(* The determinism contract of the tentpole: a sweep fanned over 4
+   worker domains must produce bit-identical cycle counts to a
+   sequential one. *)
+let test_sweep_jobs_deterministic () =
+  let module Cache = Cinnamon_exec.Result_cache in
+  let mini =
+    {
+      Specs.bench_name = "mini";
+      segments = [ Specs.seg ~instances:4 (Specs.K_matvec 6); Specs.seg (Specs.K_matvec 9) ];
+      paper_times = [];
+    }
+  in
+  let pairs = [ (Runner.cinnamon_4, mini); (Runner.cinnamon_8, mini) ] in
+  let cycles_of jobs =
+    Cache.clear_memory ();
+    let sw = Runner.run_sweep ~jobs pairs in
+    ( List.map
+        (fun (k : Runner.kernel_time) ->
+          (k.Runner.kt_kernel, k.Runner.kt_system, k.Runner.kt_result.Cinnamon_sim.Simulator.cycles))
+        sw.Runner.sw_kernels,
+      List.map (fun (r : Runner.bench_result) -> r.Runner.br_seconds) sw.Runner.sw_results )
+  in
+  let k1, s1 = cycles_of 1 in
+  let k4, s4 = cycles_of 4 in
+  Alcotest.(check bool) "kernel cycles identical" true (k1 = k4);
+  Alcotest.(check bool) "benchmark seconds identical" true (s1 = s4);
+  Alcotest.(check bool) "sweep nonempty" true (k1 <> [])
+
 let test_paper_times_recorded () =
   List.iter
     (fun (b : Specs.benchmark) ->
@@ -125,5 +181,8 @@ let suite =
       Alcotest.test_case "runner stream groups" `Quick test_runner_groups;
       Alcotest.test_case "wave math" `Quick test_runner_wave_math;
       Alcotest.test_case "runner end-to-end" `Slow test_runner_small_kernel_end_to_end;
+      Alcotest.test_case "widened spans all chips" `Slow test_widened_simulates_all_chips;
+      Alcotest.test_case "make_system consistency" `Quick test_make_system_consistent;
+      Alcotest.test_case "sweep jobs determinism" `Slow test_sweep_jobs_deterministic;
       Alcotest.test_case "paper references" `Quick test_paper_times_recorded;
     ] )
