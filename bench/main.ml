@@ -10,11 +10,12 @@
    Usage: main.exe [section ...] [--jobs N] [--quick] [--cache-dir DIR]
                    [--bench-out FILE] [--trace FILE] [--metrics]
      sections: table1 table2 table3 fig6 fig11 fig12 fig13 fig14 fig15
-               fig16 sec43 sec74 micro        (default: all)
+               fig16 sec43 sec74 micro kernels   (default: all)
      --jobs N        worker domains for the Table-2/Fig-11 sweep
                      (0 = Domain.recommended_domain_count; 1 = sequential)
-     --quick         restrict the sweep to the Bootstrap benchmark and
-                     default the section list to table2 (CI smoke run)
+     --quick         restrict the sweep to the Bootstrap benchmark,
+                     shrink the kernel microbench to N=2^12, and default
+                     the section list to "table2 kernels" (CI smoke run)
      --cache-dir DIR persist simulation results under DIR
                      (conventionally _cinnamon_cache/); warm runs skip
                      re-simulation entirely
@@ -662,6 +663,93 @@ let micro () =
   Printf.printf "Analytic 48-core CPU bootstrap: %s\n"
     (T.fmt_time Cinnamon_sim.Cpu_model.analytic_bootstrap_seconds)
 
+(* ------------------------------------------------- kernel microbenchmarks *)
+
+(* The RNS/NTT kernel layer, timed at paper-class parameter points and
+   recorded into BENCH_cinnamon.json (kernel_microbench section) so
+   per-kernel throughput has a trajectory across commits.  Full mode
+   runs the paper's N = 2^16 ring; --quick drops to N = 2^12 for CI.
+
+   The automorphism entry also checks the Eval-domain permutation
+   against the Coeff-domain oracle and FAILS the run on any mismatch —
+   CI treats microbench errors as job failures. *)
+
+type micro_entry = { me_kernel : string; me_n : int; me_limbs : int; me_us : float }
+
+let micro_entries : micro_entry list ref = ref []
+
+let record_micro ~kernel ~n ~limbs us =
+  micro_entries := { me_kernel = kernel; me_n = n; me_limbs = limbs; me_us = us } :: !micro_entries;
+  Printf.printf "  %-34s %12.2f us/op  (N=2^%d, limbs=%d)\n%!" kernel us
+    (Cinnamon_util.Bitops.log2_exact n)
+    limbs
+
+let kernels () =
+  section_header
+    (Printf.sprintf "Kernel microbenchmarks: RNS/NTT kernel layer (N=%s)"
+       (if !quick then "2^12, quick" else "2^16, paper-class"));
+  let open Cinnamon_rns in
+  let time_it ?(reps = 10) f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. Float.of_int reps
+  in
+  let n = if !quick then 1 lsl 12 else 1 lsl 16 in
+  let limbs = if !quick then 3 else 6 in
+  let reps = if !quick then 20 else 4 in
+  let qs = Prime_gen.gen_primes ~bits:28 ~n ~count:limbs () in
+  let basis = Basis.of_primes qs in
+  let rng = Cinnamon_util.Rng.create ~seed:7 in
+  (* single-limb NTT passes, into a reused scratch buffer *)
+  let q = List.hd qs in
+  let plan = Ntt.plan ~q ~n in
+  let a = Array.init n (fun _ -> Cinnamon_util.Rng.int rng q) in
+  let scratch = Array.make n 0 in
+  record_micro ~kernel:"ntt_forward" ~n ~limbs:1
+    (1e6 *. time_it ~reps:(reps * 8) (fun () -> Ntt.forward_into plan ~src:a ~dst:scratch));
+  record_micro ~kernel:"ntt_inverse" ~n ~limbs:1
+    (1e6 *. time_it ~reps:(reps * 8) (fun () -> Ntt.inverse_into plan ~src:a ~dst:scratch));
+  (* full-width pointwise product, into a preallocated destination *)
+  let x = Rns_poly.random ~n ~basis ~domain:Rns_poly.Eval rng in
+  let y = Rns_poly.random ~n ~basis ~domain:Rns_poly.Eval rng in
+  let z = Rns_poly.zero ~n ~basis in
+  record_micro ~kernel:"pointwise_mul_into" ~n ~limbs
+    (1e6 *. time_it ~reps (fun () -> Rns_poly.mul_into ~dst:z x y));
+  (* base conversion into a 3-limb special basis (the keyswitch mod-up
+     shape: every source limb feeds every destination limb) *)
+  let ext = Basis.of_primes (Prime_gen.gen_primes ~bits:30 ~n ~count:3 ~avoid:qs ()) in
+  let xc = Rns_poly.to_coeff x in
+  record_micro ~kernel:"base_conv" ~n ~limbs
+    (1e6 *. time_it ~reps (fun () -> Base_conv.convert xc ~dst:ext));
+  (* automorphism: Eval-domain permutation vs the INTT/NTT round-trip
+     the seed performed (kept here as the oracle path) *)
+  let k = Cinnamon_ckks.Keys.galois_of_rotation ~n 1 in
+  let oracle () = Rns_poly.to_eval (Rns_poly.automorphism (Rns_poly.to_coeff x) ~k) in
+  let eval_us = 1e6 *. time_it ~reps (fun () -> Rns_poly.automorphism x ~k) in
+  let coeff_us = 1e6 *. time_it ~reps oracle in
+  record_micro ~kernel:"automorphism_eval" ~n ~limbs eval_us;
+  record_micro ~kernel:"automorphism_coeff_roundtrip" ~n ~limbs coeff_us;
+  record_micro ~kernel:"automorphism_speedup_x" ~n ~limbs (coeff_us /. eval_us);
+  Printf.printf "  automorphism Eval-path speedup: %.1fx over the INTT/NTT round-trip\n%!"
+    (coeff_us /. eval_us);
+  if not (Rns_poly.equal (Rns_poly.automorphism x ~k) (oracle ())) then
+    failwith "kernel microbench: Eval-domain automorphism diverged from the Coeff oracle";
+  (* keyswitch at the functional CKKS point (Params.small) *)
+  let params = Lazy.force Cinnamon_ckks.Params.small in
+  let krng = Cinnamon_util.Rng.create ~seed:8 in
+  let sk = Cinnamon_ckks.Keys.gen_secret_key params krng in
+  let relin = Cinnamon_ckks.Keys.gen_relin_key params sk krng in
+  let c =
+    Rns_poly.random ~n:params.Cinnamon_ckks.Params.n ~basis:params.Cinnamon_ckks.Params.q_basis
+      ~domain:Rns_poly.Eval krng
+  in
+  record_micro ~kernel:"keyswitch" ~n:params.Cinnamon_ckks.Params.n
+    ~limbs:(Basis.size params.Cinnamon_ckks.Params.q_basis)
+    (1e6 *. time_it ~reps:5 (fun () -> Cinnamon_ckks.Keyswitch.keyswitch params relin c))
+
 (* ------------------------------------------------------ perf trajectory *)
 
 (* BENCH_cinnamon.json: the machine-readable record of the sweep — one
@@ -669,9 +757,9 @@ let micro () =
    plus cache effectiveness and wall-clock.  Consumed by CI (uploaded
    as an artifact) to track the perf trajectory across commits. *)
 let write_bench_json file ~wall_seconds =
-  match !sweep_state with
-  | None -> () (* no sweep section ran; nothing to record *)
-  | Some sw ->
+  if !sweep_state = None && !micro_entries = [] then ()
+    (* neither a sweep nor the kernel microbench ran; nothing to record *)
+  else begin
     let st = Exec.Result_cache.stats () in
     let lookups = st.Exec.Result_cache.hits + st.Exec.Result_cache.disk_hits + st.Exec.Result_cache.misses in
     let hit_rate =
@@ -679,12 +767,15 @@ let write_bench_json file ~wall_seconds =
       else
         Float.of_int (st.Exec.Result_cache.hits + st.Exec.Result_cache.disk_hits) /. Float.of_int lookups
     in
+    let sw_kernels = match !sweep_state with Some sw -> sw.Runner.sw_kernels | None -> [] in
+    let sw_results = match !sweep_state with Some sw -> sw.Runner.sw_results | None -> [] in
+    let jobs_used = match !sweep_state with Some sw -> sw.Runner.sw_jobs | None -> !jobs in
     let j =
       Json.Obj
         [
           ("schema", Json.Str "cinnamon-bench-v1");
           ("generated_by", Json.Str "bench/main");
-          ("jobs", Json.Int sw.Runner.sw_jobs);
+          ("jobs", Json.Int jobs_used);
           ("quick", Json.Bool !quick);
           ("wall_seconds", Json.Float wall_seconds);
           ( "cache",
@@ -707,7 +798,7 @@ let write_bench_json file ~wall_seconds =
                        ("cycles", Json.Int k.Runner.kt_result.Sim.cycles);
                        ("seconds", Json.Float k.Runner.kt_result.Sim.seconds);
                      ])
-                 sw.Runner.sw_kernels) );
+                 sw_kernels) );
           ( "benchmarks",
             Json.List
               (List.map
@@ -718,16 +809,33 @@ let write_bench_json file ~wall_seconds =
                        ("system", Json.Str r.Runner.br_system);
                        ("seconds", Json.Float r.Runner.br_seconds);
                      ])
-                 sw.Runner.sw_results) );
+                 sw_results) );
+          (* wall-clock of the functional OCaml kernels (kernels
+             section) — distinct from "kernels" above, which holds
+             simulated accelerator cycles *)
+          ( "kernel_microbench",
+            Json.List
+              (List.rev_map
+                 (fun e ->
+                   Json.Obj
+                     [
+                       ("kernel", Json.Str e.me_kernel);
+                       ("n", Json.Int e.me_n);
+                       ("limbs", Json.Int e.me_limbs);
+                       ("us_per_op", Json.Float e.me_us);
+                     ])
+                 !micro_entries) );
         ]
     in
     let oc = open_out file in
     output_string oc (Json.to_string j);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "bench: wrote %s (%d kernels, %d benchmark points, %.0f%% cache hit rate)\n%!"
-      file (List.length sw.Runner.sw_kernels) (List.length sw.Runner.sw_results)
-      (100.0 *. hit_rate)
+    Printf.printf
+      "bench: wrote %s (%d kernels, %d benchmark points, %d microbench entries, %.0f%% cache hit rate)\n%!"
+      file (List.length sw_kernels) (List.length sw_results)
+      (List.length !micro_entries) (100.0 *. hit_rate)
+  end
 
 (* --------------------------------------------------------------- dispatch *)
 
@@ -737,7 +845,7 @@ let sections =
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("fig16", fig16); ("sec43", sec43); ("sec74", sec74);
     ("ablation", ablation); ("characterize", characterize); ("energy", energy);
-    ("micro", micro);
+    ("micro", micro); ("kernels", kernels);
   ]
 
 let () =
@@ -787,7 +895,7 @@ let () =
     | s :: rest -> parse_args (s :: acc) trace metrics rest
   in
   let requested, trace, metrics = parse_args [] None false (List.tl (Array.to_list Sys.argv)) in
-  let requested = if requested = [] && !quick then [ "table2" ] else requested in
+  let requested = if requested = [] && !quick then [ "table2"; "kernels" ] else requested in
   if trace <> None || metrics then Tel.enable ();
   let to_run =
     if requested = [] then sections

@@ -22,22 +22,22 @@ type ctx = {
   ksi : Cplx.t array; (* ksi.(j) = e^{i pi j / N}, length 2N *)
 }
 
-let ctxs : (int, ctx) Hashtbl.t = Hashtbl.create 8
+(* Memo, not a bare Hashtbl: contexts are built lazily from whichever
+   domain first encodes at a given N under the lib/exec pool. *)
+let ctxs : (int, ctx) Memo.t = Memo.create ~size:8 ()
 
 let ctx ~n =
-  match Hashtbl.find_opt ctxs n with
-  | Some c -> c
-  | None ->
-    let m = 2 * n in
-    let half = n / 2 in
-    let rot_group = Array.make half 1 in
-    for j = 1 to half - 1 do
-      rot_group.(j) <- rot_group.(j - 1) * 5 mod m
-    done;
-    let ksi = Array.init m (fun j -> Cplx.polar (2.0 *. Float.pi *. Float.of_int j /. Float.of_int m)) in
-    let c = { n; m; half; rot_group; ksi } in
-    Hashtbl.add ctxs n c;
-    c
+  Memo.get ctxs n (fun () ->
+      let m = 2 * n in
+      let half = n / 2 in
+      let rot_group = Array.make half 1 in
+      for j = 1 to half - 1 do
+        rot_group.(j) <- rot_group.(j - 1) * 5 mod m
+      done;
+      let ksi =
+        Array.init m (fun j -> Cplx.polar (2.0 *. Float.pi *. Float.of_int j /. Float.of_int m))
+      in
+      { n; m; half; rot_group; ksi })
 
 (* Forward special FFT: coefficients-packed values -> slot values. *)
 let special_fft c (vals : Cplx.t array) =

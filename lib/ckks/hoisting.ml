@@ -47,21 +47,26 @@ let rotate_hoisted params (pre : precomputed) swk ct ~rot =
     let n = Ciphertext.n ct in
     let k = Keys.galois_of_rotation ~n rot in
     let q_l = basis ct in
-    let acc0 = ref None and acc1 = ref None in
+    if pre.h_extended = [] then invalid_arg "Hoisting.rotate_hoisted: empty precomputation";
+    (* The extended digits are in Eval domain, so the automorphism here
+       is the precomputed slot permutation — no NTTs per digit — and
+       the inner product accumulates into preallocated buffers. *)
+    let acc0 = Rns_poly.create ~n ~basis:pre.h_basis ~domain:Rns_poly.Eval in
+    let acc1 = Rns_poly.create ~n ~basis:pre.h_basis ~domain:Rns_poly.Eval in
+    let tmp = Rns_poly.create ~n ~basis:pre.h_basis ~domain:Rns_poly.Eval in
     List.iter2
       (fun digit_index extended ->
         let d_i = digit_index / params.Params.alpha in
         let rotated = Rns_poly.automorphism extended ~k in
         let b = Rns_poly.restrict swk.Keys.swk_b.(d_i) pre.h_basis in
         let a = Rns_poly.restrict swk.Keys.swk_a.(d_i) pre.h_basis in
-        let t0 = Rns_poly.mul rotated b in
-        let t1 = Rns_poly.mul rotated a in
-        acc0 := Some (match !acc0 with None -> t0 | Some x -> Rns_poly.add x t0);
-        acc1 := Some (match !acc1 with None -> t1 | Some x -> Rns_poly.add x t1))
+        Rns_poly.mul_into ~dst:tmp rotated b;
+        Rns_poly.add_into ~dst:acc0 acc0 tmp;
+        Rns_poly.mul_into ~dst:tmp rotated a;
+        Rns_poly.add_into ~dst:acc1 acc1 tmp)
       pre.h_digit_index pre.h_extended;
-    let f0 = Option.get !acc0 and f1 = Option.get !acc1 in
-    let k0 = Mod_updown.mod_down f0 ~target:q_l ~ext:params.Params.p_basis in
-    let k1 = Mod_updown.mod_down f1 ~target:q_l ~ext:params.Params.p_basis in
+    let k0 = Mod_updown.mod_down acc0 ~target:q_l ~ext:params.Params.p_basis in
+    let k1 = Mod_updown.mod_down acc1 ~target:q_l ~ext:params.Params.p_basis in
     let c0r = Rns_poly.automorphism ct.c0 ~k in
     make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:ct.scale ~slots:ct.slots
   end

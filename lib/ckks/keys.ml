@@ -33,7 +33,11 @@ type switch_key = {
 
 type eval_key = {
   relin : switch_key; (* s^2 -> s *)
-  rotations : (int, switch_key) Hashtbl.t; (* slot amount -> key *)
+  (* Slot amount -> key.  A Memo (mutex-guarded) rather than a bare
+     Hashtbl: on-demand key generation (ensure_rotation_key) runs from
+     concurrent domains under the lib/exec pool, and an unsynchronized
+     Hashtbl.add there is a data race. *)
+  rotations : (int, switch_key) Cinnamon_util.Memo.t;
   conjugation : switch_key option;
 }
 
@@ -188,9 +192,9 @@ let gen_conjugation_key params sk rng =
   gen_switch_key params sk ~s_from:s_conj rng
 
 let gen_eval_key params sk ~rotations ~conjugation rng =
-  let table = Hashtbl.create 16 in
+  let table = Cinnamon_util.Memo.create ~size:16 () in
   List.iter
-    (fun r -> Hashtbl.add table r (gen_rotation_key params sk ~rot:r rng))
+    (fun r -> Cinnamon_util.Memo.set table r (gen_rotation_key params sk ~rot:r rng))
     (canonicalize_rotations ~n:params.Params.n rotations);
   {
     relin = gen_relin_key params sk rng;
@@ -199,12 +203,15 @@ let gen_eval_key params sk ~rotations ~conjugation rng =
   }
 
 let find_rotation_key ek r =
-  match Hashtbl.find_opt ek.rotations r with
+  match Cinnamon_util.Memo.find_opt ek.rotations r with
   | Some k -> k
   | None -> invalid_arg (Printf.sprintf "Keys.find_rotation_key: no key for rotation %d" r)
 
-(* Add freshly generated rotation keys on demand (tests convenience). *)
-let add_rotation_key params sk ek ~rot rng =
+(* Get-or-generate a rotation key.  Safe under concurrent domains: the
+   Memo's double-checked insert guarantees that even when two domains
+   race on the same amount, exactly one generated key is published and
+   both callers receive that one key. *)
+let ensure_rotation_key params sk ek ~rot rng =
   let rot = canonical_rotation ~n:params.Params.n rot in
-  if rot <> 0 && not (Hashtbl.mem ek.rotations rot) then
-    Hashtbl.add ek.rotations rot (gen_rotation_key params sk ~rot rng)
+  if rot = 0 then invalid_arg "Keys.ensure_rotation_key: rotation 0 needs no key";
+  Cinnamon_util.Memo.get ek.rotations rot (fun () -> gen_rotation_key params sk ~rot rng)

@@ -22,7 +22,9 @@ type switch_key = {
 
 type eval_key = {
   relin : switch_key;  (** s² → s *)
-  rotations : (int, switch_key) Hashtbl.t;  (** canonical slot amount → key *)
+  rotations : (int, switch_key) Cinnamon_util.Memo.t;
+      (** canonical slot amount → key; mutex-guarded for on-demand
+          generation from concurrent domains *)
   conjugation : switch_key option;
 }
 
@@ -78,6 +80,8 @@ val gen_eval_key :
 (** Raises [Invalid_argument] when no key exists for the amount. *)
 val find_rotation_key : eval_key -> int -> switch_key
 
-(** Generate and insert a rotation key on demand (test convenience). *)
-val add_rotation_key :
-  Params.t -> secret_key -> eval_key -> rot:int -> Cinnamon_util.Rng.t -> unit
+(** Get-or-generate the key for a rotation amount.  Domain-safe: racing
+    callers all receive the single key that won publication.  Raises on
+    rotation 0 (which needs no key). *)
+val ensure_rotation_key :
+  Params.t -> secret_key -> eval_key -> rot:int -> Cinnamon_util.Rng.t -> switch_key

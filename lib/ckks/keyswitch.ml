@@ -59,22 +59,24 @@ let keyswitch params (swk : Keys.switch_key) c =
   let q_l = Rns_poly.basis c in
   let target = Basis.union q_l params.Params.p_basis in
   let digits = split_digits params c in
-  let acc0 = ref None and acc1 = ref None in
-  List.iteri
-    (fun idx (digit_index, digit) ->
-      ignore idx;
+  if digits = [] then invalid_arg "Keyswitch.keyswitch: empty ciphertext";
+  let n = Rns_poly.n c in
+  (* Preallocated accumulators and one product temporary: the digit
+     loop performs no polynomial allocations beyond extend_digit. *)
+  let acc0 = Rns_poly.create ~n ~basis:target ~domain:Rns_poly.Eval in
+  let acc1 = Rns_poly.create ~n ~basis:target ~domain:Rns_poly.Eval in
+  let tmp = Rns_poly.create ~n ~basis:target ~domain:Rns_poly.Eval in
+  List.iter
+    (fun (digit_index, digit) ->
       let d_i = digit_index / params.Params.alpha in
       let extended = extend_digit digit ~target in
       let b = Rns_poly.restrict swk.Keys.swk_b.(d_i) target in
       let a = Rns_poly.restrict swk.Keys.swk_a.(d_i) target in
-      let t0 = Rns_poly.mul extended b in
-      let t1 = Rns_poly.mul extended a in
-      acc0 := Some (match !acc0 with None -> t0 | Some x -> Rns_poly.add x t0);
-      acc1 := Some (match !acc1 with None -> t1 | Some x -> Rns_poly.add x t1))
+      Rns_poly.mul_into ~dst:tmp extended b;
+      Rns_poly.add_into ~dst:acc0 acc0 tmp;
+      Rns_poly.mul_into ~dst:tmp extended a;
+      Rns_poly.add_into ~dst:acc1 acc1 tmp)
     digits;
-  match (!acc0, !acc1) with
-  | Some f0, Some f1 ->
-    let k0 = Mod_updown.mod_down f0 ~target:q_l ~ext:params.Params.p_basis in
-    let k1 = Mod_updown.mod_down f1 ~target:q_l ~ext:params.Params.p_basis in
-    (k0, k1)
-  | _ -> invalid_arg "Keyswitch.keyswitch: empty ciphertext"
+  let k0 = Mod_updown.mod_down acc0 ~target:q_l ~ext:params.Params.p_basis in
+  let k1 = Mod_updown.mod_down acc1 ~target:q_l ~ext:params.Params.p_basis in
+  (k0, k1)

@@ -156,10 +156,12 @@ and emulate_mul env ctx ~algorithm a b =
   let open Cinnamon_rns in
   let a, b = Eval.align_levels a b in
   let d0 = Rns_poly.mul a.Ciphertext.c0 b.Ciphertext.c0 in
-  let d1 =
-    Rns_poly.add (Rns_poly.mul a.Ciphertext.c0 b.Ciphertext.c1)
-      (Rns_poly.mul a.Ciphertext.c1 b.Ciphertext.c0)
-  in
+  (* d1 = c0*b1 + c1*b0, accumulated in place: the first product is the
+     destination, the second goes through one shared temporary. *)
+  let d1 = Rns_poly.mul a.Ciphertext.c0 b.Ciphertext.c1 in
+  let tmp = Rns_poly.create_like d1 in
+  Rns_poly.mul_into ~dst:tmp a.Ciphertext.c1 b.Ciphertext.c0;
+  Rns_poly.add_into ~dst:d1 d1 tmp;
   let d2 = Rns_poly.mul a.Ciphertext.c1 b.Ciphertext.c1 in
   let k0, k1 =
     parallel_keyswitch env.params env.keys ~algorithm ~kind:Poly_ir.Ks_relin d2 env.comm

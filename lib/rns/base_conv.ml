@@ -13,7 +13,16 @@
    output limb, which is exactly the cross-limb dependency that makes
    keyswitching hard to parallelize.
 
-   Tables are cached per (Q, P) pair of prime-value lists. *)
+   The stage-2 inner loop uses lazy-reduction accumulation, mirroring
+   the paper's BCU which amortizes reductions across limbs: each term
+   v * f is at most (2^30-1)^2 < 2^60, so several terms fit in the
+   63-bit native int before a single reduction.  The exact batch size
+   is precomputed per destination modulus (at least 4 at 30-bit
+   moduli, ~16+ at the paper's 28-bit datapath).
+
+   Tables are cached per (Q, P) pair of prime-value lists in a Memo
+   table (safe under concurrent domains), reusing the CRT constants
+   from [Crt]. *)
 
 type table = {
   src : Basis.t;
@@ -21,40 +30,53 @@ type table = {
   qhat_inv : int array; (* (Q/q_j)^-1 mod q_j *)
   qhat_mod_p : int array array; (* [k].[j] = Q/q_j mod p_k *)
   q_mod_p : int array; (* Q mod p_k, for exact-reduction variants *)
+  reduce_src : bool array array; (* [k].[j]: q_j >= p_k, residue needs a pre-reduction *)
+  batch : int array; (* [k]: accumulation terms per lazy reduction *)
 }
 
-let tables : (int list * int list, table) Hashtbl.t = Hashtbl.create 32
+let tables : (int list * int list, table) Cinnamon_util.Memo.t =
+  Cinnamon_util.Memo.create ~size:32 ()
 
 let make_table ~src ~dst =
   let module B = Cinnamon_util.Bigint in
-  let q_prod = Basis.product src in
+  let c = Crt.consts src in
   let l = Basis.size src in
-  let qhat j =
-    let q_over, rem = B.divmod_small q_prod (Basis.value src j) in
-    assert (rem = 0);
-    q_over
-  in
-  let qhat_inv =
-    Array.init l (fun j ->
-        let md = Basis.modulus src j in
-        Modarith.inv md (B.rem_small (qhat j) (Basis.value src j)))
-  in
+  let m = Basis.size dst in
   let qhat_mod_p =
-    Array.init (Basis.size dst) (fun k ->
+    Array.init m (fun k ->
         let pk = Basis.value dst k in
-        Array.init l (fun j -> B.rem_small (qhat j) pk))
+        Array.init l (fun j -> B.rem_small c.Crt.qhat.(j) pk))
   in
-  let q_mod_p = Array.init (Basis.size dst) (fun k -> B.rem_small q_prod (Basis.value dst k)) in
-  { src; dst; qhat_inv; qhat_mod_p; q_mod_p }
+  let q_mod_p = Array.init m (fun k -> B.rem_small c.Crt.q_prod (Basis.value dst k)) in
+  let reduce_src =
+    Array.init m (fun k ->
+        let pk = Basis.value dst k in
+        Array.init l (fun j -> Basis.value src j >= pk))
+  in
+  (* Lazy-reduction batch for destination p_k: each accumulated term is
+     v * f with f <= p_k - 1 and v bounded by the source residue after
+     the optional pre-reduction, so [batch] terms stay below max_int
+     (the running sum is < p_k + (batch-1)*bound <= batch*bound right
+     before each reduction). *)
+  let batch =
+    Array.init m (fun k ->
+        let pk = Basis.value dst k in
+        let vmax =
+          Array.fold_left
+            (fun acc j ->
+              let qj = Basis.value src j in
+              max acc (if qj >= pk then pk - 1 else qj - 1))
+            1
+            (Array.init l (fun j -> j))
+        in
+        let bound = vmax * (pk - 1) in
+        max 1 (max_int / max 1 bound))
+  in
+  { src; dst; qhat_inv = c.Crt.qhat_inv; qhat_mod_p; q_mod_p; reduce_src; batch }
 
 let table ~src ~dst =
   let key = (Basis.to_list src, Basis.to_list dst) in
-  match Hashtbl.find_opt tables key with
-  | Some t -> t
-  | None ->
-    let t = make_table ~src ~dst in
-    Hashtbl.add tables key t;
-    t
+  Cinnamon_util.Memo.get tables key (fun () -> make_table ~src ~dst)
 
 (* Convert x (Coeff domain, over [src]) to basis [dst] (Coeff domain).
    Output = x + e*Q with 0 <= e < size(src). *)
@@ -65,34 +87,51 @@ let convert x ~dst =
   let tbl = table ~src ~dst in
   let n = Rns_poly.n x in
   let l = Basis.size src in
-  (* Stage 1 (paper's BCU stage 1): scale each input limb by qhat_inv. *)
-  let scaled =
-    Array.init l (fun j ->
-        let md = Basis.modulus src j in
+  Scratch.with_bufs ~n ~count:l (fun scaled ->
+      (* Stage 1 (paper's BCU stage 1): scale each input limb by
+         qhat_inv, into arena buffers. *)
+      for j = 0 to l - 1 do
+        let q, mu, shift = Modarith.barrett (Basis.modulus src j) in
+        let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
         let s = tbl.qhat_inv.(j) in
-        Array.map (fun v -> Modarith.mul md v s) (Rns_poly.limb x j))
-  in
-  (* Stage 2: multiply-accumulate into each output limb.  Source
-     residues can exceed the destination modulus (e.g. 30-bit special
-     primes feeding 26-bit scale primes), which would violate the
-     Barrett precondition x < q² in mul_add — reduce them first. *)
-  let out = Rns_poly.create ~n ~basis:dst ~domain:Rns_poly.Coeff in
-  for k = 0 to Basis.size dst - 1 do
-    let md = Basis.modulus dst k in
-    let qk = Basis.value dst k in
-    let olimb = Rns_poly.limb out k in
-    let factors = tbl.qhat_mod_p.(k) in
-    for j = 0 to l - 1 do
-      let f = factors.(j) in
-      let slimb = scaled.(j) in
-      let needs_reduce = Basis.value src j >= qk in
-      for i = 0 to n - 1 do
-        let v = if needs_reduce then slimb.(i) mod qk else slimb.(i) in
-        olimb.(i) <- Modarith.mul_add md v f olimb.(i)
-      done
-    done
-  done;
-  out
+        let src_limb = Rns_poly.limb x j in
+        if Array.length src_limb <> n then invalid_arg "Base_conv.convert: limb length";
+        let buf = scaled.(j) in
+        for i = 0 to n - 1 do
+          let p = Array.unsafe_get src_limb i * s in
+          let r = p - (((p lsr sh1) * mu) lsr sh2) * q in
+          let r = if r >= q then r - q else r in
+          Array.unsafe_set buf i (if r >= q then r - q else r)
+        done
+      done;
+      (* Stage 2: lazy-reduction multiply-accumulate into each output
+         limb.  Source residues can exceed the destination modulus
+         (e.g. 30-bit special primes feeding 26-bit scale primes) —
+         those get one pre-reduction so every term respects the batch
+         bound computed in [make_table]. *)
+      let out = Rns_poly.create ~n ~basis:dst ~domain:Rns_poly.Coeff in
+      for k = 0 to Basis.size dst - 1 do
+        let qk = Basis.value dst k in
+        let olimb = Rns_poly.limb out k in
+        let factors = tbl.qhat_mod_p.(k) in
+        let reduce_src = tbl.reduce_src.(k) in
+        let batch = tbl.batch.(k) in
+        for i = 0 to n - 1 do
+          let acc = ref 0 and cnt = ref 0 in
+          for j = 0 to l - 1 do
+            let v0 = Array.unsafe_get (Array.unsafe_get scaled j) i in
+            let v = if Array.unsafe_get reduce_src j then v0 mod qk else v0 in
+            acc := !acc + (v * Array.unsafe_get factors j);
+            incr cnt;
+            if !cnt >= batch then begin
+              acc := !acc mod qk;
+              cnt := 1 (* the reduced sum counts as one live term *)
+            end
+          done;
+          Array.unsafe_set olimb i (!acc mod qk)
+        done
+      done;
+      out)
 
 (* Exact conversion via CRT bignum reconstruction — quadratic-ish test
    oracle, also exposes the approximation slack e for property tests. *)

@@ -1,0 +1,36 @@
+(* Per-basis CRT reconstruction constants.
+
+   For a basis Q = {q_0..q_{l-1}} the garner/CRT machinery needs
+   Q, every Q/q_i, and (Q/q_i)^-1 mod q_i.  Both bignum reconstruction
+   (Rns_poly.coeff_centered) and base-conversion table construction
+   (Base_conv) need the same constants, and the bignum divisions are
+   expensive enough that recomputing them per call shows up in
+   profiles.  Computed once per basis and cached in a Memo table,
+   keyed by the prime list. *)
+
+module B = Cinnamon_util.Bigint
+
+type consts = {
+  q_prod : B.t; (* Q = prod q_i *)
+  qhat : B.t array; (* Q / q_i *)
+  qhat_inv : int array; (* (Q/q_i)^-1 mod q_i *)
+}
+
+let cache : (int list, consts) Cinnamon_util.Memo.t = Cinnamon_util.Memo.create ~size:32 ()
+
+let consts basis =
+  Cinnamon_util.Memo.get cache (Basis.to_list basis) (fun () ->
+      let q_prod = Basis.product basis in
+      let l = Basis.size basis in
+      let qhat =
+        Array.init l (fun i ->
+            let q_over, rem = B.divmod_small q_prod (Basis.value basis i) in
+            assert (rem = 0);
+            q_over)
+      in
+      let qhat_inv =
+        Array.init l (fun i ->
+            let md = Basis.modulus basis i in
+            Modarith.inv md (B.rem_small qhat.(i) (Basis.value basis i)))
+      in
+      { q_prod; qhat; qhat_inv })

@@ -1,0 +1,17 @@
+(** Per-basis CRT reconstruction constants, memoized.
+
+    Shared by bignum reconstruction ({!Rns_poly.coeff_centered}) and
+    base-conversion table construction ({!Base_conv}): for basis
+    Q = q_0·…·q_{l-1}, the product, the complements Q/q_i, and their
+    inverses mod q_i.  Built once per basis (keyed by the prime list)
+    in a mutex-guarded Memo table. *)
+
+type consts = {
+  q_prod : Cinnamon_util.Bigint.t;  (** Q *)
+  qhat : Cinnamon_util.Bigint.t array;  (** Q/q_i *)
+  qhat_inv : int array;  (** (Q/q_i){^-1} mod q_i *)
+}
+
+val consts : Basis.t -> consts
+(** Constants for [basis]; cached.  The arrays are shared — callers
+    must not mutate them. *)

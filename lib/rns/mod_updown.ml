@@ -16,6 +16,20 @@ let mod_up x ~ext =
   let converted = Base_conv.convert xc ~dst:ext in
   Rns_poly.concat xc converted
 
+(* (prod ext)^-1 mod each target prime — a bignum product plus a
+   Fermat inversion per limb, recomputed on every mod_down in the seed;
+   memoized per (target, ext) pair like the base-conversion tables. *)
+let p_inv_tables : (int list * int list, int array) Cinnamon_util.Memo.t =
+  Cinnamon_util.Memo.create ~size:32 ()
+
+let p_inv_scalars ~target ~ext =
+  Cinnamon_util.Memo.get p_inv_tables (Basis.to_list target, Basis.to_list ext) (fun () ->
+      let module B = Cinnamon_util.Bigint in
+      let p_prod = Basis.product ext in
+      Array.init (Basis.size target) (fun i ->
+          let md = Basis.modulus target i in
+          Modarith.inv md (B.rem_small p_prod (Basis.value target i))))
+
 (* [mod_down x ~target ~ext] : x over target ∪ ext (limbs of [target]
    first), returns round(x / prod(ext)) over [target].  Accepts Eval or
    Coeff input and returns the same domain. *)
@@ -26,14 +40,10 @@ let mod_down x ~target ~ext =
   let x_ext = Rns_poly.restrict xc ext in
   (* Convert the E part down into the target basis... *)
   let e_in_target = Base_conv.convert x_ext ~dst:target in
-  (* ...subtract, then scale by P^-1 per limb. *)
-  let diff = Rns_poly.sub x_target e_in_target in
-  let module B = Cinnamon_util.Bigint in
-  let p_prod = Basis.product ext in
-  let p_inv =
-    Array.init (Basis.size target) (fun i ->
-        let md = Basis.modulus target i in
-        Modarith.inv md (B.rem_small p_prod (Basis.value target i)))
-  in
-  let out = Rns_poly.scalar_mul_per_limb diff p_inv in
-  if input_domain = Rns_poly.Eval then Rns_poly.to_eval out else out
+  (* ...subtract, then scale by P^-1 per limb (fused into one pass over
+     a single destination: restrict copied x_target, so it can serve as
+     the accumulator). *)
+  let p_inv = p_inv_scalars ~target ~ext in
+  Rns_poly.sub_into ~dst:x_target x_target e_in_target;
+  Rns_poly.scalar_mul_per_limb_into ~dst:x_target x_target p_inv;
+  if input_domain = Rns_poly.Eval then Rns_poly.to_eval x_target else x_target

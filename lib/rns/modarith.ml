@@ -33,23 +33,29 @@ let modulus q =
 
 let q m = m.q
 
-let reduce m x =
+(* Raw Barrett constants (q, mu, shift) for callers that inline the
+   reduction into hot loops — OCaml does not inline across module
+   boundaries without flambda, so the NTT butterflies and the RNS limb
+   loops fetch these once per limb and reduce locally. *)
+let barrett m = (m.q, m.mu, m.shift)
+
+let[@inline] reduce m x =
   (* x in [0, 2^(2k)) roughly; one Barrett step plus correction. *)
   let t = x - (((x lsr (m.shift / 2 - 1)) * m.mu) lsr (m.shift / 2 + 1)) * m.q in
   let t = if t >= m.q then t - m.q else t in
   if t >= m.q then t - m.q else t
 
-let add m a b =
+let[@inline] add m a b =
   let s = a + b in
   if s >= m.q then s - m.q else s
 
-let sub m a b =
+let[@inline] sub m a b =
   let d = a - b in
   if d < 0 then d + m.q else d
 
-let neg m a = if a = 0 then 0 else m.q - a
+let[@inline] neg m a = if a = 0 then 0 else m.q - a
 
-let mul m a b = reduce m (a * b)
+let[@inline] mul m a b = reduce m (a * b)
 
 (* Multiply-accumulate kept as a separate entry point so callers can
    batch reductions where safe. *)

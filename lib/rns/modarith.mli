@@ -19,6 +19,14 @@ val q : modulus -> int
 (** Barrett-reduce a value in [0, q²). *)
 val reduce : modulus -> int -> int
 
+(** Raw Barrett constants [(q, mu, shift)] with
+    [mu = floor(2{^shift} / q)] and [shift = 2·bits(q)], for callers
+    that inline the reduction into hot loops:
+    [x - ((x lsr (shift/2 - 1)) * mu lsr (shift/2 + 1)) * q] followed
+    by at most two conditional subtractions of [q] reduces any
+    [x < q²]. *)
+val barrett : modulus -> int * int * int
+
 val add : modulus -> int -> int -> int
 val sub : modulus -> int -> int -> int
 val neg : modulus -> int -> int

@@ -8,7 +8,14 @@
    Point-wise products of transformed polynomials then realize
    negacyclic convolution directly, with no zero-padding.
 
-   Tables are computed once per (q, N) and cached. *)
+   Output slot order: with br the log2(N)-bit reversal, slot j of the
+   forward transform holds the evaluation of the polynomial at
+   psi^(2*br(j) + 1).  This is what makes the Eval-domain Galois
+   permutation below a pure index shuffle.
+
+   Tables are computed once per (q, N) and cached; the caches are
+   Memo tables because plans are built lazily from concurrent domains
+   (lib/exec pool). *)
 
 type plan = {
   md : Modarith.modulus;
@@ -18,7 +25,7 @@ type plan = {
   n_inv : int; (* N^-1 mod q *)
 }
 
-let plans : (int * int, plan) Hashtbl.t = Hashtbl.create 64
+let plans : (int * int, plan) Cinnamon_util.Memo.t = Cinnamon_util.Memo.create ~size:64 ()
 
 let make_plan ~q ~n =
   let md = Modarith.modulus q in
@@ -43,30 +50,36 @@ let make_plan ~q ~n =
 
 let plan ~q ~n =
   if not (Cinnamon_util.Bitops.is_pow2 n) then invalid_arg "Ntt.plan: N not a power of 2";
-  match Hashtbl.find_opt plans (q, n) with
-  | Some p -> p
-  | None ->
-    let p = make_plan ~q ~n in
-    Hashtbl.add plans (q, n) p;
-    p
+  Cinnamon_util.Memo.get plans (q, n) (fun () -> make_plan ~q ~n)
 
-(* Forward negacyclic NTT, in place (Cooley–Tukey DIT, natural order in,
-   bit-reversed twiddle indexing; output in natural order). *)
+(* Forward negacyclic NTT, in place (Cooley–Tukey DIT, natural order
+   input, bit-reversed twiddle indexing).  The butterfly loop is the
+   single hottest loop in the library, so the Barrett reduction is
+   inlined and all array accesses are unsafe behind the one length
+   check at entry. *)
 let forward_in_place plan a =
-  let n = plan.n and md = plan.md in
+  let n = plan.n in
   if Array.length a <> n then invalid_arg "Ntt.forward_in_place: length";
+  let q, mu, shift = Modarith.barrett plan.md in
+  let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
+  let psi_br = plan.psi_br in
   let t = ref n and m = ref 1 in
   while !m < n do
     t := !t / 2;
     for i = 0 to !m - 1 do
       let j1 = 2 * i * !t in
       let j2 = j1 + !t - 1 in
-      let s = plan.psi_br.(!m + i) in
+      let s = Array.unsafe_get psi_br (!m + i) in
       for j = j1 to j2 do
-        let u = a.(j) in
-        let v = Modarith.mul md a.(j + !t) s in
-        a.(j) <- Modarith.add md u v;
-        a.(j + !t) <- Modarith.sub md u v
+        let u = Array.unsafe_get a j in
+        let x = Array.unsafe_get a (j + !t) * s in
+        let v = x - (((x lsr sh1) * mu) lsr sh2) * q in
+        let v = if v >= q then v - q else v in
+        let v = if v >= q then v - q else v in
+        let su = u + v in
+        Array.unsafe_set a j (if su >= q then su - q else su);
+        let d = u - v in
+        Array.unsafe_set a (j + !t) (if d < 0 then d + q else d)
       done
     done;
     m := !m * 2
@@ -74,29 +87,56 @@ let forward_in_place plan a =
 
 (* Inverse negacyclic NTT, in place (Gentleman–Sande DIF). *)
 let inverse_in_place plan a =
-  let n = plan.n and md = plan.md in
+  let n = plan.n in
   if Array.length a <> n then invalid_arg "Ntt.inverse_in_place: length";
+  let q, mu, shift = Modarith.barrett plan.md in
+  let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
+  let inv_psi_br = plan.inv_psi_br in
   let t = ref 1 and m = ref n in
   while !m > 1 do
     let j1 = ref 0 in
     let h = !m / 2 in
     for i = 0 to h - 1 do
       let j2 = !j1 + !t - 1 in
-      let s = plan.inv_psi_br.(h + i) in
+      let s = Array.unsafe_get inv_psi_br (h + i) in
       for j = !j1 to j2 do
-        let u = a.(j) in
-        let v = a.(j + !t) in
-        a.(j) <- Modarith.add md u v;
-        a.(j + !t) <- Modarith.mul md (Modarith.sub md u v) s
+        let u = Array.unsafe_get a j in
+        let v = Array.unsafe_get a (j + !t) in
+        let su = u + v in
+        Array.unsafe_set a j (if su >= q then su - q else su);
+        let d = u - v in
+        let d = if d < 0 then d + q else d in
+        let x = d * s in
+        let w = x - (((x lsr sh1) * mu) lsr sh2) * q in
+        let w = if w >= q then w - q else w in
+        Array.unsafe_set a (j + !t) (if w >= q then w - q else w)
       done;
       j1 := !j1 + (2 * !t)
     done;
     t := !t * 2;
     m := h
   done;
+  let n_inv = plan.n_inv in
   for j = 0 to n - 1 do
-    a.(j) <- Modarith.mul md a.(j) plan.n_inv
+    let x = Array.unsafe_get a j * n_inv in
+    let w = x - (((x lsr sh1) * mu) lsr sh2) * q in
+    let w = if w >= q then w - q else w in
+    Array.unsafe_set a j (if w >= q then w - q else w)
   done
+
+(* Into-buffer variants: transform [src] into [dst] without allocating.
+   [dst == src] is allowed (the blit degenerates to a no-op). *)
+let forward_into plan ~src ~dst =
+  if Array.length src <> plan.n || Array.length dst <> plan.n then
+    invalid_arg "Ntt.forward_into: length";
+  if dst != src then Array.blit src 0 dst 0 plan.n;
+  forward_in_place plan dst
+
+let inverse_into plan ~src ~dst =
+  if Array.length src <> plan.n || Array.length dst <> plan.n then
+    invalid_arg "Ntt.inverse_into: length";
+  if dst != src then Array.blit src 0 dst 0 plan.n;
+  inverse_in_place plan dst
 
 let forward plan a =
   let b = Array.copy a in
@@ -107,6 +147,37 @@ let inverse plan a =
   let b = Array.copy a in
   inverse_in_place plan b;
   b
+
+(* Eval-domain Galois permutation for the automorphism tau_k : X -> X^k
+   (k odd, taken mod 2N).
+
+   Slot j of the forward transform holds the evaluation at
+   psi^(2*br(j)+1).  Since (tau_k f)(psi^e) = f(psi^(e*k mod 2N)) and
+   e*k mod 2N is again odd, applying tau_k in the Eval domain moves the
+   value stored at exponent e*k into the slot for exponent e:
+
+     out.(j) = in.(perm.(j))   with
+     perm.(j) = br(((k * (2*br(j)+1)) mod 2N - 1) / 2)
+
+   A pure index shuffle — no modular arithmetic, no sign flips — and
+   bitwise-identical to conjugating through INTT/NTT (the Coeff-domain
+   path stays available as the test oracle).  Permutations are cached
+   per (n, k), like plans.  Exponents stay below 2^34 so the product
+   k * (2*br(j)+1) never overflows. *)
+let galois_perms : (int * int, int array) Cinnamon_util.Memo.t =
+  Cinnamon_util.Memo.create ~size:64 ()
+
+let galois_perm ~n ~k =
+  if not (Cinnamon_util.Bitops.is_pow2 n) then invalid_arg "Ntt.galois_perm: N not a power of 2";
+  let two_n = 2 * n in
+  let k = ((k mod two_n) + two_n) mod two_n in
+  if k land 1 = 0 then invalid_arg "Ntt.galois_perm: k must be odd";
+  Cinnamon_util.Memo.get galois_perms (n, k) (fun () ->
+      let bits = Cinnamon_util.Bitops.log2_exact n in
+      Array.init n (fun j ->
+          let e = (2 * Cinnamon_util.Bitops.bit_reverse j ~bits) + 1 in
+          let e' = e * k mod two_n in
+          Cinnamon_util.Bitops.bit_reverse ((e' - 1) / 2) ~bits))
 
 (* Schoolbook negacyclic convolution; quadratic, test oracle only. *)
 let negacyclic_mul_naive md a b =

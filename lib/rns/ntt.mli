@@ -2,7 +2,12 @@
 
     Fused-psi formulation: pointwise products of transformed
     polynomials realize negacyclic convolution with no zero padding.
-    Twiddle tables are cached per (q, N). *)
+    Slot [j] of the forward transform holds the evaluation at
+    psi{^2·br(j)+1} (br = bit reversal), which makes Galois
+    automorphisms pure slot permutations in the Eval domain.  Twiddle
+    tables and permutations are cached per (q, N) / (N, k) in
+    mutex-guarded {!Cinnamon_util.Memo} tables, safe under concurrent
+    domains. *)
 
 type plan
 
@@ -16,10 +21,23 @@ val forward_in_place : plan -> int array -> unit
 (** Inverse transform, in place, including the N{^-1} scaling. *)
 val inverse_in_place : plan -> int array -> unit
 
+(** Into-buffer variants; [dst] may alias [src]. *)
+val forward_into : plan -> src:int array -> dst:int array -> unit
+
+val inverse_into : plan -> src:int array -> dst:int array -> unit
+
 (** Allocating variants. *)
 val forward : plan -> int array -> int array
 
 val inverse : plan -> int array -> int array
+
+(** Eval-domain permutation for the Galois automorphism
+    X ↦ X{^k} ([k] odd, taken mod 2N): applying
+    [out.(j) = in.(perm.(j))] to every Eval-domain limb equals the
+    Coeff-domain automorphism conjugated through the transform,
+    bitwise.  Cached per (n, k).  The returned array is shared —
+    callers must not mutate it. *)
+val galois_perm : n:int -> k:int -> int array
 
 (** Quadratic schoolbook negacyclic product — test oracle. *)
 val negacyclic_mul_naive : Modarith.modulus -> int array -> int array -> int array

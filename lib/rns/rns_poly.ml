@@ -8,7 +8,13 @@
    The representation domain is tracked explicitly: Eval (NTT/
    evaluation domain, the default for arithmetic) or Coeff (coefficient
    domain, required by base conversion).  Mixing domains is a
-   programming error and raises. *)
+   programming error and raises.
+
+   Limb arithmetic is written as specialized first-order loops with
+   one up-front shape check per operation and unsafe accesses inside —
+   the closure-per-element Array.init style was the dominant allocation
+   source at N = 2^16.  Every binary operation has an into-buffer
+   variant ([add_into] etc.); the allocating form is create + into. *)
 
 type domain = Coeff | Eval
 
@@ -32,6 +38,9 @@ let zero ~n ~basis = create ~n ~basis ~domain:Eval
 
 let copy t = { t with limbs = Array.map Array.copy t.limbs }
 
+let create_like a =
+  { a with limbs = Array.init (Array.length a.limbs) (fun _ -> Array.make a.n 0) }
+
 (* Build from signed coefficients: limb i is coeffs mod q_i. *)
 let of_coeffs ~basis ~domain coeffs =
   let n = Array.length coeffs in
@@ -50,47 +59,127 @@ let check_compat a b =
   if not (Basis.equal a.basis b.basis) then invalid_arg "Rns_poly: basis mismatch";
   if a.domain <> b.domain then invalid_arg "Rns_poly: domain mismatch"
 
-let map2 f a b =
-  check_compat a b;
-  {
-    a with
-    limbs =
-      Array.init (level a) (fun i ->
-          let md = Basis.modulus a.basis i in
-          let la = a.limbs.(i) and lb = b.limbs.(i) in
-          Array.init a.n (fun j -> f md la.(j) lb.(j)));
-  }
+(* One shape check per (dst, a, b) limb triple; the loops below then
+   run unchecked. *)
+let check_limbs3 name n la lb ld =
+  if Array.length la <> n || Array.length lb <> n || Array.length ld <> n then
+    invalid_arg (name ^ ": limb length mismatch")
 
-let add a b = map2 Modarith.add a b
-let sub a b = map2 Modarith.sub a b
+let check_dst name dst a =
+  if dst.n <> a.n then invalid_arg (name ^ ": ring dimension mismatch");
+  if not (Basis.equal dst.basis a.basis) then invalid_arg (name ^ ": basis mismatch");
+  if dst.domain <> a.domain then invalid_arg (name ^ ": domain mismatch")
+
+(* dst may alias a and/or b. *)
+let add_into ~dst a b =
+  check_compat a b;
+  check_dst "Rns_poly.add_into" dst a;
+  let n = a.n in
+  for i = 0 to level a - 1 do
+    let q = Modarith.q (Basis.modulus a.basis i) in
+    let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
+    check_limbs3 "Rns_poly.add_into" n la lb ld;
+    for j = 0 to n - 1 do
+      let s = Array.unsafe_get la j + Array.unsafe_get lb j in
+      Array.unsafe_set ld j (if s >= q then s - q else s)
+    done
+  done
+
+let sub_into ~dst a b =
+  check_compat a b;
+  check_dst "Rns_poly.sub_into" dst a;
+  let n = a.n in
+  for i = 0 to level a - 1 do
+    let q = Modarith.q (Basis.modulus a.basis i) in
+    let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
+    check_limbs3 "Rns_poly.sub_into" n la lb ld;
+    for j = 0 to n - 1 do
+      let d = Array.unsafe_get la j - Array.unsafe_get lb j in
+      Array.unsafe_set ld j (if d < 0 then d + q else d)
+    done
+  done
+
+let mul_into ~dst a b =
+  if a.domain <> Eval || b.domain <> Eval then
+    invalid_arg "Rns_poly.mul_into: pointwise product requires Eval domain";
+  check_compat a b;
+  check_dst "Rns_poly.mul_into" dst a;
+  let n = a.n in
+  for i = 0 to level a - 1 do
+    let q, mu, shift = Modarith.barrett (Basis.modulus a.basis i) in
+    let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
+    let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
+    check_limbs3 "Rns_poly.mul_into" n la lb ld;
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get la j * Array.unsafe_get lb j in
+      let r = x - (((x lsr sh1) * mu) lsr sh2) * q in
+      let r = if r >= q then r - q else r in
+      Array.unsafe_set ld j (if r >= q then r - q else r)
+    done
+  done
+
+let add a b =
+  check_compat a b;
+  let dst = create_like a in
+  add_into ~dst a b;
+  dst
+
+let sub a b =
+  check_compat a b;
+  let dst = create_like a in
+  sub_into ~dst a b;
+  dst
 
 let mul a b =
   if a.domain <> Eval || b.domain <> Eval then
     invalid_arg "Rns_poly.mul: pointwise product requires Eval domain";
-  map2 Modarith.mul a b
+  check_compat a b;
+  let dst = create_like a in
+  mul_into ~dst a b;
+  dst
 
 let neg a =
-  {
-    a with
-    limbs =
-      Array.init (level a) (fun i ->
-          let md = Basis.modulus a.basis i in
-          Array.map (fun x -> Modarith.neg md x) a.limbs.(i));
-  }
+  let dst = create_like a in
+  let n = a.n in
+  for i = 0 to level a - 1 do
+    let q = Modarith.q (Basis.modulus a.basis i) in
+    let la = a.limbs.(i) and ld = dst.limbs.(i) in
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get la j in
+      Array.unsafe_set ld j (if x = 0 then 0 else q - x)
+    done
+  done;
+  dst
 
-(* Multiply limb i by a per-limb scalar s.(i). *)
+(* Multiply limb i by a per-limb (signed) scalar s.(i); dst may alias a. *)
+let scalar_mul_per_limb_into ~dst a s =
+  if Array.length s <> level a then invalid_arg "Rns_poly.scalar_mul_per_limb";
+  check_dst "Rns_poly.scalar_mul_per_limb_into" dst a;
+  let n = a.n in
+  for i = 0 to level a - 1 do
+    let md = Basis.modulus a.basis i in
+    let q, mu, shift = Modarith.barrett md in
+    let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
+    let si = Modarith.of_int md s.(i) in
+    let la = a.limbs.(i) and ld = dst.limbs.(i) in
+    if Array.length la <> n || Array.length ld <> n then
+      invalid_arg "Rns_poly.scalar_mul_per_limb_into: limb length mismatch";
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get la j * si in
+      let r = x - (((x lsr sh1) * mu) lsr sh2) * q in
+      let r = if r >= q then r - q else r in
+      Array.unsafe_set ld j (if r >= q then r - q else r)
+    done
+  done
+
 let scalar_mul_per_limb a s =
   if Array.length s <> level a then invalid_arg "Rns_poly.scalar_mul_per_limb";
-  {
-    a with
-    limbs =
-      Array.init (level a) (fun i ->
-          let md = Basis.modulus a.basis i in
-          let si = Modarith.of_int md s.(i) in
-          Array.map (fun x -> Modarith.mul md x si) a.limbs.(i));
-  }
+  let dst = create_like a in
+  scalar_mul_per_limb_into ~dst a s;
+  dst
 
 (* Multiply every limb by the same (signed) integer scalar. *)
+let scalar_mul_into ~dst a s = scalar_mul_per_limb_into ~dst a (Array.make (level a) s)
 let scalar_mul a s = scalar_mul_per_limb a (Array.make (level a) s)
 
 let to_eval t =
@@ -119,33 +208,49 @@ let to_coeff t =
             Ntt.inverse plan t.limbs.(i));
     }
 
-(* Automorphism X -> X^k (k odd): coefficient i moves to i*k mod 2N with
-   a sign flip when it wraps past N.  Performed in the coefficient
-   domain; Eval inputs round-trip through INTT/NTT.  The hardware
-   performs the Eval-domain permutation directly — the functional layer
-   favours the obviously-correct form. *)
+(* Automorphism X -> X^k (k odd).
+
+   Coeff domain: coefficient i moves to i*k mod 2N with a sign flip
+   when it wraps past N — the obviously-correct form, kept as the test
+   oracle.
+
+   Eval domain: a pure slot permutation (Ntt.galois_perm), exactly what
+   the paper's hardware does.  Slot j holds the evaluation at
+   psi^(2*br(j)+1), and tau_k permutes those evaluation points, so the
+   fast path is bitwise identical to round-tripping through INTT/NTT
+   while skipping two transforms per limb. *)
 let automorphism t ~k =
   if k land 1 = 0 then invalid_arg "Rns_poly.automorphism: k must be odd";
   let two_n = 2 * t.n in
   let k = ((k mod two_n) + two_n) mod two_n in
-  let tc = to_coeff t in
-  let apply md src =
-    let dst = Array.make t.n 0 in
-    for i = 0 to t.n - 1 do
-      let pos = i * k mod two_n in
-      if pos < t.n then dst.(pos) <- Modarith.add md dst.(pos) src.(i)
-      else dst.(pos - t.n) <- Modarith.sub md dst.(pos - t.n) src.(i)
-    done;
-    dst
-  in
-  let out =
+  match t.domain with
+  | Eval ->
+    let perm = Ntt.galois_perm ~n:t.n ~k in
     {
-      tc with
+      t with
       limbs =
-        Array.init (level t) (fun i -> apply (Basis.modulus t.basis i) tc.limbs.(i));
+        Array.map
+          (fun src ->
+            if Array.length src <> t.n then
+              invalid_arg "Rns_poly.automorphism: limb length mismatch";
+            let dst = Array.make t.n 0 in
+            for j = 0 to t.n - 1 do
+              Array.unsafe_set dst j (Array.unsafe_get src (Array.unsafe_get perm j))
+            done;
+            dst)
+          t.limbs;
     }
-  in
-  if t.domain = Eval then to_eval out else out
+  | Coeff ->
+    let apply md src =
+      let dst = Array.make t.n 0 in
+      for i = 0 to t.n - 1 do
+        let pos = i * k mod two_n in
+        if pos < t.n then dst.(pos) <- Modarith.add md dst.(pos) src.(i)
+        else dst.(pos - t.n) <- Modarith.sub md dst.(pos - t.n) src.(i)
+      done;
+      dst
+    in
+    { t with limbs = Array.init (level t) (fun i -> apply (Basis.modulus t.basis i) t.limbs.(i)) }
 
 (* Multiply by the monomial X^e (negacyclic): coefficient k moves to
    k+e mod 2N with a sign flip past N.  Exact and rescale-free; with
@@ -203,25 +308,24 @@ let random ~n ~basis ~domain rng =
   }
 
 (* CRT-reconstruct coefficient [j] exactly as a centered bignum pair
-   (value, is_negative). Cold path: tests and decode. *)
+   (value, is_negative). Cold path: tests and decode.  The per-basis
+   constants (Q, Q/q_i and its inverse) come from the shared memoized
+   Crt table instead of being recomputed with bignum division per
+   call. *)
 let coeff_centered t j =
   let tc = to_coeff t in
   let module B = Cinnamon_util.Bigint in
-  let q_prod = Basis.product t.basis in
+  let c = Crt.consts t.basis in
+  let q_prod = c.Crt.q_prod in
   (* Garner-free reconstruction: x = sum_i r_i * (Q/q_i) * ((Q/q_i)^-1 mod q_i) mod Q *)
   let acc = ref B.zero in
   for i = 0 to level t - 1 do
-    let qi = Basis.value t.basis i in
-    let q_over_qi, rem = B.divmod_small q_prod qi in
-    assert (rem = 0);
     let md = Basis.modulus t.basis i in
-    let inv = Modarith.inv md (B.rem_small q_over_qi qi) in
-    let term = B.mul_small q_over_qi (Modarith.mul md tc.limbs.(i).(j) inv mod qi) in
+    let term = B.mul_small c.Crt.qhat.(i) (Modarith.mul md tc.limbs.(i).(j) c.Crt.qhat_inv.(i)) in
     acc := B.add !acc term
   done;
-  (* reduce mod Q by repeated subtraction via divmod on bignum: do a
-     proper mod using division by chunks — Q fits few words, use
-     compare-subtract loop bounded by level count. *)
+  (* reduce mod Q: the sum of l terms each < Q is < l*Q, so a
+     compare-subtract loop bounded by the level count suffices. *)
   let rec reduce x = if B.compare x q_prod >= 0 then reduce (B.sub x q_prod) else x in
   let x = reduce !acc in
   let twice = B.mul_small x 2 in

@@ -25,6 +25,10 @@ val create : n:int -> basis:Basis.t -> domain:domain -> t
 val zero : n:int -> basis:Basis.t -> t
 val copy : t -> t
 
+(** Fresh all-zero polynomial with the shape (n, basis, domain) of the
+    argument — the natural destination for the [_into] operations. *)
+val create_like : t -> t
+
 (** Reduce signed coefficients into every limb. *)
 val of_coeffs : basis:Basis.t -> domain:domain -> int array -> t
 
@@ -34,20 +38,36 @@ val sub : t -> t -> t
 (** Pointwise product; both arguments must be in Eval domain. *)
 val mul : t -> t -> t
 
+(** Into-buffer variants: write the result into [dst] (same shape as
+    the operands) without allocating.  [dst] may alias either
+    operand. *)
+val add_into : dst:t -> t -> t -> unit
+
+val sub_into : dst:t -> t -> t -> unit
+val mul_into : dst:t -> t -> t -> unit
+
 val neg : t -> t
 
 (** Multiply limb i by scalar [s.(i)]. *)
 val scalar_mul_per_limb : t -> int array -> t
 
+val scalar_mul_per_limb_into : dst:t -> t -> int array -> unit
+
 (** Multiply every limb by the same signed scalar. *)
 val scalar_mul : t -> int -> t
+
+val scalar_mul_into : dst:t -> t -> int -> unit
 
 (** Domain conversions (cached NTT plans; no-ops when already there). *)
 val to_eval : t -> t
 
 val to_coeff : t -> t
 
-(** Automorphism X ↦ X{^k}, [k] odd. Preserves the input domain. *)
+(** Automorphism X ↦ X{^k}, [k] odd. Preserves the input domain.
+    Eval-domain inputs use a precomputed slot permutation (no NTTs,
+    what the paper's hardware does); Coeff-domain inputs use the
+    index/sign-flip form, which doubles as the test oracle.  Both
+    paths agree bitwise. *)
 val automorphism : t -> k:int -> t
 
 (** Multiply by X{^e} (negacyclic shift). With [e = N/2] this

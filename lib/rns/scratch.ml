@@ -1,0 +1,48 @@
+(* Domain-local scratch-buffer arena.
+
+   Base conversion and the keyswitch inner loop need short-lived int
+   arrays of a handful of distinct lengths (the ring dimension, mostly)
+   on every call; allocating them fresh keeps the minor heap churning
+   at N = 2^16.  The arena keeps a small free list of buffers per
+   length, keyed per domain via Domain.DLS — each domain of the
+   lib/exec pool gets its own pool, so borrowing and releasing never
+   synchronizes and is race-free by construction.
+
+   Borrowed buffers are NOT zeroed: callers must fully initialize every
+   element they read. *)
+
+(* Cap per (domain, length) so a burst can't pin memory forever. *)
+let max_pooled = 32
+
+type pool = (int, int array list ref) Hashtbl.t
+
+let dls_key : pool Domain.DLS.key = Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let borrow n =
+  let pool = Domain.DLS.get dls_key in
+  match Hashtbl.find_opt pool n with
+  | Some ({ contents = buf :: rest } as cell) ->
+    cell := rest;
+    buf
+  | _ -> Array.make n 0
+
+let release buf =
+  let pool = Domain.DLS.get dls_key in
+  let n = Array.length buf in
+  let cell =
+    match Hashtbl.find_opt pool n with
+    | Some c -> c
+    | None ->
+      let c = ref [] in
+      Hashtbl.add pool n c;
+      c
+  in
+  if List.length !cell < max_pooled then cell := buf :: !cell
+
+let with_buf ~n f =
+  let buf = borrow n in
+  Fun.protect ~finally:(fun () -> release buf) (fun () -> f buf)
+
+let with_bufs ~n ~count f =
+  let bufs = Array.init count (fun _ -> borrow n) in
+  Fun.protect ~finally:(fun () -> Array.iter release bufs) (fun () -> f bufs)

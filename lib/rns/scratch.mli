@@ -1,0 +1,14 @@
+(** Domain-local scratch-buffer arena.
+
+    Reusable int arrays keyed by length, pooled per domain
+    (Domain.DLS), so hot-path kernels avoid re-allocating
+    ring-dimension-sized temporaries.  Buffers are {e not} zeroed on
+    loan — callers must fully initialize every element they read. *)
+
+val with_buf : n:int -> (int array -> 'a) -> 'a
+(** [with_buf ~n f] loans a buffer of exactly [n] elements to [f] and
+    returns it to the domain-local pool afterwards (also on
+    exception).  The buffer must not escape [f]. *)
+
+val with_bufs : n:int -> count:int -> (int array array -> 'a) -> 'a
+(** Loan [count] distinct buffers of [n] elements each. *)

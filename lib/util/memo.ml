@@ -1,0 +1,75 @@
+(* Mutex-guarded memo tables with double-checked construction.
+
+   The RNS/CKKS layers keep small global caches of derived constants
+   (NTT plans, base-conversion tables, encoding contexts, rotation
+   keys).  Under the Domain pool in lib/exec those caches are read and
+   populated concurrently, so a bare Hashtbl is a data race.  Memo
+   wraps a Hashtbl with a mutex and the following discipline:
+
+   - [get t k f] first checks for [k] under the lock (cheap: one
+     hash-table probe).  On a hit the cached value is returned.
+   - On a miss the lock is RELEASED while [f ()] runs, so slow
+     constructions (keygen, table builds) never serialize unrelated
+     lookups and [f] itself may consult other Memo tables without
+     deadlock.
+   - The lock is then re-taken and the table re-checked: if another
+     domain inserted a value for [k] in the meantime, that first
+     insertion wins and the freshly computed value is discarded.
+
+   Consequently [f] may run more than once for the same key under
+   contention; callers must only memoize constructions whose value is
+   semantically determined by the key (all four caches above qualify —
+   rotation keygen is randomized, but every duplicate is a valid key
+   for the same rotation and exactly one survives, so all callers
+   observe a single consistent value). *)
+
+type ('k, 'v) t = { mutex : Mutex.t; table : ('k, 'v) Hashtbl.t }
+
+let create ?(size = 16) () = { mutex = Mutex.create (); table = Hashtbl.create size }
+
+let find_opt t k =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table k in
+  Mutex.unlock t.mutex;
+  r
+
+let mem t k = Option.is_some (find_opt t k)
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+(* Unconditional bind: last set wins.  Used for seeding a table whose
+   contents are produced once (e.g. eval-key generation) before any
+   concurrent reader exists. *)
+let set t k v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table k v;
+  Mutex.unlock t.mutex
+
+let get t k f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table k with
+  | Some v ->
+    Mutex.unlock t.mutex;
+    v
+  | None ->
+    Mutex.unlock t.mutex;
+    let v = match f () with
+      | v -> v
+      | exception e ->
+        (* Nothing was published; a later call simply retries. *)
+        raise e
+    in
+    Mutex.lock t.mutex;
+    let winner =
+      match Hashtbl.find_opt t.table k with
+      | Some v' -> v' (* someone beat us: first insertion wins *)
+      | None ->
+        Hashtbl.replace t.table k v;
+        v
+    in
+    Mutex.unlock t.mutex;
+    winner

@@ -1,0 +1,31 @@
+(** Mutex-guarded memo tables with double-checked construction.
+
+    A [('k, 'v) t] is a concurrent get-or-create cache: [get t k f]
+    returns the cached value for [k], running [f ()] to construct it on
+    a miss.  The construction runs {e outside} the lock, so it may be
+    slow and may itself consult other Memo tables; if two domains race
+    on the same key, the first insertion wins and every caller observes
+    that single value.  [f] must therefore produce a value that is
+    acceptable for the key regardless of which racer's result survives
+    (deterministic constructions trivially qualify). *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [create ()] makes an empty table. [size] is the initial capacity
+    hint (default 16). *)
+
+val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [get t k f] returns the memoized value for [k], constructing it
+    with [f] on a miss (double-checked; see module doc).  If [f]
+    raises, nothing is published and the exception propagates. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without construction. *)
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Unconditional bind (last set wins).  Intended for seeding a table
+    before concurrent readers exist, e.g. during key generation. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+val length : ('k, 'v) t -> int

@@ -55,6 +55,99 @@ let test_pool_small_queue () =
   Alcotest.(check int) "all jobs ran" 100 (List.length r);
   Alcotest.(check (list int)) "ordered" (List.init 100 (fun i -> i + 1)) r
 
+(* ----------------------------------------------- kernel-cache concurrency *)
+
+module Params = Cinnamon_ckks.Params
+module Keys = Cinnamon_ckks.Keys
+module Eval = Cinnamon_ckks.Eval
+module Encrypt = Cinnamon_ckks.Encrypt
+module Rng = Cinnamon_util.Rng
+module Rns_poly = Cinnamon_rns.Rns_poly
+module Ntt = Cinnamon_rns.Ntt
+module Basis = Cinnamon_rns.Basis
+module Base_conv = Cinnamon_rns.Base_conv
+
+(* Rotation-table race: many pool workers demand the same rotation keys
+   concurrently.  Every duplicate must come back as THE published key
+   (physical equality), and the raced keys must still decrypt rotations
+   correctly. *)
+let test_rotation_key_stress () =
+  let params = Lazy.force Params.tiny in
+  let rng = Rng.create ~seed:77 in
+  let sk = Keys.gen_secret_key params rng in
+  let pk = Keys.gen_public_key params sk rng in
+  let ek = Keys.gen_eval_key params sk ~rotations:[] ~conjugation:false rng in
+  let rots = [ 1; 2; 3 ] in
+  (* each rotation amount requested by several workers at once, each
+     worker with its own RNG stream *)
+  let tasks = List.concat_map (fun r -> List.init 4 (fun i -> (r, 1000 + (r * 10) + i))) rots in
+  let keys =
+    Pool.run ~jobs:4
+      (fun (rot, seed) -> (rot, Keys.ensure_rotation_key params sk ek ~rot (Rng.create ~seed)))
+      tasks
+  in
+  List.iter
+    (fun (rot, k) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rot %d: duplicate returned the published key" rot)
+        true
+        (k == Keys.find_rotation_key ek rot))
+    keys;
+  (* the surviving keys are functional: rotate a fresh ciphertext *)
+  let ctx = Eval.context params ek in
+  let slots = params.Params.slots in
+  let xs = Array.init slots (fun i -> Float.of_int (i + 1)) in
+  let ct = Encrypt.encrypt_real params pk xs (Rng.create ~seed:501) in
+  List.iter
+    (fun r ->
+      let back = Encrypt.decrypt_real params sk (Eval.rotate ctx ct r) in
+      Array.iteri
+        (fun i v ->
+          let expect = xs.((i + r) mod slots) in
+          Alcotest.(check bool)
+            (Printf.sprintf "rot %d slot %d" r i)
+            true
+            (Float.abs (v -. expect) < 1e-2))
+        back)
+    rots;
+  (* rotation 0 never takes a key *)
+  Alcotest.check_raises "rotation 0 rejected"
+    (Invalid_argument "Keys.ensure_rotation_key: rotation 0 needs no key") (fun () ->
+      ignore (Keys.ensure_rotation_key params sk ek ~rot:0 (Rng.create ~seed:1)))
+
+(* Concurrent plan construction + NTT roundtrips across a shared Memo:
+   every worker must see a consistent plan for its modulus. *)
+let test_ntt_plan_concurrent () =
+  let n = 64 in
+  let qs = Cinnamon_rns.Prime_gen.gen_primes ~bits:28 ~n ~count:6 () in
+  let tasks = List.concat_map (fun q -> List.init 3 (fun i -> (q, i))) qs in
+  let ok =
+    Pool.run ~jobs:4
+      (fun (q, i) ->
+        let plan = Ntt.plan ~q ~n in
+        let rng = Rng.create ~seed:(q + i) in
+        let a = Array.init n (fun _ -> Rng.int rng q) in
+        Ntt.inverse plan (Ntt.forward plan a) = a)
+      tasks
+  in
+  Alcotest.(check bool) "all roundtrips exact" true (List.for_all Fun.id ok)
+
+(* Base conversion under the pool is bit-identical to the sequential
+   result — the lazy-reduction accumulator and the Memo-cached tables
+   must not introduce any schedule dependence. *)
+let test_base_conv_deterministic_parallel () =
+  let n = 64 in
+  let qs = Cinnamon_rns.Prime_gen.gen_primes ~bits:28 ~n ~count:4 () in
+  let ps = Cinnamon_rns.Prime_gen.gen_primes ~bits:30 ~n ~count:2 ~avoid:qs () in
+  let src_basis = Basis.of_primes qs and dst_basis = Basis.of_primes ps in
+  let mk seed = Rns_poly.random ~n ~basis:src_basis ~domain:Rns_poly.Coeff (Rng.create ~seed) in
+  let seeds = List.init 12 (fun i -> 9000 + i) in
+  let sequential = List.map (fun s -> Base_conv.convert (mk s) ~dst:dst_basis) seeds in
+  let parallel = Pool.run ~jobs:4 (fun s -> Base_conv.convert (mk s) ~dst:dst_basis) seeds in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "bitwise equal" true (Rns_poly.equal a b))
+    sequential parallel
+
 (* ------------------------------------------------------------- cache key *)
 
 let key ?(config = CC.paper ()) ?(sim = SC.cinnamon_4) ?(kernel = "bootstrap-13") () =
@@ -273,6 +366,10 @@ let suite =
       Alcotest.test_case "pool default jobs" `Quick test_pool_resolves_default;
       Alcotest.test_case "pool exception propagation" `Quick test_pool_exception_propagates;
       Alcotest.test_case "pool bounded queue" `Quick test_pool_small_queue;
+      Alcotest.test_case "rotation-key stress (pool)" `Quick test_rotation_key_stress;
+      Alcotest.test_case "ntt plan concurrent" `Quick test_ntt_plan_concurrent;
+      Alcotest.test_case "base_conv parallel determinism" `Quick
+        test_base_conv_deterministic_parallel;
       Alcotest.test_case "key: alpha distinct" `Quick test_key_alpha_distinct;
       Alcotest.test_case "key: dnum distinct" `Quick test_key_dnum_distinct;
       Alcotest.test_case "key: all behavioral fields" `Quick test_key_covers_all_behavioral_fields;

@@ -256,6 +256,116 @@ let test_restrict_concat () =
   let recomposed = Rns_poly.concat (Rns_poly.restrict x lo) (Rns_poly.restrict x hi) in
   Alcotest.(check bool) "restrict+concat = id" true (Rns_poly.equal x recomposed)
 
+(* --- Kernel-layer properties ----------------------------------------------- *)
+
+(* NTT pointwise mul vs the schoolbook oracle across randomized ring
+   sizes and modulus widths — exercises the inlined-Barrett butterflies
+   at every (n, bits) shape, not just the fixtures above. *)
+let test_ntt_mul_random_shapes =
+  qtest ~count:30 "ntt pointwise mul = naive (random n, q)"
+    QCheck2.Gen.(triple (int_range 3 7) (int_range 26 30) (int_bound 10000))
+    (fun (logn, bits, seed) ->
+      let n = 1 lsl logn in
+      let q = List.hd (Prime_gen.gen_primes ~bits ~n ~count:1 ()) in
+      let m = Modarith.modulus q in
+      let rng = Rng.create ~seed in
+      let plan = Ntt.plan ~q ~n in
+      let a = Array.init n (fun _ -> Rng.int rng q) in
+      let b = Array.init n (fun _ -> Rng.int rng q) in
+      let fa = Ntt.forward plan a and fb = Ntt.forward plan b in
+      let prod = Array.init n (fun i -> Modarith.mul m fa.(i) fb.(i)) in
+      Ntt.inverse plan prod = Ntt.negacyclic_mul_naive m a b)
+
+let limbs_equal a b =
+  List.for_all
+    (fun i -> Rns_poly.limb a i = Rns_poly.limb b i)
+    (List.init (Rns_poly.level a) Fun.id)
+
+(* Eval-domain automorphism (slot permutation) vs the Coeff-domain
+   oracle, for random odd k.  Compared limb-by-limb in the Eval domain:
+   the two paths must agree BITWISE, not just up to decode. *)
+let test_automorphism_eval_vs_coeff_oracle =
+  qtest ~count:40 "eval automorphism = coeff oracle (bitwise)"
+    QCheck2.Gen.(pair (int_bound 10000) (int_bound 10000))
+    (fun (seed, kseed) ->
+      let rng = Rng.create ~seed in
+      let b = Lazy.force basis5 in
+      let x = Rns_poly.random ~n:n_test ~basis:b ~domain:Rns_poly.Eval rng in
+      let k = (2 * (kseed mod n_test)) + 1 in
+      let fast = Rns_poly.automorphism x ~k in
+      let oracle = Rns_poly.to_eval (Rns_poly.automorphism (Rns_poly.to_coeff x) ~k) in
+      limbs_equal fast oracle)
+
+(* Composed rotations: tau_{k1} o tau_{k2} = tau_{k1*k2 mod 2N} on the
+   Eval path, including Galois elements of actual slot rotations
+   (k = 5^r mod 2N). *)
+let test_automorphism_eval_composed =
+  qtest ~count:30 "eval automorphism composes"
+    QCheck2.Gen.(triple (int_bound 10000) (int_bound 1000) (int_bound 1000))
+    (fun (seed, r1, r2) ->
+      let rng = Rng.create ~seed in
+      let b = Lazy.force basis5 in
+      let two_n = 2 * n_test in
+      let pow5 r =
+        let rec go acc i = if i = 0 then acc else go (acc * 5 mod two_n) (i - 1) in
+        go 1 (r mod n_test)
+      in
+      let k1 = pow5 r1 and k2 = pow5 r2 in
+      let x = Rns_poly.random ~n:n_test ~basis:b ~domain:Rns_poly.Eval rng in
+      let composed = Rns_poly.automorphism (Rns_poly.automorphism x ~k:k2) ~k:k1 in
+      let direct = Rns_poly.automorphism x ~k:(k1 * k2 mod two_n) in
+      limbs_equal composed direct)
+
+let test_galois_perm_is_permutation =
+  qtest ~count:50 "galois_perm is a bijection" QCheck2.Gen.(int_bound 10000)
+    (fun kseed ->
+      let k = (2 * kseed) + 1 in
+      let perm = Ntt.galois_perm ~n:n_test ~k in
+      let seen = Array.make n_test false in
+      Array.iter (fun j -> seen.(j) <- true) perm;
+      Array.for_all Fun.id seen)
+
+(* Into-buffer variants agree with the allocating ones, including when
+   the destination aliases an operand. *)
+let test_into_ops_match_pure =
+  qtest ~count:20 "into ops = pure ops (incl. aliasing)" QCheck2.Gen.(int_bound 10000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let b = Lazy.force basis5 in
+      let x = Rns_poly.random ~n:n_test ~basis:b ~domain:Rns_poly.Eval rng in
+      let y = Rns_poly.random ~n:n_test ~basis:b ~domain:Rns_poly.Eval rng in
+      let dst = Rns_poly.create_like x in
+      Rns_poly.add_into ~dst x y;
+      let ok_add = limbs_equal dst (Rns_poly.add x y) in
+      Rns_poly.sub_into ~dst x y;
+      let ok_sub = limbs_equal dst (Rns_poly.sub x y) in
+      Rns_poly.mul_into ~dst x y;
+      let ok_mul = limbs_equal dst (Rns_poly.mul x y) in
+      Rns_poly.scalar_mul_into ~dst x (-12345);
+      let ok_scal = limbs_equal dst (Rns_poly.scalar_mul x (-12345)) in
+      (* aliased: dst == first operand *)
+      let expect = Rns_poly.add x y in
+      let x' = Rns_poly.copy x in
+      Rns_poly.add_into ~dst:x' x' y;
+      let ok_alias = limbs_equal x' expect in
+      ok_add && ok_sub && ok_mul && ok_scal && ok_alias)
+
+let test_ntt_into_matches () =
+  let q = Lazy.force q0 in
+  let rng = Rng.create ~seed:23 in
+  let plan = Ntt.plan ~q ~n:n_test in
+  let a = Array.init n_test (fun _ -> Rng.int rng q) in
+  let dst = Array.make n_test 0 in
+  Ntt.forward_into plan ~src:a ~dst;
+  Alcotest.(check (array int)) "forward_into = forward" (Ntt.forward plan a) dst;
+  let inv = Array.make n_test 0 in
+  Ntt.inverse_into plan ~src:dst ~dst:inv;
+  Alcotest.(check (array int)) "roundtrip" a inv;
+  (* aliasing src == dst *)
+  let b = Array.copy a in
+  Ntt.forward_into plan ~src:b ~dst:b;
+  Alcotest.(check (array int)) "aliased forward_into" (Ntt.forward plan a) b
+
 (* --- Base_conv / Mod_updown ---------------------------------------------------- *)
 
 let test_base_conv_approximate =
@@ -365,6 +475,12 @@ let suite =
       Alcotest.test_case "automorphism identity" `Quick test_automorphism_identity;
       Alcotest.test_case "monomial mul" `Quick test_monomial_mul;
       Alcotest.test_case "restrict/concat" `Quick test_restrict_concat;
+      test_ntt_mul_random_shapes;
+      test_automorphism_eval_vs_coeff_oracle;
+      test_automorphism_eval_composed;
+      test_galois_perm_is_permutation;
+      test_into_ops_match_pure;
+      Alcotest.test_case "ntt into variants" `Quick test_ntt_into_matches;
       test_base_conv_approximate;
       Alcotest.test_case "exact conv oracle" `Quick test_base_conv_exact_oracle;
       Alcotest.test_case "mod_down divides" `Quick test_mod_down_divides;

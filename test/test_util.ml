@@ -162,6 +162,52 @@ let test_polar () =
   let p = Cplx.polar (Float.pi /. 2.0) in
   Alcotest.(check bool) "e^{i pi/2} = i" true (Float.abs p.Cplx.re < 1e-12 && Float.abs (p.Cplx.im -. 1.0) < 1e-12)
 
+(* --- Memo ------------------------------------------------------------- *)
+
+let test_memo_constructs_once () =
+  let m = Memo.create () in
+  let calls = ref 0 in
+  let f () = incr calls; !calls * 100 in
+  Alcotest.(check int) "first get computes" 100 (Memo.get m 1 f);
+  Alcotest.(check int) "second get cached" 100 (Memo.get m 1 f);
+  Alcotest.(check int) "constructor ran once" 1 !calls;
+  Alcotest.(check (option int)) "find_opt hit" (Some 100) (Memo.find_opt m 1);
+  Alcotest.(check (option int)) "find_opt miss" None (Memo.find_opt m 2);
+  Alcotest.(check bool) "mem hit" true (Memo.mem m 1);
+  Alcotest.(check bool) "mem miss" false (Memo.mem m 2);
+  Alcotest.(check int) "length" 1 (Memo.length m)
+
+let test_memo_set_overrides () =
+  let m = Memo.create () in
+  Memo.set m "k" 1;
+  Memo.set m "k" 2;
+  Alcotest.(check (option int)) "last set wins" (Some 2) (Memo.find_opt m "k");
+  Alcotest.(check int) "get sees seeded value" 2 (Memo.get m "k" (fun () -> 99));
+  Alcotest.(check int) "one entry" 1 (Memo.length m)
+
+(* Hammer one memo from several domains: every get over every key must
+   return the single published value, and the table must end with
+   exactly one entry per key. *)
+let test_memo_concurrent () =
+  let m = Memo.create () in
+  let keys = 10 and domains = 4 and iters = 200 in
+  let worker d () =
+    let ok = ref true in
+    for i = 0 to iters - 1 do
+      let k = (i + d) mod keys in
+      let v = Memo.get m k (fun () -> Array.make 4 k) in
+      (* the winning array holds its key, whoever constructed it *)
+      if v.(0) <> k then ok := false;
+      (* subsequent lookups must be physically the published value *)
+      if not (Memo.get m k (fun () -> Array.make 4 (-1)) == v) then ok := false
+    done;
+    !ok
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let results = List.map Domain.join spawned in
+  Alcotest.(check bool) "all domains consistent" true (List.for_all Fun.id results);
+  Alcotest.(check int) "one entry per key" keys (Memo.length m)
+
 (* --- Stats / Table ------------------------------------------------------ *)
 
 let test_stats () =
@@ -210,6 +256,9 @@ let suite =
       Alcotest.test_case "bigint big mul" `Quick test_bigint_mul_big;
       Alcotest.test_case "bigint bit_length" `Quick test_bigint_bit_length;
       Alcotest.test_case "bigint compare" `Quick test_bigint_compare;
+      Alcotest.test_case "memo constructs once" `Quick test_memo_constructs_once;
+      Alcotest.test_case "memo set overrides" `Quick test_memo_set_overrides;
+      Alcotest.test_case "memo concurrent" `Quick test_memo_concurrent;
       Alcotest.test_case "fft roundtrip" `Quick test_fft_roundtrip;
       Alcotest.test_case "fft vs naive" `Quick test_fft_matches_naive;
       Alcotest.test_case "cplx algebra" `Quick test_cplx_algebra;
