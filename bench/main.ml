@@ -10,12 +10,14 @@
    Usage: main.exe [section ...] [--jobs N] [--quick] [--cache-dir DIR]
                    [--bench-out FILE] [--trace FILE] [--metrics]
      sections: table1 table2 table3 fig6 fig11 fig12 fig13 fig14 fig15
-               fig16 sec43 sec74 micro kernels   (default: all)
+               fig16 sec43 sec74 micro kernels serve   (default: all)
      --jobs N        worker domains for the Table-2/Fig-11 sweep
                      (0 = Domain.recommended_domain_count; 1 = sequential)
      --quick         restrict the sweep to the Bootstrap benchmark,
-                     shrink the kernel microbench to N=2^12, and default
-                     the section list to "table2 kernels" (CI smoke run)
+                     shrink the kernel microbench to N=2^12 and the
+                     serving load test to its quick preset, and default
+                     the section list to "table2 kernels serve" (CI
+                     smoke run)
      --cache-dir DIR persist simulation results under DIR
                      (conventionally _cinnamon_cache/); warm runs skip
                      re-simulation entirely
@@ -750,6 +752,32 @@ let kernels () =
     ~limbs:(Basis.size params.Cinnamon_ckks.Params.q_basis)
     (1e6 *. time_it ~reps:5 (fun () -> Cinnamon_ckks.Keyswitch.keyswitch params relin c))
 
+(* ------------------------------------------------------- serving layer *)
+
+(* The encrypted-inference serving load test (lib/serve): Poisson
+   open-loop arrivals played through the admission queue, dynamic
+   batcher and virtual-time scheduler, with real compile+simulate work
+   behind each batch.  Records latency percentiles, goodput and shed
+   rate into BENCH_cinnamon.json (serve_loadtest section) so the
+   serving SLOs have a trajectory across commits. *)
+
+let serve_results : Cinnamon_serve.Loadgen.result list ref = ref []
+
+let serve () =
+  section_header
+    (Printf.sprintf "Serving load test (%s preset)" (if !quick then "quick" else "default"));
+  let open Cinnamon_serve in
+  let base = if !quick then Loadgen.quick else Loadgen.default in
+  let cfg = { base with Loadgen.lg_jobs = !jobs } in
+  let r = Loadgen.run cfg in
+  Loadgen.print_result r;
+  serve_results := !serve_results @ [ r ];
+  let rp = r.Loadgen.lr_report in
+  if rp.Slo.rp_completed > 0 && rp.Slo.rp_compiles >= rp.Slo.rp_admitted then
+    Printf.printf
+      "  WARNING: batching did not amortize compiles (%d compiles for %d admitted)\n%!"
+      rp.Slo.rp_compiles rp.Slo.rp_admitted
+
 (* ------------------------------------------------------ perf trajectory *)
 
 (* BENCH_cinnamon.json: the machine-readable record of the sweep — one
@@ -757,8 +785,8 @@ let kernels () =
    plus cache effectiveness and wall-clock.  Consumed by CI (uploaded
    as an artifact) to track the perf trajectory across commits. *)
 let write_bench_json file ~wall_seconds =
-  if !sweep_state = None && !micro_entries = [] then ()
-    (* neither a sweep nor the kernel microbench ran; nothing to record *)
+  if !sweep_state = None && !micro_entries = [] && !serve_results = [] then ()
+    (* no sweep, kernel microbench or serving load test ran; nothing to record *)
   else begin
     let st = Exec.Result_cache.stats () in
     let lookups = st.Exec.Result_cache.hits + st.Exec.Result_cache.disk_hits + st.Exec.Result_cache.misses in
@@ -825,6 +853,13 @@ let write_bench_json file ~wall_seconds =
                        ("us_per_op", Json.Float e.me_us);
                      ])
                  !micro_entries) );
+          (* serving-layer SLOs (serve section), keyed by client model *)
+          ( "serve_loadtest",
+            Json.Obj
+              (List.map
+                 (fun (r : Cinnamon_serve.Loadgen.result) ->
+                   (r.Cinnamon_serve.Loadgen.lr_mode, Cinnamon_serve.Loadgen.result_json r))
+                 !serve_results) );
         ]
     in
     let oc = open_out file in
@@ -845,7 +880,7 @@ let sections =
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("fig16", fig16); ("sec43", sec43); ("sec74", sec74);
     ("ablation", ablation); ("characterize", characterize); ("energy", energy);
-    ("micro", micro); ("kernels", kernels);
+    ("micro", micro); ("kernels", kernels); ("serve", serve);
   ]
 
 let () =
@@ -895,7 +930,9 @@ let () =
     | s :: rest -> parse_args (s :: acc) trace metrics rest
   in
   let requested, trace, metrics = parse_args [] None false (List.tl (Array.to_list Sys.argv)) in
-  let requested = if requested = [] && !quick then [ "table2"; "kernels" ] else requested in
+  let requested =
+    if requested = [] && !quick then [ "table2"; "kernels"; "serve" ] else requested
+  in
   if trace <> None || metrics then Tel.enable ();
   let to_run =
     if requested = [] then sections

@@ -201,14 +201,31 @@ let system_arg =
   let print fmt s = Format.pp_print_string fmt s.Runner.sys_name in
   Arg.(value & opt (conv (parse, print)) Runner.cinnamon_4 & info [ "system" ] ~docv:"SYS")
 
+(* --jobs must be a positive worker count when given; omitting the
+   flag means Domain.recommended_domain_count.  0 and negatives are
+   rejected here with a cmdliner error instead of reaching
+   Pool.create. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "JOBS must be >= 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "JOBS must be an integer >= 1, got %s" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 0
+    value
+    & opt (some jobs_conv) None
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Worker domains for kernel compilation+simulation (0 = \
+          "Worker domains for kernel compilation+simulation (>= 1; omit for \
            Domain.recommended_domain_count, 1 = sequential).  Results are identical for \
            every value.")
+
+(* None (flag omitted) -> 0, the library-level recommended-count sentinel. *)
+let resolve_jobs = function None -> 0 | Some n -> n
 
 let cache_dir_arg =
   Arg.(
@@ -230,7 +247,7 @@ let do_bench bench system jobs cache_dir list trace metrics =
     | Some bench ->
       with_telemetry ~trace ~metrics @@ fun () ->
       Cinnamon_exec.Result_cache.set_dir cache_dir;
-      let r = List.hd (Runner.run_benchmarks ~jobs [ (system, bench) ]) in
+      let r = List.hd (Runner.run_benchmarks ~jobs:(resolve_jobs jobs) [ (system, bench) ]) in
       Printf.printf "%s on %s: %s\n" r.Runner.br_bench r.Runner.br_system
         (T.fmt_time r.Runner.br_seconds);
       List.iter
@@ -240,6 +257,130 @@ let do_bench bench system jobs cache_dir list trace metrics =
       | Some p -> Printf.printf "paper-reported: %s\n" (T.fmt_time p)
       | None -> ());
       0
+
+(* serve-sim: play a generated request stream through the virtual-time
+   serving layer (lib/serve) and report SLO metrics. *)
+module Loadgen = Cinnamon_serve.Loadgen
+module Server = Cinnamon_serve.Server
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the quick preset (80 bootstrap requests, finishes in seconds); otherwise \
+              the default preset (300 requests, bootstrap/resnet mix).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("open", `Open); ("closed", `Closed) ])) None
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Client model: $(b,open) = Poisson open loop, $(b,closed) = fixed client pool \
+              with think time.  Defaults to the preset's mode (open).")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "requests" ] ~docv:"N" ~doc:"Total requests to issue (default: preset).")
+
+let overload_arg =
+  Arg.(
+    value & opt float 4.0
+    & info [ "overload" ] ~docv:"X"
+        ~doc:"Open loop: offered load as a multiple of server capacity (> 1 provokes \
+              queueing and shedding).")
+
+let clients_arg =
+  Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Closed loop: concurrent clients.")
+
+let think_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "think-factor" ] ~docv:"X"
+        ~doc:"Closed loop: think time as a multiple of the mean service time.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Load-generator random seed (default: preset).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-factor" ] ~docv:"X"
+        ~doc:"Deadline = arrival + $(docv) x the class's calibrated service time (default: \
+              preset).")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N" ~doc:"Simulated parallel executors (default: preset).")
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue-capacity" ] ~docv:"N" ~doc:"Admission queue bound (default: preset).")
+
+let max_batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:"Upper bound on dynamic batch size; each batch is also capped by the ring's \
+              CKKS slot count (default: preset).")
+
+let bench_json_arg =
+  Arg.(
+    value & opt string "BENCH_cinnamon.json"
+    & info [ "bench-json" ] ~docv:"FILE"
+        ~doc:"Merge the run's $(b,serve_loadtest) section into this perf-trajectory \
+              artifact, preserving its other sections.")
+
+let do_serve_sim quick mode requests overload clients think seed deadline workers capacity
+    max_batch jobs cache_dir bench_json trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
+  Cinnamon_exec.Result_cache.set_dir cache_dir;
+  let base = if quick then Loadgen.quick else Loadgen.default in
+  let lg_mode =
+    match mode with
+    | None -> base.Loadgen.lg_mode
+    | Some `Open -> Loadgen.Open_loop { overload }
+    | Some `Closed -> Loadgen.Closed_loop { clients; think_factor = think }
+  in
+  let opt v dflt = Option.value v ~default:dflt in
+  let server =
+    {
+      base.Loadgen.lg_server with
+      Server.workers = opt workers base.Loadgen.lg_server.Server.workers;
+      queue_capacity = opt capacity base.Loadgen.lg_server.Server.queue_capacity;
+      max_batch = opt max_batch base.Loadgen.lg_server.Server.max_batch;
+    }
+  in
+  let cfg =
+    {
+      base with
+      Loadgen.lg_mode;
+      lg_requests = opt requests base.Loadgen.lg_requests;
+      lg_seed = opt seed base.Loadgen.lg_seed;
+      lg_deadline_factor = opt deadline base.Loadgen.lg_deadline_factor;
+      lg_server = server;
+      lg_jobs = resolve_jobs jobs;
+    }
+  in
+  match Loadgen.run cfg with
+  | r ->
+    Loadgen.print_result r;
+    Loadgen.write_section ~file:bench_json r;
+    Printf.printf "serve_loadtest: merged %s section into %s\n" r.Loadgen.lr_mode bench_json;
+    0
+  | exception Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
 
 let do_arch () =
   let a = Lazy.force Cinnamon_arch.Area.cinnamon_chip in
@@ -268,9 +409,22 @@ let bench_cmd =
       const do_bench $ bench_arg $ system_arg $ jobs_arg $ cache_dir_arg $ list_arg $ trace_arg
       $ metrics_arg)
 
+let serve_sim_cmd =
+  Cmd.v
+    (Cmd.info "serve-sim"
+       ~doc:
+         "Simulate an encrypted-inference serving deployment: generate a request stream \
+          (Poisson open loop or closed loop), play it through the admission queue, dynamic \
+          batcher and virtual-time scheduler, and report latency percentiles, goodput and \
+          shed rate.")
+    Term.(
+      const do_serve_sim $ quick_arg $ mode_arg $ requests_arg $ overload_arg $ clients_arg
+      $ think_arg $ seed_arg $ deadline_arg $ workers_arg $ capacity_arg $ max_batch_arg
+      $ jobs_arg $ cache_dir_arg $ bench_json_arg $ trace_arg $ metrics_arg)
+
 let arch_cmd =
   Cmd.v (Cmd.info "arch" ~doc:"Print area and yield models") Term.(const do_arch $ const ())
 
 let () =
   let info = Cmd.info "cinnamon" ~version:"1.0.0" ~doc:"Scale-out encrypted AI toolchain" in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; simulate_cmd; bench_cmd; arch_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; simulate_cmd; bench_cmd; serve_sim_cmd; arch_cmd ]))

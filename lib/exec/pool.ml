@@ -26,8 +26,14 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* 0 (or negative) means "let the machine decide". *)
-let resolve_jobs jobs = if jobs <= 0 then default_jobs () else jobs
+(* 0 means "let the machine decide"; negative counts are a caller bug
+   (the CLIs validate before this, but the guard catches programmatic
+   misuse too). *)
+let resolve_jobs jobs =
+  if jobs < 0 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1 (or 0 for the default), got %d" jobs)
+  else if jobs = 0 then default_jobs ()
+  else jobs
 
 let worker_loop t =
   let rec loop () =

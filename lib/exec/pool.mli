@@ -12,9 +12,10 @@
 
 type t
 
-(** [create ~jobs ()] spawns [jobs] worker domains; [jobs <= 0] means
-    [Domain.recommended_domain_count ()].  [queue_capacity] bounds the
-    number of submitted-but-unstarted jobs (default 128). *)
+(** [create ~jobs ()] spawns [jobs] worker domains; [jobs = 0] means
+    [Domain.recommended_domain_count ()] and negative counts raise
+    [Invalid_argument].  [queue_capacity] bounds the number of
+    submitted-but-unstarted jobs (default 128). *)
 val create : ?queue_capacity:int -> jobs:int -> unit -> t
 
 (** The resolved worker count (>= 1). *)

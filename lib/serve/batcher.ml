@@ -1,0 +1,41 @@
+(* Dynamic batcher: group compatible queued requests so one compile —
+   served from the Result_cache when warm — and one simulated execution
+   amortize over the whole batch.
+
+   Compatibility means "could be packed into the same CKKS ciphertext
+   batch and served by the same compiled program": same benchmark, same
+   system, and a structurally identical compile configuration.  The
+   configuration part of the key is a digest of the full Compile_config
+   record (every behavioural field, the same no-hand-rolled-keys rule
+   the Result_cache follows), so two configs differing in any field
+   never share a batch.
+
+   Batch size is capped by the caller's [max_batch] AND by the ring's
+   slot count (2^(log_n - 1)) — the CKKS slot-packing limit: one
+   ciphertext holds at most that many packed inferences. *)
+
+type batch = {
+  batch_id : int;
+  batch_key : string;
+  requests : Request.t list; (* dispatch order; non-empty *)
+  formed_s : float; (* virtual formation time *)
+}
+
+let size b = List.length b.requests
+
+let config_digest (c : Cinnamon_compiler.Compile_config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string c []))
+
+let compat_key (r : Request.t) =
+  Printf.sprintf "%s|%s|%s" r.Request.req_bench r.Request.req_system
+    (config_digest r.Request.req_config)
+
+let form q ~now_s ~max_batch ~batch_id =
+  if max_batch < 1 then invalid_arg "Batcher.form: max_batch must be >= 1";
+  match Admission.peek q with
+  | None -> None
+  | Some head ->
+    let key = compat_key head in
+    let limit = min max_batch (Request.slots head) in
+    let requests = Admission.take q (fun r -> String.equal (compat_key r) key) ~limit in
+    Some { batch_id; batch_key = key; requests; formed_s = now_s }

@@ -1,0 +1,69 @@
+(** Load generation against the virtual-time server.
+
+    The generator {e self-calibrates}: each workload class in the mix
+    is run once up front (through the result cache, pre-warming the
+    compiles the serving run will hit) and its measured simulated
+    seconds become the base service time used for arrival-rate and
+    deadline scaling — so presets keep provoking the intended
+    queueing/shedding behaviour as the simulator's timing model
+    evolves. *)
+
+module CC = Cinnamon_compiler.Compile_config
+
+type class_spec = {
+  cls_bench : string;  (** benchmark registry name *)
+  cls_system : string;  (** system registry name *)
+  cls_weight : float;  (** > 0; mix is weight-proportional *)
+}
+
+type mode =
+  | Open_loop of { overload : float }
+      (** Poisson arrivals at [overload] x the server's aggregate
+          service capacity ([workers / mean service time]) — [> 1]
+          provokes queueing and shedding *)
+  | Closed_loop of { clients : int; think_factor : float }
+      (** each client issues its next request one think time
+          ([think_factor] x mean service) after its previous request
+          reaches a terminal state *)
+
+type config = {
+  lg_mode : mode;
+  lg_requests : int;  (** total requests to issue *)
+  lg_mix : class_spec list;
+  lg_seed : int;  (** all randomness (arrivals, mix, priorities) *)
+  lg_deadline_factor : float;
+      (** deadline = arrival + factor x class base service time *)
+  lg_server : Server.config;
+  lg_compile : CC.t;
+  lg_jobs : int;  (** real pool workers; 0 = recommended count *)
+}
+
+(** 80 bootstrap\@cinnamon-4 requests, open loop at 4x overload against
+    2 workers / capacity 12 / max batch 4 — finishes in seconds, still
+    exercises queueing, batching and shedding. *)
+val quick : config
+
+(** 300 requests, 70/30 bootstrap/resnet mix, otherwise {!quick}. *)
+val default : config
+
+type result = {
+  lr_mode : string;  (** "open_loop" or "closed_loop" *)
+  lr_rate_rps : float;  (** offered (open) or nominal (closed) rate *)
+  lr_base_service : (string * float) list;
+      (** ["bench\@system"] → calibrated service seconds *)
+  lr_report : Slo.report;
+}
+
+(** Generate the arrival stream, play it through {!Server.run} with
+    the real compile/simulate executor, and report.  Raises
+    [Invalid_argument] on an empty mix, non-positive weights, counts
+    or factors, and on workload names missing from the registries. *)
+val run : config -> result
+
+val result_json : result -> Cinnamon_util.Json.t
+val print_result : result -> unit
+
+(** Merge this result into [file] (the [BENCH_cinnamon.json] perf
+    artifact) under ["serve_loadtest"][mode], preserving all other
+    keys and inserting the schema tag when creating the file fresh. *)
+val write_section : file:string -> result -> unit

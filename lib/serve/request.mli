@@ -1,0 +1,44 @@
+(** An encrypted-inference request: workload + system registry names,
+    compile configuration, arrival time, priority, and absolute
+    deadline, all on the serving layer's virtual clock (seconds). *)
+
+type priority = High | Normal | Low
+
+(** [High] ranks before [Normal] before [Low]. *)
+val priority_rank : priority -> int
+
+val priority_name : priority -> string
+
+type t = {
+  req_id : int;
+  req_bench : string;  (** benchmark registry name (see [Specs.benchmarks]) *)
+  req_system : string;  (** system registry name (see [Runner.systems]) *)
+  req_config : Cinnamon_compiler.Compile_config.t;
+  req_priority : priority;
+  req_arrival_s : float;
+  req_deadline_s : float;  (** absolute; [infinity] = no deadline *)
+}
+
+(** [config] defaults to [Compile_config.paper ()], [priority] to
+    [Normal], [deadline_s] to [infinity].  Raises [Invalid_argument] on
+    a negative or nan arrival time. *)
+val make :
+  ?config:Cinnamon_compiler.Compile_config.t ->
+  ?priority:priority ->
+  ?deadline_s:float ->
+  id:int ->
+  bench:string ->
+  system:string ->
+  arrival_s:float ->
+  unit ->
+  t
+
+(** CKKS slot count of the request's ring ([2^(log_n - 1)]): the hard
+    cap on batch size for slot packing. *)
+val slots : t -> int
+
+(** The deadline lies strictly before [now_s]. *)
+val expired : t -> now_s:float -> bool
+
+(** Dispatch order: priority class, then arrival, then id. *)
+val compare_order : t -> t -> int

@@ -1,0 +1,42 @@
+(* The terminal outcome of a request.  Every request offered to the
+   server gets exactly one response; rejection and shedding are
+   first-class outcomes, never silent drops. *)
+
+type outcome =
+  | Completed of {
+      started_s : float; (* batch dispatch time *)
+      finished_s : float;
+      attempts : int; (* 1 = no retries *)
+      batch_id : int;
+      batch_size : int;
+    }
+  | Rejected of Admission.error (* refused at admission *)
+  | Shed of { deadline_s : float; shed_s : float } (* expired while queued *)
+  | Failed of { attempts : int; failed_s : float; reason : string }
+
+type t = { req : Request.t; outcome : outcome }
+
+let outcome_name = function
+  | Completed _ -> "completed"
+  | Rejected _ -> "rejected"
+  | Shed _ -> "shed"
+  | Failed _ -> "failed"
+
+let latency_s t =
+  match t.outcome with
+  | Completed c -> Some (c.finished_s -. t.req.Request.req_arrival_s)
+  | Rejected _ | Shed _ | Failed _ -> None
+
+let met_deadline t =
+  match t.outcome with
+  | Completed c -> c.finished_s <= t.req.Request.req_deadline_s
+  | Rejected _ | Shed _ | Failed _ -> false
+
+(* The virtual time at which the outcome became known — what a
+   closed-loop client keys its next request off. *)
+let terminal_s t =
+  match t.outcome with
+  | Completed c -> c.finished_s
+  | Shed s -> s.shed_s
+  | Failed f -> f.failed_s
+  | Rejected _ -> t.req.Request.req_arrival_s

@@ -1,0 +1,32 @@
+(** Terminal outcome of a request.  Every request offered to the
+    server yields exactly one response; rejection and deadline shedding
+    are typed outcomes, never silent drops. *)
+
+type outcome =
+  | Completed of {
+      started_s : float;  (** batch dispatch time *)
+      finished_s : float;
+      attempts : int;  (** 1 = succeeded first try *)
+      batch_id : int;
+      batch_size : int;
+    }
+  | Rejected of Admission.error
+  | Shed of { deadline_s : float; shed_s : float }
+      (** deadline expired while queued *)
+  | Failed of { attempts : int; failed_s : float; reason : string }
+      (** execution failed permanently (retries exhausted or
+          non-transient error) *)
+
+type t = { req : Request.t; outcome : outcome }
+
+val outcome_name : outcome -> string
+
+(** Arrival-to-finish latency; [None] unless completed. *)
+val latency_s : t -> float option
+
+(** Completed at or before the deadline. *)
+val met_deadline : t -> bool
+
+(** Virtual time the outcome became known (finish, shed, failure, or
+    arrival time for admission rejections). *)
+val terminal_s : t -> float

@@ -60,7 +60,15 @@ let event_count () = !n_events
 (* Span aggregates for the text report: name -> (count, total_us). *)
 let span_totals : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(* The wall clock is injectable so tests can model a clock that steps
+   backwards (NTP adjustment, VM migration); span durations are clamped
+   at >= 0 when recorded, so aggregates and traces never go negative. *)
+let clock_us : (unit -> float) option ref = ref None
+
+let set_clock_us f = clock_us := f
+
+let now_us () =
+  match !clock_us with Some f -> f () | None -> Unix.gettimeofday () *. 1e6
 
 (* ------------------------------------------------------------- spans *)
 
@@ -89,7 +97,9 @@ module Span = struct
       stack := frame :: !stack;
       let finish () =
         (match !stack with _ :: rest -> stack := rest | [] -> ());
-        let dur = now_us () -. frame.f_t0 in
+        (* clamp: a backwards-stepping wall clock must not record a
+           negative duration *)
+        let dur = Float.max 0.0 (now_us () -. frame.f_t0) in
         with_sink (fun () ->
             events :=
               {

@@ -36,6 +36,13 @@ val disable : unit -> unit
     (counters themselves stay registered). *)
 val reset : unit -> unit
 
+(** Override the sink's microsecond wall clock ([None], the default,
+    restores [Unix.gettimeofday]).  For tests: span durations are
+    clamped at [>= 0] when recorded, so a clock stepping backwards
+    between a span's start and end can never produce a negative
+    duration. *)
+val set_clock_us : (unit -> float) option -> unit
+
 (** Argument payload attached to events ([args] in the trace JSON). *)
 type arg = Int of int | Float of float | Str of string
 

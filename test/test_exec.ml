@@ -38,6 +38,13 @@ let test_pool_resolves_default () =
   Pool.shutdown p;
   Pool.shutdown p (* idempotent *)
 
+let test_pool_rejects_negative_jobs () =
+  match Pool.create ~jobs:(-2) () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message names Pool.create" true
+      (String.length msg >= 11 && String.sub msg 0 11 = "Pool.create")
+
 let test_pool_exception_propagates () =
   let boom i = if i = 5 then failwith "job five" else i in
   (match Pool.run ~jobs:4 boom (List.init 10 Fun.id) with
@@ -364,6 +371,7 @@ let suite =
       Alcotest.test_case "pool map order" `Quick test_pool_map_order;
       Alcotest.test_case "pool sequential fallback" `Quick test_pool_sequential_fallback;
       Alcotest.test_case "pool default jobs" `Quick test_pool_resolves_default;
+      Alcotest.test_case "pool rejects negative jobs" `Quick test_pool_rejects_negative_jobs;
       Alcotest.test_case "pool exception propagation" `Quick test_pool_exception_propagates;
       Alcotest.test_case "pool bounded queue" `Quick test_pool_small_queue;
       Alcotest.test_case "rotation-key stress (pool)" `Quick test_rotation_key_stress;

@@ -15,6 +15,7 @@ let () =
       Test_arch.suite;
       Test_workloads.suite;
       Test_exec.suite;
+      Test_serve.suite;
       Test_telemetry.suite;
       Test_regressions.suite;
       Test_extensions.suite;

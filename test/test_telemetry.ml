@@ -255,6 +255,57 @@ let test_disabled_sink_records_nothing () =
   Alcotest.(check int) "counter did not move" 0 (Tel.Counter.value c);
   Alcotest.(check int) "no events recorded" before (Tel.event_count ())
 
+(* Regression: Unix.gettimeofday can step backwards (NTP slew); a span
+   whose end reads an earlier wall clock than its start must record a
+   zero duration, never a negative one.  Driven through the injectable
+   clock so the step-back is deterministic. *)
+let test_backward_clock_clamps_duration () =
+  let times = ref [ 100.0; 40.0 ] (* start at 100 us, end at 40 us *) in
+  let fake_clock () =
+    match !times with
+    | [] -> 40.0
+    | t :: rest ->
+      times := rest;
+      t
+  in
+  Tel.reset ();
+  Tel.set_clock_us (Some fake_clock);
+  Tel.enable ();
+  Tel.Span.with_ ~cat:"test" "backward-clock-span" (fun () -> ());
+  let file = Filename.temp_file "cinnamon_backclock" ".json" in
+  Tel.write_chrome_trace file;
+  Tel.disable ();
+  Tel.set_clock_us None;
+  Tel.reset ();
+  let ic = open_in_bin file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove file;
+  (* pull every "dur" field out of the trace and require them >= 0 *)
+  match Cinnamon_util.Json.of_string contents with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok json ->
+    let durs = ref [] in
+    let rec walk (j : Cinnamon_util.Json.t) =
+      match j with
+      | Cinnamon_util.Json.Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            (match (k, v) with
+            | "dur", Cinnamon_util.Json.Float d -> durs := d :: !durs
+            | "dur", Cinnamon_util.Json.Int d -> durs := Float.of_int d :: !durs
+            | _ -> ());
+            walk v)
+          kvs
+      | Cinnamon_util.Json.List l -> List.iter walk l
+      | _ -> ()
+    in
+    walk json;
+    Alcotest.(check bool) "span event present" true (!durs <> []);
+    List.iter
+      (fun d -> Alcotest.(check bool) "duration clamped >= 0" true (d >= 0.0))
+      !durs
+
 let suite =
   ( "telemetry",
     [
@@ -266,4 +317,6 @@ let suite =
       Alcotest.test_case "registries reject unknown names" `Quick test_registry_rejects_unknown;
       Alcotest.test_case "benchmark and system registries" `Quick test_benchmark_system_registries;
       Alcotest.test_case "disabled sink records nothing" `Quick test_disabled_sink_records_nothing;
+      Alcotest.test_case "backward clock clamps span duration" `Quick
+        test_backward_clock_clamps_duration;
     ] )

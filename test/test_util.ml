@@ -218,6 +218,66 @@ let test_stats () =
   Alcotest.(check bool) "precision_bits" true
     (Float.abs (Stats.precision_bits ~expected:[| 1.0 |] ~actual:[| 1.0 +. (1.0 /. 1024.0) |] -. 10.0) < 0.01)
 
+let test_percentile () =
+  (* empty list has no percentile *)
+  Alcotest.(check bool) "empty -> nan" true (Float.is_nan (Stats.percentile ~p:50.0 []));
+  (* singleton: every p returns the one sample *)
+  List.iter
+    (fun p -> check_float "singleton" 7.0 (Stats.percentile ~p [ 7.0 ]))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* nearest-rank on 1..10 (input deliberately unsorted) *)
+  let xs = [ 10.0; 3.0; 7.0; 1.0; 9.0; 5.0; 2.0; 8.0; 6.0; 4.0 ] in
+  check_float "p0 -> min" 1.0 (Stats.percentile ~p:0.0 xs);
+  check_float "p50 -> 5th of 10" 5.0 (Stats.percentile ~p:50.0 xs);
+  check_float "p95 -> 10th of 10" 10.0 (Stats.percentile ~p:95.0 xs);
+  check_float "p100 -> max" 10.0 (Stats.percentile ~p:100.0 xs);
+  (* p in (0, 10] maps to the first element: ceil semantics *)
+  check_float "p10 -> 1st of 10" 1.0 (Stats.percentile ~p:10.0 xs);
+  check_float "p10.1 -> 2nd of 10" 2.0 (Stats.percentile ~p:10.1 xs);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p must be in [0, 100]") (fun () ->
+      ignore (Stats.percentile ~p:101.0 [ 1.0 ]))
+
+let test_histogram () =
+  let open Stats.Histogram in
+  let h = make ~lo:1e-3 ~hi:1e3 () in
+  Alcotest.(check int) "empty count" 0 (count h);
+  Alcotest.(check bool) "empty quantile -> nan" true (Float.is_nan (quantile h 0.5));
+  Alcotest.(check bool) "empty mean -> nan" true (Float.is_nan (mean h));
+  (* singleton is exact: the quantile clamps to the observed range *)
+  add h 0.25;
+  List.iter (fun q -> check_float "singleton quantile" 0.25 (quantile h q)) [ 0.0; 0.5; 1.0 ];
+  check_float "singleton mean" 0.25 (mean h);
+  (* interpolation stays within the observed range and is monotone *)
+  List.iter (add h) [ 0.5; 1.0; 2.0; 4.0; 8.0 ];
+  Alcotest.(check int) "count" 6 (count h);
+  check_float "min" 0.25 (min_value h);
+  check_float "max" 8.0 (max_value h);
+  let qs = List.map (quantile h) [ 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ] in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "monotone" true (a <= b +. 1e-12))
+    qs (List.tl qs @ [ infinity ]);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "within range" true (q >= 0.25 -. 1e-12 && q <= 8.0 +. 1e-12))
+    qs;
+  (* geometric buckets give bounded relative error: the p-median of six
+     samples is the 3rd (1.0) up to one bucket width (~2.7%) *)
+  Alcotest.(check bool) "median near 3rd sample" true
+    (Float.abs ((quantile h 0.5 /. 1.0) -. 1.0) < 0.05);
+  (* out-of-range samples land in the edge buckets: min/max track the
+     raw values, quantiles degrade to the [lo, hi] bounds, no crash *)
+  add h 1e-9;
+  add h 1e9;
+  check_float "min tracks outlier" 1e-9 (min_value h);
+  check_float "max tracks outlier" 1e9 (max_value h);
+  check_float "q1 saturates at hi" 1e3 (quantile h 1.0);
+  Alcotest.(check bool) "q0 lands in the lo bucket" true (quantile h 0.0 <= 2e-3);
+  Alcotest.check_raises "nan sample" (Invalid_argument "Stats.Histogram.add: nan sample")
+    (fun () -> add h nan);
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Stats.Histogram.make: need 0 < lo < hi")
+    (fun () -> ignore (make ~lo:1.0 ~hi:0.5 ()))
+
 let test_table_render () =
   let t = Table.create ~title:"t" ~header:[ "a"; "b" ] () in
   Table.add_row t [ "1"; "2" ];
@@ -264,6 +324,8 @@ let suite =
       Alcotest.test_case "cplx algebra" `Quick test_cplx_algebra;
       Alcotest.test_case "polar" `Quick test_polar;
       Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "histogram" `Quick test_histogram;
       Alcotest.test_case "table render" `Quick test_table_render;
       Alcotest.test_case "fmt_time" `Quick test_fmt_time;
     ] )
