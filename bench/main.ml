@@ -289,8 +289,8 @@ let fig6 () =
   in
   let time ~parallel ~rf_mb ~clusters =
     let prog = Kernels.bootstrap_program ~parallel () in
-    let cfg = CC.paper ~chips:1 () in
-    let r = Cinnamon_compiler.Pipeline.compile ~rf_bytes:(rf_mb * 1024 * 1024) cfg prog in
+    let cfg = CC.paper ~chips:1 ~rf_bytes:(rf_mb * 1024 * 1024) () in
+    let r = Cinnamon_compiler.Pipeline.compile cfg prog in
     let sc = SC.fig6_chip ~rf_mb ~clusters in
     (Sim.run sc r.Cinnamon_compiler.Pipeline.machine).Sim.seconds
   in
@@ -414,7 +414,8 @@ let fig16 () =
   let rf_time factor =
     let rf = int_of_float (Float.of_int SC.cinnamon_4.SC.rf_bytes *. factor) in
     let r =
-      Cinnamon_compiler.Pipeline.compile ~rf_bytes:rf (CC.paper ~chips:4 ())
+      Cinnamon_compiler.Pipeline.compile
+        (CC.paper ~chips:4 ~rf_bytes:rf ())
         (Specs.kernel_program kernel)
     in
     sim_with (SC.with_rf_bytes SC.cinnamon_4 rf) r.Cinnamon_compiler.Pipeline.machine

@@ -31,10 +31,15 @@ module CC = Cinnamon_compiler.Compile_config
 module T = Cinnamon_util.Table
 module Tel = Cinnamon_telemetry.Telemetry
 
-let kernel_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (Specs.find_kernel s) in
-  let print fmt k = Format.pp_print_string fmt (Specs.kernel_name k) in
-  Arg.(value & pos 0 (some (conv (parse, print))) None & info [] ~docv:"KERNEL")
+(* Registry names stay plain strings at the cmdliner layer and resolve
+   inside the guarded command body, so an unknown name exits with the
+   typed unknown-name code (3) and the uniform "error:" prefix rather
+   than cmdliner's generic CLI-error code. *)
+let kernel_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL")
+
+let ok_or_unknown = function
+  | Ok v -> v
+  | Error msg -> Cinnamon_util.Error.fail Cinnamon_util.Error.Unknown_name msg
 
 let chips_arg = Arg.(value & opt int 4 & info [ "chips" ] ~docv:"N" ~doc:"Number of chips.")
 
@@ -42,6 +47,15 @@ let link_arg =
   Arg.(value & opt float 256.0 & info [ "link-gbps" ] ~docv:"GB/S" ~doc:"Per-PHY link bandwidth.")
 
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print instruction histograms.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Run the multi-stage static verifier over the compiled artifacts (ciphertext IR, \
+           polynomial IR, limb IR, per-chip ISA).  Prints $(b,verify: ok) and the check \
+           cost on success; prints every violation and exits with code 5 on failure.")
 
 let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List the registry entries and exit.")
 
@@ -113,18 +127,54 @@ let print_bench_registry () =
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Runner.systems
 
 let missing_positional what =
-  Printf.eprintf "missing %s argument (use --list to see the registry)\n" what;
-  2
+  Printf.eprintf "error: missing %s argument (use --list to see the registry)\n" what;
+  Cinnamon_util.Error.exit_code Cinnamon_util.Error.Invalid_input
+
+(* Typed-diagnostic boundary: every subcommand body runs under this, so
+   a [Cinnamon_util.Error] surfaces as "error: <kind>: <message>" and a
+   kind-specific exit code (invalid-input 2, unknown-name 3, capacity 4,
+   verification 5, internal 70) instead of a backtrace. *)
+let guarded f =
+  try f () with
+  | Cinnamon_util.Error.Error e ->
+    Printf.eprintf "error: %s\n" (Cinnamon_util.Error.to_string e);
+    Cinnamon_util.Error.exit_code e.Cinnamon_util.Error.kind
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    Cinnamon_util.Error.exit_code Cinnamon_util.Error.Invalid_input
 
 let config_of ~chips ~link =
   let topology = if chips > 8 then SC.Switch else SC.Ring in
   SC.with_link_gbps { (SC.cinnamon_chip ~chips ~topology) with SC.name = Printf.sprintf "Cinnamon-%d" chips } link
 
-let do_compile_kernel kernel chips verbose =
+let do_compile_kernel kernel chips verify verbose =
   let prog = Specs.kernel_program kernel in
   let cfg = CC.paper ~chips () in
+  let t0 = Sys.time () in
   let r = Cinnamon_compiler.Pipeline.compile cfg prog in
+  let compile_s = Sys.time () -. t0 in
   Printf.printf "%s\n" (Cinnamon_compiler.Pipeline.summary r);
+  let verify_failed =
+    verify
+    &&
+    let t1 = Sys.time () in
+    match Cinnamon_compiler.Pipeline.verify r with
+    | [] ->
+      let verify_s = Sys.time () -. t1 in
+      Printf.printf "verify: ok (%d rules over 4 stages, %.3fs = %.1f%% of compile)\n"
+        (List.length Cinnamon_compiler.Verify.rules)
+        verify_s
+        (100.0 *. verify_s /. Float.max compile_s 1e-9);
+      false
+    | vs ->
+      List.iter
+        (fun v -> Format.eprintf "error: verify: %a@." Cinnamon_compiler.Verify.pp_violation v)
+        vs;
+      Printf.eprintf "error: verification: %d violation(s)\n" (List.length vs);
+      true
+  in
+  if verify_failed then Cinnamon_util.Error.exit_code Cinnamon_util.Error.Verification
+  else begin
   let est = Cinnamon_compiler.Noise.analyze prog in
   Format.printf "static noise: %a%s@." Cinnamon_compiler.Noise.pp est
     (if Cinnamon_compiler.Noise.validate est then " (valid)" else " (NOISE BUDGET EXCEEDED)");
@@ -156,9 +206,10 @@ let do_compile_kernel kernel chips verbose =
             if i < 24 then Format.printf "  %4d: %a@." i Cinnamon_isa.Isa.pp_instr ins)
           p.Cinnamon_isa.Isa.instrs)
       r.Cinnamon_compiler.Pipeline.machine.Cinnamon_isa.Isa.programs;
-  0
+    0
+  end
 
-let do_compile kernel chips verbose list trace metrics =
+let do_compile kernel chips verify verbose list trace metrics =
   if list then begin
     print_kernel_registry ();
     0
@@ -166,7 +217,10 @@ let do_compile kernel chips verbose list trace metrics =
   else
     match kernel with
     | None -> missing_positional "KERNEL"
-    | Some kernel -> with_telemetry ~trace ~metrics @@ fun () -> do_compile_kernel kernel chips verbose
+    | Some name ->
+      with_telemetry ~trace ~metrics @@ fun () ->
+      guarded @@ fun () ->
+      do_compile_kernel (ok_or_unknown (Specs.find_kernel name)) chips verify verbose
 
 let do_simulate kernel chips link list trace metrics =
   if list then begin
@@ -176,8 +230,10 @@ let do_simulate kernel chips link list trace metrics =
   else
     match kernel with
     | None -> missing_positional "KERNEL"
-    | Some kernel ->
+    | Some name ->
       with_telemetry ~trace ~metrics @@ fun () ->
+      guarded @@ fun () ->
+      let kernel = ok_or_unknown (Specs.find_kernel name) in
       let prog = Specs.kernel_program kernel in
       let cfg = CC.paper ~chips () in
       let r = Cinnamon_compiler.Pipeline.compile cfg prog in
@@ -191,15 +247,8 @@ let do_simulate kernel chips link list trace metrics =
       if metrics then print_stall_table res;
       0
 
-let bench_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (Specs.find_benchmark s) in
-  let print fmt b = Format.pp_print_string fmt b.Specs.bench_name in
-  Arg.(value & pos 0 (some (conv (parse, print))) None & info [] ~docv:"BENCHMARK")
-
-let system_arg =
-  let parse s = Result.map_error (fun e -> `Msg e) (Runner.find_system s) in
-  let print fmt s = Format.pp_print_string fmt s.Runner.sys_name in
-  Arg.(value & opt (conv (parse, print)) Runner.cinnamon_4 & info [ "system" ] ~docv:"SYS")
+let bench_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+let system_arg = Arg.(value & opt string "cinnamon-4" & info [ "system" ] ~docv:"SYS")
 
 (* --jobs must be a positive worker count when given; omitting the
    flag means Domain.recommended_domain_count.  0 and negatives are
@@ -236,7 +285,7 @@ let cache_dir_arg =
           "Persist simulation results as JSON under $(docv) (conventionally \
            _cinnamon_cache/); later runs with the same configurations skip re-simulation.")
 
-let do_bench bench system jobs cache_dir list trace metrics =
+let do_bench bench system verify jobs cache_dir list trace metrics =
   if list then begin
     print_bench_registry ();
     0
@@ -244,10 +293,19 @@ let do_bench bench system jobs cache_dir list trace metrics =
   else
     match bench with
     | None -> missing_positional "BENCHMARK"
-    | Some bench ->
+    | Some bench_name ->
       with_telemetry ~trace ~metrics @@ fun () ->
+      guarded @@ fun () ->
       Cinnamon_exec.Result_cache.set_dir cache_dir;
-      let r = List.hd (Runner.run_benchmarks ~jobs:(resolve_jobs jobs) [ (system, bench) ]) in
+      let bench = ok_or_unknown (Specs.find_benchmark bench_name) in
+      let system = ok_or_unknown (Runner.find_system system) in
+      let r =
+        List.hd (Runner.run_benchmarks ~jobs:(resolve_jobs jobs) ~verify [ (system, bench) ])
+      in
+      if verify then
+        (* a violation would have raised out of the compile; reaching
+           here means every freshly compiled segment checked out *)
+        Printf.printf "verify: ok (all fresh segment compiles verified)\n";
       Printf.printf "%s on %s: %s\n" r.Runner.br_bench r.Runner.br_system
         (T.fmt_time r.Runner.br_seconds);
       List.iter
@@ -372,15 +430,12 @@ let do_serve_sim quick mode requests overload clients think seed deadline worker
       lg_jobs = resolve_jobs jobs;
     }
   in
-  match Loadgen.run cfg with
-  | r ->
-    Loadgen.print_result r;
-    Loadgen.write_section ~file:bench_json r;
-    Printf.printf "serve_loadtest: merged %s section into %s\n" r.Loadgen.lr_mode bench_json;
-    0
-  | exception Invalid_argument msg ->
-    Printf.eprintf "error: %s\n" msg;
-    2
+  guarded @@ fun () ->
+  let r = Loadgen.run cfg in
+  Loadgen.print_result r;
+  Loadgen.write_section ~file:bench_json r;
+  Printf.printf "serve_loadtest: merged %s section into %s\n" r.Loadgen.lr_mode bench_json;
+  0
 
 let do_arch () =
   let a = Lazy.force Cinnamon_arch.Area.cinnamon_chip in
@@ -397,7 +452,9 @@ let do_arch () =
 
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a kernel through the Cinnamon pipeline")
-    Term.(const do_compile $ kernel_arg $ chips_arg $ verbose_arg $ list_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const do_compile $ kernel_arg $ chips_arg $ verify_arg $ verbose_arg $ list_arg $ trace_arg
+      $ metrics_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Compile and cycle-simulate a kernel")
@@ -406,8 +463,8 @@ let simulate_cmd =
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run a paper benchmark on a system")
     Term.(
-      const do_bench $ bench_arg $ system_arg $ jobs_arg $ cache_dir_arg $ list_arg $ trace_arg
-      $ metrics_arg)
+      const do_bench $ bench_arg $ system_arg $ verify_arg $ jobs_arg $ cache_dir_arg $ list_arg
+      $ trace_arg $ metrics_arg)
 
 let serve_sim_cmd =
   Cmd.v

@@ -17,6 +17,7 @@ type t = {
   default_ks : Cinnamon_ir.Poly_ir.ks_algorithm;
   pass_mode : pass_mode; (* reordering/batching pass of §4.3.1 *)
   progpar : bool; (* exploit programmer-annotated concurrent streams *)
+  rf_bytes : int; (* per-chip vector register file capacity *)
 }
 and pass_mode =
   | No_pass (* every site gets the default algorithm, unbatched *)
@@ -26,10 +27,17 @@ and pass_mode =
 let limb_bytes t = (1 lsl t.log_n) * 4 (* 28-bit words stored in 32 bits *)
 let n t = 1 lsl t.log_n
 
+(* The paper chip's register file: 56 MB of vector registers. *)
+let default_rf_bytes = 56 * 1024 * 1024
+
+(* Vector registers that fit the register file: one limb is a
+   N x 32-bit vector (256 KB at N = 64K, giving 224 registers). *)
+let registers t = max 8 (t.rf_bytes / limb_bytes t)
+
 (* The paper's architectural configuration: N = 64K, 28-bit limbs,
    bootstrap raises to l = 51. *)
 let paper ?(chips = 4) ?(group_size = 0) ?(default_ks = Cinnamon_ir.Poly_ir.Input_broadcast)
-    ?(pass_mode = Pass_full) ?(progpar = false) () =
+    ?(pass_mode = Pass_full) ?(progpar = false) ?(rf_bytes = default_rf_bytes) () =
   let group_size = if group_size = 0 then chips else group_size in
   {
     chips;
@@ -42,11 +50,12 @@ let paper ?(chips = 4) ?(group_size = 0) ?(default_ks = Cinnamon_ir.Poly_ir.Inpu
     default_ks;
     pass_mode;
     progpar;
+    rf_bytes;
   }
 
 (* Small functional configuration matching the CKKS test presets, used
    by the emulator. *)
-let functional ?(chips = 4) params =
+let functional ?(chips = 4) ?(rf_bytes = default_rf_bytes) params =
   let open Cinnamon_ckks in
   {
     chips;
@@ -59,6 +68,7 @@ let functional ?(chips = 4) params =
     default_ks = Cinnamon_ir.Poly_ir.Input_broadcast;
     pass_mode = Pass_full;
     progpar = false;
+    rf_bytes;
   }
 
 (* Chip group hosting a given stream.  Stream 0 is the default stream:

@@ -14,6 +14,7 @@ type t = {
   progpar : bool;
       (** exploit programmer-annotated concurrent streams (e.g. the two
           EvalMod streams inside bootstrap kernels) *)
+  rf_bytes : int;  (** per-chip vector register file capacity *)
 }
 
 and pass_mode =
@@ -26,6 +27,12 @@ val limb_bytes : t -> int
 
 val n : t -> int
 
+(** The paper chip's register file capacity: 56 MB. *)
+val default_rf_bytes : int
+
+(** Vector registers that fit [rf_bytes] (at least 8). *)
+val registers : t -> int
+
 (** The paper's architectural configuration (N = 64K, 52 limbs,
     dnum = 3).  This is also the one compilation/run configuration
     record threaded through [Cinnamon_workloads.Runner] — its
@@ -37,12 +44,13 @@ val paper :
   ?default_ks:Cinnamon_ir.Poly_ir.ks_algorithm ->
   ?pass_mode:pass_mode ->
   ?progpar:bool ->
+  ?rf_bytes:int ->
   unit ->
   t
 
 (** A configuration matching functional CKKS parameters (for the
     emulator). *)
-val functional : ?chips:int -> Cinnamon_ckks.Params.t -> t
+val functional : ?chips:int -> ?rf_bytes:int -> Cinnamon_ckks.Params.t -> t
 
 (** Chips hosting a stream: stream 0 spans the whole machine; streams
     1.. are placed round-robin on [group_size]-chip sub-groups. *)

@@ -217,4 +217,6 @@ let run params ~algorithm ~chips ~key c cnt =
   | Cinnamon_ir.Poly_ir.Input_broadcast, Standard swk -> run_input_broadcast params swk c ~chips cnt
   | Cinnamon_ir.Poly_ir.Output_aggregation, Round_robin swk ->
     run_output_aggregation params swk c ~chips cnt
-  | _ -> invalid_arg "Keyswitch_alg.run: algorithm/key mismatch"
+  | _ ->
+    Cinnamon_util.Error.fail Cinnamon_util.Error.Invalid_input
+      "Keyswitch_alg.run: algorithm/key mismatch"

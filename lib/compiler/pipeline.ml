@@ -21,9 +21,7 @@ type result = {
   comm : Limb_ir.comm_stats;
 }
 
-(* Register file capacity in limbs: paper chips hold 56 MB of vector
-   registers; one 64K x 32-bit limb is 256 KB, giving 224 registers. *)
-let registers_of_rf_bytes ~limb_bytes rf_bytes = max 8 (rf_bytes / limb_bytes)
+module Error = Cinnamon_util.Error
 
 (* Pass-level counters surfaced by the CLI's --metrics report. *)
 let c_ks_batches = Tel.Counter.make ~cat:"compiler" "keyswitch.batches"
@@ -42,7 +40,15 @@ let ks_bytes_saved (cfg : Compile_config.t) (rep : Keyswitch_pass.report) =
   in
   avoided * cfg.Compile_config.alpha * Compile_config.limb_bytes cfg
 
-let compile ?(rf_bytes = 56 * 1024 * 1024) (cfg : Compile_config.t) (ct : Ct_ir.t) : result =
+(* Static verification over a finished result.  Kept eta-expanded under
+   a private name so [compile]'s [?verify] flag doesn't shadow it. *)
+let run_verify ?rotation_keys (r : result) : Verify.violation list =
+  Verify.all ?rotation_keys ~cfg:r.cfg ~ct:r.ct ~poly:r.poly ~limb:r.limb ~machine:r.machine
+    ~regalloc:r.regalloc ()
+
+let verify = run_verify
+
+let compile ?(verify = false) (cfg : Compile_config.t) (ct : Ct_ir.t) : result =
   Tel.Span.with_ ~cat:"compiler" "compile"
     ~args:
       [ ("chips", Tel.Int cfg.Compile_config.chips); ("ct_nodes", Tel.Int (Ct_ir.size ct)) ]
@@ -79,7 +85,7 @@ let compile ?(rf_bytes = 56 * 1024 * 1024) (cfg : Compile_config.t) (ct : Ct_ir.
         (limb, rep))
   in
   let limb_bytes = Compile_config.limb_bytes cfg in
-  let num_regs = registers_of_rf_bytes ~limb_bytes rf_bytes in
+  let num_regs = Compile_config.registers cfg in
   let machine, regalloc =
     Tel.Span.with_ ~cat:"compiler" "regalloc+lower_isa"
       ~args:[ ("num_regs", Tel.Int num_regs) ]
@@ -99,7 +105,17 @@ let compile ?(rf_bytes = 56 * 1024 * 1024) (cfg : Compile_config.t) (ct : Ct_ir.
   let comm = Limb_ir.comm_stats limb in
   Tel.Counter.add c_comm_bytes comm.Limb_ir.bytes_moved;
   Tel.Span.add_args [ ("comm_bytes", Tel.Int comm.Limb_ir.bytes_moved) ];
-  { cfg; ct; poly; limb; ks_report; machine; regalloc; comm }
+  let r = { cfg; ct; poly; limb; ks_report; machine; regalloc; comm } in
+  if verify then begin
+    match run_verify r with
+    | [] -> ()
+    | vs ->
+      let shown = List.filteri (fun i _ -> i < 5) vs in
+      Error.failf Error.Verification "%d verifier violation(s): %s%s" (List.length vs)
+        (String.concat "; " (List.map (Format.asprintf "%a" Verify.pp_violation) shown))
+        (if List.length vs > 5 then "; ..." else "")
+  end;
+  r
 
 (* Summary line used by the CLI and benches. *)
 let summary r =

@@ -15,11 +15,16 @@ type result = {
   comm : Limb_ir.comm_stats;
 }
 
-(** Vector registers that fit a register file of [rf_bytes]. *)
-val registers_of_rf_bytes : limb_bytes:int -> int -> int
+(** Run the multi-stage static verifier ({!Verify.all}) over a finished
+    result.  Empty list = every artifact is well-formed. *)
+val verify : ?rotation_keys:int list -> result -> Verify.violation list
 
-(** Compile. [rf_bytes] defaults to the paper chip's 56 MB. *)
-val compile : ?rf_bytes:int -> Compile_config.t -> Ct_ir.t -> result
+(** Compile.  The register-file budget comes from
+    [cfg.Compile_config.rf_bytes] ({!Compile_config.registers}).  With
+    [~verify:true] the result is checked by the static verifier and a
+    [Cinnamon_util.Error] of kind [Verification] is raised when any
+    rule is violated. *)
+val compile : ?verify:bool -> Compile_config.t -> Ct_ir.t -> result
 
 (** One-line statistics for logs and the CLI. *)
 val summary : result -> string

@@ -99,7 +99,9 @@ let allocate ~num_regs (cp : L.chip_program) : assignment =
       end
     done;
     ignore i;
-    if !best < 0 then failwith "Regalloc: register file too small for instruction operands";
+    if !best < 0 then
+      Cinnamon_util.Error.fail Cinnamon_util.Error.Capacity
+        "Regalloc: register file too small for instruction operands";
     let r = !best in
     (match vreg_in.(r) with
     | Some v ->

@@ -1,0 +1,64 @@
+(** Multi-stage static verifier over compiled artifacts.
+
+    Each [verify_*] function re-checks the invariants one pipeline
+    stage is supposed to establish and returns typed diagnostics; [all]
+    runs every stage (under telemetry spans, category ["verify"]) and
+    concatenates the findings in stage order.  An empty list means the
+    artifact set is well-formed under every rule in {!rules}.
+
+    The checks are read-only: no artifact is modified, nothing is
+    raised.  [Pipeline.verify] adapts a {!Pipeline.result} onto [all],
+    and [Pipeline.compile ~verify:true] turns a non-empty result into a
+    typed [Cinnamon_util.Error]. *)
+
+open Cinnamon_ir
+
+type stage = S_ct | S_poly | S_limb | S_isa
+
+val stage_name : stage -> string
+
+type violation = {
+  v_stage : stage;
+  v_rule : string;  (** stable rule name, e.g. ["ct-def-before-use"] *)
+  v_node : int;  (** node id / instruction index; [-1] for whole-program rules *)
+  v_chip : int option;  (** chip, where meaningful (limb/isa stages) *)
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** The full rule catalog: [(stage, rule-name, one-line description)],
+    in checking order.  Mirrored in DESIGN.md. *)
+val rules : (stage * string * string) list
+
+(** Ciphertext-level checks: SSA shape, def-before-use, stream ranges,
+    level bookkeeping, rotation-key availability ([rotation_keys], when
+    given, is the set of rotation amounts keys exist for), and static
+    noise-budget clearance against the modulus chain. *)
+val verify_ct : ?rotation_keys:int list -> Compile_config.t -> Ct_ir.t -> violation list
+
+(** Polynomial-level checks: SSA shape, limb-count legality, rescale
+    steps, operand limb coverage, and keyswitch pair/batch legality. *)
+val verify_poly : Compile_config.t -> Poly_ir.t -> violation list
+
+(** Limb-level checks: chip ownership of vregs, per-chip use-before-def,
+    collective pairing across chips, pairwise collective ordering
+    (ring-deadlock smoke check), and keyswitch-schedule coverage
+    against {!Keyswitch_pass.comm_summary}. *)
+val verify_limb : Compile_config.t -> Poly_ir.t -> Limb_ir.t -> violation list
+
+(** ISA-level checks: register operands within the register-file bound,
+    read-before-write, and regalloc statistics consistency. *)
+val verify_isa :
+  Compile_config.t -> Regalloc.stats array -> Cinnamon_isa.Isa.machine_program -> violation list
+
+val all :
+  ?rotation_keys:int list ->
+  cfg:Compile_config.t ->
+  ct:Ct_ir.t ->
+  poly:Poly_ir.t ->
+  limb:Limb_ir.t ->
+  machine:Cinnamon_isa.Isa.machine_program ->
+  regalloc:Regalloc.stats array ->
+  unit ->
+  violation list

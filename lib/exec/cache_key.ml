@@ -20,7 +20,7 @@ module SC = Cinnamon_sim.Sim_config
 
 type t = string
 
-let schema = "ck2"
+let schema = "ck3"
 
 let pass_mode_name = function
   | CC.No_pass -> "nopass"
@@ -31,12 +31,12 @@ let topology_name = function SC.Ring -> "ring" | SC.Switch -> "switch"
 
 let make ~(config : CC.t) ~(sim : SC.t) ~kernel =
   Printf.sprintf
-    "%s|k=%s|cc:chips=%d,log_n=%d,limb_bits=%d,top_limbs=%d,dnum=%d,alpha=%d,group_size=%d,ks=%s,pass=%s,pp=%b|sc:chips=%d,clk=%g,cl=%d,lanes=%d,bcu=%d,rf=%d,hbm=%g,link=%g,topo=%s,hop=%d,pipe=%d"
+    "%s|k=%s|cc:chips=%d,log_n=%d,limb_bits=%d,top_limbs=%d,dnum=%d,alpha=%d,group_size=%d,ks=%s,pass=%s,pp=%b,rf=%d|sc:chips=%d,clk=%g,cl=%d,lanes=%d,bcu=%d,rf=%d,hbm=%g,link=%g,topo=%s,hop=%d,pipe=%d"
     schema kernel config.CC.chips config.CC.log_n config.CC.limb_bits config.CC.top_limbs
     config.CC.dnum config.CC.alpha config.CC.group_size
     (Cinnamon_ir.Poly_ir.algorithm_name config.CC.default_ks)
     (pass_mode_name config.CC.pass_mode)
-    config.CC.progpar sim.SC.chips sim.SC.clock_ghz sim.SC.clusters sim.SC.lanes_per_cluster
+    config.CC.progpar config.CC.rf_bytes sim.SC.chips sim.SC.clock_ghz sim.SC.clusters sim.SC.lanes_per_cluster
     sim.SC.bcu_lanes_per_cluster sim.SC.rf_bytes sim.SC.hbm_gbps sim.SC.link_gbps
     (topology_name sim.SC.topology)
     sim.SC.hop_latency_cycles sim.SC.ntt_pipe_depth

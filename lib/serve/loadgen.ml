@@ -19,6 +19,7 @@
    the simulator's timing model evolves. *)
 
 module CC = Cinnamon_compiler.Compile_config
+module Error = Cinnamon_util.Error
 module Rng = Cinnamon_util.Rng
 module Json = Cinnamon_util.Json
 module Exec = Cinnamon_exec
@@ -81,12 +82,12 @@ let resolve_class cls =
   let bench =
     match Specs.find_benchmark cls.cls_bench with
     | Ok b -> b
-    | Error msg -> invalid_arg ("Loadgen: " ^ msg)
+    | Error msg -> Error.fail Error.Unknown_name ("Loadgen: " ^ msg)
   in
   let sys =
     match Runner.find_system cls.cls_system with
     | Ok s -> s
-    | Error msg -> invalid_arg ("Loadgen: " ^ msg)
+    | Error msg -> Error.fail Error.Unknown_name ("Loadgen: " ^ msg)
   in
   (cls, bench, sys)
 
@@ -102,31 +103,31 @@ let workload_executor ~now_s:_ (b : Batcher.batch) =
     let bench =
       match Specs.find_benchmark r.Request.req_bench with
       | Ok x -> x
-      | Error msg -> failwith msg
+      | Error msg -> Error.fail Error.Unknown_name msg
     in
     let sys =
       match Runner.find_system r.Request.req_system with
       | Ok x -> x
-      | Error msg -> failwith msg
+      | Error msg -> Error.fail Error.Unknown_name msg
     in
     (Runner.run_benchmark ~config:r.Request.req_config sys bench).Runner.br_seconds
 
 let run cfg =
-  if cfg.lg_requests < 1 then invalid_arg "Loadgen.run: lg_requests must be >= 1";
-  if cfg.lg_mix = [] then invalid_arg "Loadgen.run: lg_mix must be non-empty";
+  if cfg.lg_requests < 1 then Error.fail Error.Invalid_input "Loadgen.run: lg_requests must be >= 1";
+  if cfg.lg_mix = [] then Error.fail Error.Invalid_input "Loadgen.run: lg_mix must be non-empty";
   if cfg.lg_deadline_factor <= 0.0 then
-    invalid_arg "Loadgen.run: lg_deadline_factor must be > 0";
+    Error.fail Error.Invalid_input "Loadgen.run: lg_deadline_factor must be > 0";
   List.iter
     (fun c ->
       if c.cls_weight <= 0.0 || Float.is_nan c.cls_weight then
-        invalid_arg "Loadgen.run: class weights must be > 0")
+        Error.fail Error.Invalid_input "Loadgen.run: class weights must be > 0")
     cfg.lg_mix;
   (match cfg.lg_mode with
   | Open_loop { overload } ->
-    if overload <= 0.0 then invalid_arg "Loadgen.run: overload must be > 0"
+    if overload <= 0.0 then Error.fail Error.Invalid_input "Loadgen.run: overload must be > 0"
   | Closed_loop { clients; think_factor } ->
-    if clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
-    if think_factor < 0.0 then invalid_arg "Loadgen.run: think_factor must be >= 0");
+    if clients < 1 then Error.fail Error.Invalid_input "Loadgen.run: clients must be >= 1";
+    if think_factor < 0.0 then Error.fail Error.Invalid_input "Loadgen.run: think_factor must be >= 0");
   let classes = List.map resolve_class cfg.lg_mix in
   let pool = Exec.Pool.create ~jobs:cfg.lg_jobs () in
   Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) @@ fun () ->

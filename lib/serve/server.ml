@@ -28,6 +28,7 @@
 
 module Tel = Cinnamon_telemetry.Telemetry
 module Exec = Cinnamon_exec
+module Error = Cinnamon_util.Error
 
 exception Transient of string
 
@@ -67,9 +68,9 @@ type inflight = {
 }
 
 let run ?pool ?(feedback = fun _ -> []) config ~executor ~arrivals () =
-  if config.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
-  if config.max_batch < 1 then invalid_arg "Server.run: max_batch must be >= 1";
-  if config.max_attempts < 1 then invalid_arg "Server.run: max_attempts must be >= 1";
+  if config.workers < 1 then Error.fail Error.Invalid_input "Server.run: workers must be >= 1";
+  if config.max_batch < 1 then Error.fail Error.Invalid_input "Server.run: max_batch must be >= 1";
+  if config.max_attempts < 1 then Error.fail Error.Invalid_input "Server.run: max_attempts must be >= 1";
   Tel.name_process ~pid:serve_pid "serve (virtual time)";
   let q = Admission.create ~capacity:config.queue_capacity in
   let slo = Slo.create () in

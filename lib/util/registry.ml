@@ -18,7 +18,12 @@ let find t name =
   match List.assoc_opt name t.entries with
   | Some v -> Ok v
   | None ->
+    let hint =
+      match Error.suggest ~candidates:(names t) name with
+      | Some s -> Printf.sprintf " (did you mean %S?)" s
+      | None -> ""
+    in
     Error
-      (Printf.sprintf "unknown %s %S; known %ss: %s" t.what name t.what (known_names t))
+      (Printf.sprintf "unknown %s %S%s; known %ss: %s" t.what name hint t.what (known_names t))
 
 let mem t name = List.mem_assoc name t.entries

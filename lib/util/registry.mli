@@ -1,7 +1,9 @@
 (** Name → artifact registries with uniform unknown-name errors.
 
     [make ~what entries] builds a registry whose failed lookups render
-    ["unknown <what> \"name\"; known <what>s: a, b, c"].  [extra] names
+    ["unknown <what> \"name\"; known <what>s: a, b, c"], with a
+    did-you-mean hint ({!Error.suggest}) when the miss is a plausible
+    typo of a registered name.  [extra] names
     appear in that listing without being resolvable here — used for
     parametric families (e.g. ["matvec-<n>"]) whose parsing lives with
     the caller. *)

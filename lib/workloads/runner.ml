@@ -71,11 +71,16 @@ let effective_config (config : Compile_config.t) sys =
   let group_size =
     if config.Compile_config.progpar then max 1 (sys.group_chips / 2) else sys.group_chips
   in
-  { config with Compile_config.chips = sys.group_chips; group_size }
+  {
+    config with
+    Compile_config.chips = sys.group_chips;
+    group_size;
+    rf_bytes = sys.group_sim.SC.rf_bytes;
+  }
 
 let paper_config = Compile_config.paper ()
 
-let compile_kernel ?(config = paper_config) sys kernel =
+let compile_kernel ?(config = paper_config) ?(verify = false) sys kernel =
   let progpar = config.Compile_config.progpar in
   let prog =
     match (progpar, kernel) with
@@ -85,26 +90,29 @@ let compile_kernel ?(config = paper_config) sys kernel =
   let cfg = effective_config config sys in
   Tel.Span.with_ ~cat:"runner" "compile_kernel"
     ~args:[ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
-    (fun () -> Pipeline.compile ~rf_bytes:sys.group_sim.SC.rf_bytes cfg prog)
+    (fun () -> Pipeline.compile ~verify cfg prog)
 
 let cache_key ?(config = paper_config) sys kernel =
   Exec.Cache_key.make
     ~config:(effective_config config sys)
     ~sim:sys.group_sim ~kernel:(Specs.kernel_name kernel)
 
-let compile_and_simulate ~config sys kernel =
-  let r = compile_kernel ~config sys kernel in
+let compile_and_simulate ~config ~verify sys kernel =
+  let r = compile_kernel ~config ~verify sys kernel in
   (* the kernel runs on one group; simulate that group *)
   Tel.Span.with_ ~cat:"runner" "simulate_kernel"
     ~args:[ ("kernel", Tel.Str (Specs.kernel_name kernel)); ("system", Tel.Str sys.sys_name) ]
     (fun () -> Sim.run sys.group_sim r.Pipeline.machine)
 
-let simulate_kernel ?(config = paper_config) ?(use_cache = true) sys kernel =
-  if not use_cache then compile_and_simulate ~config sys kernel
+(* Note: a cache hit returns the simulated numbers without recompiling,
+   so [verify] only runs on cache misses (and always with
+   [use_cache:false]). *)
+let simulate_kernel ?(config = paper_config) ?(use_cache = true) ?(verify = false) sys kernel =
+  if not use_cache then compile_and_simulate ~config ~verify sys kernel
   else
     Exec.Result_cache.find_or_compute
       ~key:(cache_key ~config sys kernel)
-      (fun () -> compile_and_simulate ~config sys kernel)
+      (fun () -> compile_and_simulate ~config ~verify sys kernel)
 
 type segment_time = {
   seg_kernel : string;
@@ -129,7 +137,7 @@ let segment_target config sys (s : Specs.segment) =
     (widened sys, { config with Compile_config.progpar = true })
   else (sys, config)
 
-let run_benchmark ?(config = paper_config) sys (b : Specs.benchmark) =
+let run_benchmark ?(config = paper_config) ?(verify = false) sys (b : Specs.benchmark) =
   Tel.Span.with_ ~cat:"runner" "run_benchmark"
     ~args:[ ("bench", Tel.Str b.Specs.bench_name); ("system", Tel.Str sys.sys_name) ]
   @@ fun () ->
@@ -142,7 +150,7 @@ let run_benchmark ?(config = paper_config) sys (b : Specs.benchmark) =
               ("instances", Tel.Int s.Specs.instances); ("repeats", Tel.Int s.Specs.repeats) ]
         @@ fun () ->
         let eff_sys, eff_config = segment_target config sys s in
-        let r = simulate_kernel ~config:eff_config eff_sys s.Specs.kernel in
+        let r = simulate_kernel ~config:eff_config ~verify eff_sys s.Specs.kernel in
         (* waves of parallel instances over the available groups *)
         let waves = Cinnamon_util.Bitops.cdiv s.Specs.instances eff_sys.groups in
         let seconds = Float.of_int (s.Specs.repeats * waves) *. r.Sim.seconds in
@@ -212,7 +220,7 @@ let sweep_targets config pairs =
         b.Specs.segments)
     pairs
 
-let run_sweep ?(config = paper_config) ?(jobs = 0) pairs =
+let run_sweep ?(config = paper_config) ?(jobs = 0) ?(verify = false) pairs =
   let targets = sweep_targets config pairs in
   let pool = Exec.Pool.create ~jobs () in
   let kernel_results =
@@ -221,7 +229,7 @@ let run_sweep ?(config = paper_config) ?(jobs = 0) pairs =
       (fun () ->
         Exec.Pool.map pool
           (fun (sys, cfg, kernel) ->
-            let r = simulate_kernel ~config:cfg sys kernel in
+            let r = simulate_kernel ~config:cfg ~verify sys kernel in
             { kt_kernel = Specs.kernel_name kernel; kt_system = sys.sys_name; kt_result = r })
           targets)
   in
@@ -230,7 +238,7 @@ let run_sweep ?(config = paper_config) ?(jobs = 0) pairs =
   let results = List.map (fun (sys, b) -> run_benchmark ~config sys b) pairs in
   { sw_results = results; sw_kernels = kernel_results; sw_jobs = Exec.Pool.jobs pool }
 
-let run_benchmarks ?config ?jobs pairs = (run_sweep ?config ?jobs pairs).sw_results
+let run_benchmarks ?config ?jobs ?verify pairs = (run_sweep ?config ?jobs ?verify pairs).sw_results
 
 (* Systems of Table 2 / Fig. 11. *)
 let all_systems = [ cinnamon_m; cinnamon_4; cinnamon_8; cinnamon_12 ]

@@ -42,20 +42,25 @@ val cinnamon_12 : system
 val widened : system -> system
 
 (** The compiler configuration actually in effect for a system:
-    [chips] and [group_size] come from the system, everything else
-    from the caller's config. *)
+    [chips], [group_size] and [rf_bytes] come from the system,
+    everything else from the caller's config. *)
 val effective_config : Compile_config.t -> system -> Compile_config.t
 
 (** The structural key {!simulate_kernel} files its result under. *)
 val cache_key : ?config:Compile_config.t -> system -> Specs.kernel -> Cinnamon_exec.Cache_key.t
 
-(** Compile a kernel for one group of the system. *)
-val compile_kernel : ?config:Compile_config.t -> system -> Specs.kernel -> Pipeline.result
+(** Compile a kernel for one group of the system.  [~verify:true] runs
+    the static verifier on the result ({!Pipeline.compile}). *)
+val compile_kernel :
+  ?config:Compile_config.t -> ?verify:bool -> system -> Specs.kernel -> Pipeline.result
 
 (** Compile + simulate a kernel on one group of the system;
-    [~use_cache:false] bypasses the result cache. *)
+    [~use_cache:false] bypasses the result cache.  [~verify:true]
+    verifies each compile — on a cache hit nothing recompiles, so
+    verification only runs on misses. *)
 val simulate_kernel :
-  ?config:Compile_config.t -> ?use_cache:bool -> system -> Specs.kernel -> Sim.result
+  ?config:Compile_config.t -> ?use_cache:bool -> ?verify:bool -> system -> Specs.kernel ->
+  Sim.result
 
 type segment_time = { seg_kernel : string; seg_seconds : float; seg_util : Sim.utilization }
 
@@ -67,7 +72,8 @@ type bench_result = {
   br_util : Sim.utilization;  (** time-weighted, idle-group de-rated *)
 }
 
-val run_benchmark : ?config:Compile_config.t -> system -> Specs.benchmark -> bench_result
+val run_benchmark :
+  ?config:Compile_config.t -> ?verify:bool -> system -> Specs.benchmark -> bench_result
 
 (** {1 Parallel sweeps} *)
 
@@ -90,10 +96,12 @@ type sweep = {
     are composed from the warm cache.  Results are bit-identical for
     every [jobs] value. *)
 val run_sweep :
-  ?config:Compile_config.t -> ?jobs:int -> (system * Specs.benchmark) list -> sweep
+  ?config:Compile_config.t -> ?jobs:int -> ?verify:bool -> (system * Specs.benchmark) list ->
+  sweep
 
 val run_benchmarks :
-  ?config:Compile_config.t -> ?jobs:int -> (system * Specs.benchmark) list -> bench_result list
+  ?config:Compile_config.t -> ?jobs:int -> ?verify:bool -> (system * Specs.benchmark) list ->
+  bench_result list
 
 (** The Table 2 / Fig. 11 systems. *)
 val all_systems : system list

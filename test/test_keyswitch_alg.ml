@@ -114,11 +114,15 @@ let test_dispatcher_rejects_mismatch () =
   let params, _, relin, _, _ = Lazy.force env in
   let c = random_input ~seed:14 params in
   let cnt = KA.new_counter () in
-  Alcotest.check_raises "OA needs round-robin key"
-    (Invalid_argument "Keyswitch_alg.run: algorithm/key mismatch") (fun () ->
-      ignore
-        (KA.run params ~algorithm:Cinnamon_ir.Poly_ir.Output_aggregation ~chips:4
-           ~key:(KA.Standard relin) c cnt))
+  match
+    KA.run params ~algorithm:Cinnamon_ir.Poly_ir.Output_aggregation ~chips:4
+      ~key:(KA.Standard relin) c cnt
+  with
+  | _ -> Alcotest.fail "expected a typed invalid-input error"
+  | exception Cinnamon_util.Error.Error e ->
+    Alcotest.(check string)
+      "typed invalid-input error" "invalid-input: Keyswitch_alg.run: algorithm/key mismatch"
+      (Cinnamon_util.Error.to_string e)
 
 let test_dispatcher_routes () =
   let params, _, relin, rr4, _ = Lazy.force env in

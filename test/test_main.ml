@@ -18,6 +18,7 @@ let () =
       Test_serve.suite;
       Test_telemetry.suite;
       Test_regressions.suite;
+      Test_verify.suite;
       Test_extensions.suite;
       Test_properties.suite;
     ]

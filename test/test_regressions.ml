@@ -88,7 +88,7 @@ let test_rf_capacity_reduces_loads () =
   let prog = Kernels.bootstrap_program () in
   let cfg = Compile_config.paper ~chips:1 () in
   let loads rf_mb =
-    let r = Pipeline.compile ~rf_bytes:(rf_mb * 1024 * 1024) cfg prog in
+    let r = Pipeline.compile { cfg with Compile_config.rf_bytes = rf_mb * 1024 * 1024 } prog in
     Array.fold_left
       (fun acc p ->
         Array.fold_left

@@ -275,8 +275,11 @@ let test_server_config_validation () =
   let arrivals = [ req ~id:0 ~arrival_s:0.0 () ] in
   let bad cfg =
     match Server.run cfg ~executor:(const_executor (ref 0)) ~arrivals () with
-    | _ -> Alcotest.fail "expected Invalid_argument"
-    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected a typed invalid-input error"
+    | exception Cinnamon_util.Error.Error e ->
+      Alcotest.(check int)
+        "invalid-input exit code" 2
+        (Cinnamon_util.Error.exit_code e.Cinnamon_util.Error.kind)
   in
   bad { Server.default_config with Server.workers = 0 };
   bad { Server.default_config with Server.max_batch = 0 };
