@@ -1,0 +1,60 @@
+(* Numeric kernel-performance regression gate.
+
+   Reads BENCH_cinnamon.json (as produced by [bench/main.exe -- kernels])
+   and fails — exit code 1 — if the [ntt_forward] microbenchmark is
+   slower than a checked-in budget for its ring size.  The budgets are
+   deliberately generous (4-5x headroom over measured steady-state on
+   the reference machine, and still well below the pre-Bigarray
+   int-array kernels) so the gate trips on structural regressions
+   (boxing in the butterfly loop, lost inlining, accidental copies),
+   not on shared-runner noise.
+
+   Usage: check_kernels [BENCH_cinnamon.json] *)
+
+module Json = Cinnamon_util.Json
+
+(* us/op budget for ntt_forward, keyed by ring size N.  For reference,
+   steady-state on the dev machine: N=2^12 ~86us, N=2^16 ~1800us; the
+   old int-array kernels: N=2^12 ~490us, N=2^16 ~10390us. *)
+let budgets = [ (4096, 400.0); (65536, 3465.0) ]
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_kernels: " ^ s); exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_cinnamon.json" in
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  let root =
+    match Json.of_string text with Ok j -> j | Error e -> fail "%s: parse error: %s" path e
+  in
+  let entries =
+    match Option.bind (Json.member "kernel_microbench" root) Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: no kernel_microbench section" path
+  in
+  let field name conv e =
+    match Option.bind (Json.member name e) conv with
+    | Some v -> v
+    | None -> fail "%s: microbench entry missing %S" path name
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun e ->
+      if field "kernel" Json.to_str e = "ntt_forward" then begin
+        let n = field "n" Json.to_int e in
+        let us = field "us_per_op" Json.to_float e in
+        match List.assoc_opt n budgets with
+        | None -> Printf.printf "check_kernels: ntt_forward N=%d %.1f us/op (no budget, skipped)\n" n us
+        | Some budget ->
+            incr checked;
+            if us > budget then
+              fail "ntt_forward N=%d took %.1f us/op, budget %.1f us/op" n us budget
+            else
+              Printf.printf "check_kernels: ntt_forward N=%d %.1f us/op within budget %.1f us/op\n"
+                n us budget
+      end)
+    entries;
+  if !checked = 0 then fail "%s: no ntt_forward entry with a known ring size" path;
+  print_endline "check_kernels: ok"

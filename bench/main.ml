@@ -620,7 +620,8 @@ let micro () =
   let q = List.hd (Prime_gen.gen_primes ~bits:28 ~n ~count:1 ()) in
   let plan = Ntt.plan ~q ~n in
   let rng = Cinnamon_util.Rng.create ~seed:1 in
-  let a = Array.init n (fun _ -> Cinnamon_util.Rng.int rng q) in
+  let a = Limb_buf.init n (fun _ -> Cinnamon_util.Rng.int rng q) in
+  let ntt_dst = Limb_buf.create n in
   let params = Lazy.force Cinnamon_ckks.Params.small in
   let sk = Cinnamon_ckks.Keys.gen_secret_key params rng in
   let relin = Cinnamon_ckks.Keys.gen_relin_key params sk rng in
@@ -630,7 +631,7 @@ let micro () =
   in
   let ext = params.Cinnamon_ckks.Params.p_basis in
   let cc = Rns_poly.to_coeff c in
-  let ntt_s = time_it ~reps:200 (fun () -> Ntt.forward plan a) in
+  let ntt_s = time_it ~reps:200 (fun () -> Ntt.forward_into plan ~src:a ~dst:ntt_dst) in
   Printf.printf "  %-28s %10.1f us/op\n" (Printf.sprintf "ntt (N=%d)" n) (ntt_s *. 1e6);
   Printf.printf "  %-28s %10.1f us/op\n" "base-conv (9->3 limbs)"
     (1e6 *. time_it (fun () -> Base_conv.convert cc ~dst:ext));
@@ -641,7 +642,7 @@ let micro () =
   (* Bechamel cross-check on the NTT *)
   (let open Bechamel in
    let test =
-     Test.make ~name:"ntt" (Staged.stage (fun () -> ignore (Ntt.forward plan a)))
+     Test.make ~name:"ntt" (Staged.stage (fun () -> Ntt.forward_into plan ~src:a ~dst:ntt_dst))
    in
    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
    let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (Test.make_grouped ~name:"rns" [ test ]) in
@@ -677,13 +678,25 @@ let micro () =
    against the Coeff-domain oracle and FAILS the run on any mismatch —
    CI treats microbench errors as job failures. *)
 
-type micro_entry = { me_kernel : string; me_n : int; me_limbs : int; me_us : float }
+type micro_entry = {
+  me_kernel : string;
+  me_n : int;
+  me_limbs : int;
+  me_us : float;
+  me_bytes : int; (* bytes streamed per op; 0 = not a bandwidth kernel *)
+}
 
 let micro_entries : micro_entry list ref = ref []
 
-let record_micro ~kernel ~n ~limbs us =
-  micro_entries := { me_kernel = kernel; me_n = n; me_limbs = limbs; me_us = us } :: !micro_entries;
-  Printf.printf "  %-34s %12.2f us/op  (N=2^%d, limbs=%d)\n%!" kernel us
+(* Effective memory bandwidth of one op: bytes streamed / wall time. *)
+let gbps_of ~bytes us = if bytes = 0 || us <= 0.0 then 0.0 else Float.of_int bytes /. us /. 1000.0
+
+let record_micro ?(bytes = 0) ~kernel ~n ~limbs us =
+  micro_entries :=
+    { me_kernel = kernel; me_n = n; me_limbs = limbs; me_us = us; me_bytes = bytes }
+    :: !micro_entries;
+  let bw = if bytes = 0 then "" else Printf.sprintf "  %6.2f GB/s" (gbps_of ~bytes us) in
+  Printf.printf "  %-34s %12.2f us/op%s  (N=2^%d, limbs=%d)\n%!" kernel us bw
     (Cinnamon_util.Bitops.log2_exact n)
     limbs
 
@@ -706,34 +719,52 @@ let kernels () =
   let qs = Prime_gen.gen_primes ~bits:28 ~n ~count:limbs () in
   let basis = Basis.of_primes qs in
   let rng = Cinnamon_util.Rng.create ~seed:7 in
+  (* Worker pool for the domain-parallel kernel paths (--jobs N with
+     N > 1); the kernels are bit-identical with and without it.
+     Requests beyond the host's core count are clamped: oversubscribed
+     domains only add scheduling overhead to a throughput measurement
+     (the determinism tests still force the split with explicit
+     pools whatever the host). *)
+  let eff_jobs = min !jobs (Exec.Pool.default_jobs ()) in
+  let pool = if eff_jobs > 1 then Some (Exec.Pool.create ~jobs:eff_jobs ()) else None in
+  if !jobs > eff_jobs then
+    Printf.printf "  (--jobs %d clamped to %d host cores)\n%!" !jobs eff_jobs;
+  if pool <> None then Printf.printf "  (domain-parallel kernels: %d jobs)\n%!" eff_jobs;
   (* single-limb NTT passes, into a reused scratch buffer *)
   let q = List.hd qs in
   let plan = Ntt.plan ~q ~n in
-  let a = Array.init n (fun _ -> Cinnamon_util.Rng.int rng q) in
-  let scratch = Array.make n 0 in
-  record_micro ~kernel:"ntt_forward" ~n ~limbs:1
-    (1e6 *. time_it ~reps:(reps * 8) (fun () -> Ntt.forward_into plan ~src:a ~dst:scratch));
-  record_micro ~kernel:"ntt_inverse" ~n ~limbs:1
-    (1e6 *. time_it ~reps:(reps * 8) (fun () -> Ntt.inverse_into plan ~src:a ~dst:scratch));
+  let a = Limb_buf.init n (fun _ -> Cinnamon_util.Rng.int rng q) in
+  let scratch = Limb_buf.create n in
+  let log2n = Cinnamon_util.Bitops.log2_exact n in
+  (* per stage: n limb reads + n limb writes, log2(n) stages *)
+  let ntt_bytes = 16 * n * log2n in
+  record_micro ~kernel:"ntt_forward" ~n ~limbs:1 ~bytes:ntt_bytes
+    (1e6 *. time_it ~reps:(reps * 8) (fun () -> Ntt.forward_into ?pool plan ~src:a ~dst:scratch));
+  record_micro ~kernel:"ntt_inverse" ~n ~limbs:1 ~bytes:ntt_bytes
+    (1e6 *. time_it ~reps:(reps * 8) (fun () -> Ntt.inverse_into ?pool plan ~src:a ~dst:scratch));
   (* full-width pointwise product, into a preallocated destination *)
   let x = Rns_poly.random ~n ~basis ~domain:Rns_poly.Eval rng in
   let y = Rns_poly.random ~n ~basis ~domain:Rns_poly.Eval rng in
   let z = Rns_poly.zero ~n ~basis in
-  record_micro ~kernel:"pointwise_mul_into" ~n ~limbs
+  record_micro ~kernel:"pointwise_mul_into" ~n ~limbs ~bytes:(3 * 8 * limbs * n)
     (1e6 *. time_it ~reps (fun () -> Rns_poly.mul_into ~dst:z x y));
   (* base conversion into a 3-limb special basis (the keyswitch mod-up
      shape: every source limb feeds every destination limb) *)
   let ext = Basis.of_primes (Prime_gen.gen_primes ~bits:30 ~n ~count:3 ~avoid:qs ()) in
+  let ext_limbs = Basis.size ext in
   let xc = Rns_poly.to_coeff x in
-  record_micro ~kernel:"base_conv" ~n ~limbs
-    (1e6 *. time_it ~reps (fun () -> Base_conv.convert xc ~dst:ext));
+  (* stage 1 streams l limbs in+out; stage 2 reads all l scaled limbs
+     per output column and writes m columns *)
+  let bc_bytes = 8 * ((2 * limbs * n) + (ext_limbs * limbs * n) + (ext_limbs * n)) in
+  record_micro ~kernel:"base_conv" ~n ~limbs ~bytes:bc_bytes
+    (1e6 *. time_it ~reps (fun () -> ignore (Base_conv.convert ?pool xc ~dst:ext)));
   (* automorphism: Eval-domain permutation vs the INTT/NTT round-trip
      the seed performed (kept here as the oracle path) *)
   let k = Cinnamon_ckks.Keys.galois_of_rotation ~n 1 in
   let oracle () = Rns_poly.to_eval (Rns_poly.automorphism (Rns_poly.to_coeff x) ~k) in
   let eval_us = 1e6 *. time_it ~reps (fun () -> Rns_poly.automorphism x ~k) in
   let coeff_us = 1e6 *. time_it ~reps oracle in
-  record_micro ~kernel:"automorphism_eval" ~n ~limbs eval_us;
+  record_micro ~kernel:"automorphism_eval" ~n ~limbs ~bytes:(2 * 8 * limbs * n) eval_us;
   record_micro ~kernel:"automorphism_coeff_roundtrip" ~n ~limbs coeff_us;
   record_micro ~kernel:"automorphism_speedup_x" ~n ~limbs (coeff_us /. eval_us);
   Printf.printf "  automorphism Eval-path speedup: %.1fx over the INTT/NTT round-trip\n%!"
@@ -751,7 +782,8 @@ let kernels () =
   in
   record_micro ~kernel:"keyswitch" ~n:params.Cinnamon_ckks.Params.n
     ~limbs:(Basis.size params.Cinnamon_ckks.Params.q_basis)
-    (1e6 *. time_it ~reps:5 (fun () -> Cinnamon_ckks.Keyswitch.keyswitch params relin c))
+    (1e6 *. time_it ~reps:5 (fun () -> Cinnamon_ckks.Keyswitch.keyswitch params relin c));
+  Option.iter Exec.Pool.shutdown pool
 
 (* ------------------------------------------------------- serving layer *)
 
@@ -847,12 +879,15 @@ let write_bench_json file ~wall_seconds =
               (List.rev_map
                  (fun e ->
                    Json.Obj
-                     [
-                       ("kernel", Json.Str e.me_kernel);
-                       ("n", Json.Int e.me_n);
-                       ("limbs", Json.Int e.me_limbs);
-                       ("us_per_op", Json.Float e.me_us);
-                     ])
+                     ([
+                        ("kernel", Json.Str e.me_kernel);
+                        ("n", Json.Int e.me_n);
+                        ("limbs", Json.Int e.me_limbs);
+                        ("us_per_op", Json.Float e.me_us);
+                      ]
+                     @
+                     if e.me_bytes = 0 then []
+                     else [ ("gbps", Json.Float (gbps_of ~bytes:e.me_bytes e.me_us)) ]))
                  !micro_entries) );
           (* serving-layer SLOs (serve section), keyed by client model *)
           ( "serve_loadtest",

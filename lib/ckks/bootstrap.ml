@@ -97,7 +97,7 @@ let mod_raise params ct =
   let full = Params.basis_at_level params (Params.top_level params) in
   let raise_poly p =
     let pc = Rns_poly.to_coeff p in
-    let limb0 = Rns_poly.limb pc 0 in
+    let limb0 = Limb_buf.to_int_array (Rns_poly.unsafe_limb_view pc 0) in
     let centered = Array.map (fun r -> if r > q0 / 2 then r - q0 else r) limb0 in
     Rns_poly.to_eval (Rns_poly.of_coeffs ~basis:full ~domain:Rns_poly.Coeff centered)
   in

@@ -74,17 +74,19 @@ let rescale_poly p =
   if l < 2 then invalid_arg "Eval.rescale: no prime left to drop";
   let q_top = Basis.value basis (l - 1) in
   let pc = Rns_poly.to_coeff p in
-  let top = Rns_poly.limb pc (l - 1) in
+  let top = Rns_poly.unsafe_limb_view pc (l - 1) in
   let out_basis = Basis.prefix basis (l - 1) in
   let n = Rns_poly.n p in
   let out = Rns_poly.create ~n ~basis:out_basis ~domain:Rns_poly.Coeff in
   for j = 0 to l - 2 do
     let md = Basis.modulus out_basis j in
     let inv = Modarith.inv md (q_top mod Modarith.q md) in
-    let src = Rns_poly.limb pc j in
-    let dst = Rns_poly.limb out j in
+    let src = Rns_poly.unsafe_limb_view pc j in
+    let dst = Rns_poly.unsafe_limb_view out j in
     for i = 0 to n - 1 do
-      dst.(i) <- Modarith.mul md (Modarith.sub md src.(i) (top.(i) mod Modarith.q md)) inv
+      let t = Limb_buf.unsafe_get top i mod Modarith.q md in
+      Limb_buf.unsafe_set dst i
+        (Modarith.mul md (Modarith.sub md (Limb_buf.unsafe_get src i) t) inv)
     done
   done;
   Rns_poly.to_eval out

@@ -146,7 +146,7 @@ let gen_switch_key params sk ~s_from rng =
     let a = Rns_poly.random ~n ~basis:qp ~domain:Rns_poly.Eval rng in
     let e = sample_error params ~basis:qp rng in
     let scal = gadget_scalars_for params ~digit_indices:(List.init (hi - lo) (fun k -> lo + k)) in
-    let key_term = Rns_poly.scalar_mul_per_limb s_from scal in
+    let key_term = Rns_poly.scalar_mul_per_limb s_from (fun i -> scal.(i)) in
     let b = Rns_poly.add (Rns_poly.add (Rns_poly.neg (Rns_poly.mul a s_to)) e) key_term in
     (b, a)
   in

@@ -21,24 +21,21 @@ let extend_digit digit ~target =
   let d_basis = Rns_poly.basis digit in
   let dc = Rns_poly.to_coeff digit in
   let complement_idx =
-    Array.of_list
-      (List.filteri
-         (fun _ q -> not (Basis.mem d_basis q))
-         (Basis.to_list target)
-      |> List.map (fun q -> Basis.index target q))
+    List.filteri (fun _ q -> not (Basis.mem d_basis q)) (Basis.to_list target)
+    |> List.map (fun q -> Basis.index target q)
   in
   let complement = Basis.sub target complement_idx in
   let converted = Base_conv.convert dc ~dst:complement in
-  (* Reassemble in target order. *)
+  (* Reassemble in target order: flat limb-view blits, no boxing. *)
   let n = Rns_poly.n digit in
   let out = Rns_poly.create ~n ~basis:target ~domain:Rns_poly.Coeff in
   for j = 0 to Basis.size target - 1 do
     let q = Basis.value target j in
     let src =
-      if Basis.mem d_basis q then Rns_poly.limb dc (Basis.index d_basis q)
-      else Rns_poly.limb converted (Basis.index complement q)
+      if Basis.mem d_basis q then Rns_poly.unsafe_limb_view dc (Basis.index d_basis q)
+      else Rns_poly.unsafe_limb_view converted (Basis.index complement q)
     in
-    Array.blit src 0 (Rns_poly.limb out j) 0 n
+    Limb_buf.blit ~src ~dst:(Rns_poly.unsafe_limb_view out j)
   done;
   Rns_poly.to_eval out
 

@@ -96,9 +96,7 @@ let run_input_broadcast params swk c ~chips cnt =
   let per_chip =
     List.init chips (fun chip ->
         let q_idx = chip_indices ~chips ~limbs chip in
-        let local_basis =
-          Basis.union (Basis.sub q_l (Array.of_list q_idx)) p_basis
-        in
+        let local_basis = Basis.union (Basis.sub q_l q_idx) p_basis in
         let acc0 = ref (Rns_poly.create ~n ~basis:local_basis ~domain:Rns_poly.Eval) in
         let acc1 = ref (Rns_poly.create ~n ~basis:local_basis ~domain:Rns_poly.Eval) in
         List.iter
@@ -112,7 +110,7 @@ let run_input_broadcast params swk c ~chips cnt =
             acc0 := Rns_poly.add !acc0 (Rns_poly.mul extended b);
             acc1 := Rns_poly.add !acc1 (Rns_poly.mul extended a))
           digits;
-        let q_c = Basis.sub q_l (Array.of_list q_idx) in
+        let q_c = Basis.sub q_l q_idx in
         let k0 = Mod_updown.mod_down !acc0 ~target:q_c ~ext:p_basis in
         let k1 = Mod_updown.mod_down !acc1 ~target:q_c ~ext:p_basis in
         (q_idx, k0, k1))
@@ -124,8 +122,12 @@ let run_input_broadcast params swk c ~chips cnt =
     (fun (q_idx, s0, s1) ->
       List.iteri
         (fun local_i global_i ->
-          Array.blit (Rns_poly.limb (Rns_poly.to_eval s0) local_i) 0 (Rns_poly.limb k0 global_i) 0 n;
-          Array.blit (Rns_poly.limb (Rns_poly.to_eval s1) local_i) 0 (Rns_poly.limb k1 global_i) 0 n)
+          Limb_buf.blit
+            ~src:(Rns_poly.unsafe_limb_view (Rns_poly.to_eval s0) local_i)
+            ~dst:(Rns_poly.unsafe_limb_view k0 global_i);
+          Limb_buf.blit
+            ~src:(Rns_poly.unsafe_limb_view (Rns_poly.to_eval s1) local_i)
+            ~dst:(Rns_poly.unsafe_limb_view k1 global_i))
         q_idx)
     per_chip;
   ignore target;
@@ -155,7 +157,7 @@ let gen_round_robin_key params sk ~s_from ~chips rng =
     let a = Rns_poly.random ~n ~basis:qp ~domain:Rns_poly.Eval rng in
     let e = Keys.sample_error params ~basis:qp rng in
     let scal = Keys.gadget_scalars_for params ~digit_indices:idx in
-    let key_term = Rns_poly.scalar_mul_per_limb s_from scal in
+    let key_term = Rns_poly.scalar_mul_per_limb s_from (fun i -> scal.(i)) in
     let b = Rns_poly.add (Rns_poly.add (Rns_poly.neg (Rns_poly.mul a s_to)) e) key_term in
     (b, a)
   in
@@ -177,7 +179,7 @@ let run_output_aggregation params rr_swk c ~chips cnt =
         let idx = chip_indices ~chips ~limbs chip in
         if idx = [] then None
         else begin
-          let digit = Rns_poly.restrict c (Basis.sub q_l (Array.of_list idx)) in
+          let digit = Rns_poly.restrict c (Basis.sub q_l idx) in
           let extended = Keyswitch.extend_digit digit ~target in
           let b = Rns_poly.restrict rr_swk.Keys.swk_b.(chip) target in
           let a = Rns_poly.restrict rr_swk.Keys.swk_a.(chip) target in

@@ -20,9 +20,22 @@
    is precomputed per destination modulus (at least 4 at 30-bit
    moduli, ~16+ at the paper's 28-bit datapath).
 
+   Output limbs are independent columns, so with a pool stage 2 fans
+   the destination limbs out across domains (and stage 1 the source
+   limbs); every column computes the same scalar sequence as the
+   sequential code, so the result is bit-identical for any job count.
+
    Tables are cached per (Q, P) pair of prime-value lists in a Memo
    table (safe under concurrent domains), reusing the CRT constants
    from [Crt]. *)
+
+(* Same-unit bigarray accessors: dune's dev profile compiles with
+   -opaque, so the [@inline] wrappers in Limb_buf are not inlined
+   across modules — these local twins are (see Ntt). *)
+let[@inline always] bget (a : Limb_buf.t) i = Int64.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline always] bset (a : Limb_buf.t) i v = Bigarray.Array1.unsafe_set a i (Int64.of_int v)
+
+module Pool = Cinnamon_pool.Pool
 
 type table = {
   src : Basis.t;
@@ -45,9 +58,9 @@ let make_table ~src ~dst =
   let qhat_mod_p =
     Array.init m (fun k ->
         let pk = Basis.value dst k in
-        Array.init l (fun j -> B.rem_small c.Crt.qhat.(j) pk))
+        Array.init l (fun j -> B.rem_small (Crt.qhat c j) pk))
   in
-  let q_mod_p = Array.init m (fun k -> B.rem_small c.Crt.q_prod (Basis.value dst k)) in
+  let q_mod_p = Array.init m (fun k -> B.rem_small (Crt.q_prod c) (Basis.value dst k)) in
   let reduce_src =
     Array.init m (fun k ->
         let pk = Basis.value dst k in
@@ -72,66 +85,114 @@ let make_table ~src ~dst =
         let bound = vmax * (pk - 1) in
         max 1 (max_int / max 1 bound))
   in
-  { src; dst; qhat_inv = c.Crt.qhat_inv; qhat_mod_p; q_mod_p; reduce_src; batch }
+  { src; dst; qhat_inv = Array.init l (Crt.qhat_inv c); qhat_mod_p; q_mod_p; reduce_src; batch }
 
 let table ~src ~dst =
   let key = (Basis.to_list src, Basis.to_list dst) in
   Cinnamon_util.Memo.get tables key (fun () -> make_table ~src ~dst)
 
+(* Stage 1 (paper's BCU stage 1): scale input limb j by qhat_inv into
+   an arena buffer. *)
+let scale_limb tbl x ~j ~(buf : Limb_buf.t) =
+  let n = Rns_poly.n x in
+  let q, mu, shift = Modarith.barrett (Basis.modulus tbl.src j) in
+  let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
+  let s = tbl.qhat_inv.(j) in
+  let src_limb = Rns_poly.unsafe_limb_view x j in
+  for i = 0 to n - 1 do
+    let p = bget src_limb i * s in
+    let r = p - (((p lsr sh1) * mu) lsr sh2) * q in
+    let r = if r >= q then r - q else r in
+    bset buf i (if r >= q then r - q else r)
+  done
+
+(* Stage 2: lazy-reduction multiply-accumulate of every scaled source
+   limb into output column k.  Source residues can exceed the
+   destination modulus (e.g. 30-bit special primes feeding 26-bit
+   scale primes) — those get one pre-reduction so every term respects
+   the batch bound computed in [make_table]. *)
+let accumulate_column tbl ~(scaled : Limb_buf.t array) ~out ~k =
+  let n = Rns_poly.n out in
+  let l = Array.length scaled in
+  let qk = Basis.value tbl.dst k in
+  let olimb = Rns_poly.unsafe_limb_view out k in
+  let factors = tbl.qhat_mod_p.(k) in
+  let reduce_src = tbl.reduce_src.(k) in
+  let batch = tbl.batch.(k) in
+  for i = 0 to n - 1 do
+    let acc = ref 0 and cnt = ref 0 in
+    for j = 0 to l - 1 do
+      let v0 = bget (Array.unsafe_get scaled j) i in
+      let v = if Array.unsafe_get reduce_src j then v0 mod qk else v0 in
+      acc := !acc + (v * Array.unsafe_get factors j);
+      incr cnt;
+      if !cnt >= batch then begin
+        acc := !acc mod qk;
+        cnt := 1 (* the reduced sum counts as one live term *)
+      end
+    done;
+    bset olimb i (!acc mod qk)
+  done
+
+let idx p = List.init p (fun i -> i)
+
 (* Convert x (Coeff domain, over [src]) to basis [dst] (Coeff domain).
    Output = x + e*Q with 0 <= e < size(src). *)
-let convert x ~dst =
+let convert ?pool x ~dst =
   if Rns_poly.domain x <> Rns_poly.Coeff then
     invalid_arg "Base_conv.convert: input must be in coefficient domain";
   let src = Rns_poly.basis x in
   let tbl = table ~src ~dst in
   let n = Rns_poly.n x in
   let l = Basis.size src in
+  let m = Basis.size dst in
   Scratch.with_bufs ~n ~count:l (fun scaled ->
-      (* Stage 1 (paper's BCU stage 1): scale each input limb by
-         qhat_inv, into arena buffers. *)
-      for j = 0 to l - 1 do
-        let q, mu, shift = Modarith.barrett (Basis.modulus src j) in
-        let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
-        let s = tbl.qhat_inv.(j) in
-        let src_limb = Rns_poly.limb x j in
-        if Array.length src_limb <> n then invalid_arg "Base_conv.convert: limb length";
-        let buf = scaled.(j) in
-        for i = 0 to n - 1 do
-          let p = Array.unsafe_get src_limb i * s in
-          let r = p - (((p lsr sh1) * mu) lsr sh2) * q in
-          let r = if r >= q then r - q else r in
-          Array.unsafe_set buf i (if r >= q then r - q else r)
-        done
-      done;
-      (* Stage 2: lazy-reduction multiply-accumulate into each output
-         limb.  Source residues can exceed the destination modulus
-         (e.g. 30-bit special primes feeding 26-bit scale primes) —
-         those get one pre-reduction so every term respects the batch
-         bound computed in [make_table]. *)
       let out = Rns_poly.create ~n ~basis:dst ~domain:Rns_poly.Coeff in
-      for k = 0 to Basis.size dst - 1 do
-        let qk = Basis.value dst k in
-        let olimb = Rns_poly.limb out k in
-        let factors = tbl.qhat_mod_p.(k) in
-        let reduce_src = tbl.reduce_src.(k) in
-        let batch = tbl.batch.(k) in
-        for i = 0 to n - 1 do
-          let acc = ref 0 and cnt = ref 0 in
+      (match pool with
+      | Some pl when Pool.jobs pl > 1 && (l > 1 || m > 1) ->
+          Pool.iter pl (fun j -> scale_limb tbl x ~j ~buf:scaled.(j)) (idx l);
+          Pool.iter pl (fun k -> accumulate_column tbl ~scaled ~out ~k) (idx m)
+      | _ ->
           for j = 0 to l - 1 do
-            let v0 = Array.unsafe_get (Array.unsafe_get scaled j) i in
-            let v = if Array.unsafe_get reduce_src j then v0 mod qk else v0 in
-            acc := !acc + (v * Array.unsafe_get factors j);
-            incr cnt;
-            if !cnt >= batch then begin
-              acc := !acc mod qk;
-              cnt := 1 (* the reduced sum counts as one live term *)
-            end
+            scale_limb tbl x ~j ~buf:scaled.(j)
           done;
-          Array.unsafe_set olimb i (!acc mod qk)
-        done
-      done;
+          for k = 0 to m - 1 do
+            accumulate_column tbl ~scaled ~out ~k
+          done);
       out)
+
+(* Same approximate conversion computed naively on boxed int arrays
+   with plain Modarith calls — no lazy accumulation, no Limb_buf in
+   the arithmetic.  The sum mod p_k is the same mathematical integer
+   either way, so this matches [convert] bitwise: the differential
+   tests pin that. *)
+let convert_oracle x ~dst =
+  if Rns_poly.domain x <> Rns_poly.Coeff then
+    invalid_arg "Base_conv.convert_oracle: input must be in coefficient domain";
+  let src = Rns_poly.basis x in
+  let tbl = table ~src ~dst in
+  let n = Rns_poly.n x in
+  let l = Basis.size src in
+  let scaled =
+    Array.init l (fun j ->
+        let md = Basis.modulus src j in
+        let limb = Limb_buf.to_int_array (Rns_poly.unsafe_limb_view x j) in
+        Array.map (fun v -> Modarith.mul md v tbl.qhat_inv.(j)) limb)
+  in
+  let out = Rns_poly.create ~n ~basis:dst ~domain:Rns_poly.Coeff in
+  for k = 0 to Basis.size dst - 1 do
+    let md = Basis.modulus dst k in
+    let olimb = Rns_poly.unsafe_limb_view out k in
+    for i = 0 to n - 1 do
+      let acc = ref 0 in
+      for j = 0 to l - 1 do
+        let v = Modarith.of_int md scaled.(j).(i) in
+        acc := Modarith.add md !acc (Modarith.mul md v tbl.qhat_mod_p.(k).(j))
+      done;
+      Limb_buf.set olimb i !acc
+    done
+  done;
+  out
 
 (* Exact conversion via CRT bignum reconstruction — quadratic-ish test
    oracle, also exposes the approximation slack e for property tests. *)
@@ -146,7 +207,7 @@ let convert_exact x ~dst =
       let pk = Basis.value dst k in
       let md = Basis.modulus dst k in
       let r = B.rem_small v pk in
-      (Rns_poly.limb out k).(i) <- (if negp then Modarith.neg md r else r)
+      Limb_buf.set (Rns_poly.unsafe_limb_view out k) i (if negp then Modarith.neg md r else r)
     done
   done;
   out

@@ -21,7 +21,6 @@ let of_primes primes =
   { moduli = Array.map Modarith.modulus values; values }
 
 let size t = Array.length t.values
-let values t = Array.copy t.values
 let value t i = t.values.(i)
 let modulus t i = t.moduli.(i)
 let to_list t = Array.to_list t.values
@@ -42,6 +41,7 @@ let prefix t k =
   { moduli = Array.sub t.moduli 0 k; values = Array.sub t.values 0 k }
 
 let sub t indices =
+  let indices = Array.of_list indices in
   {
     moduli = Array.map (fun i -> t.moduli.(i)) indices;
     values = Array.map (fun i -> t.values.(i)) indices;
@@ -80,7 +80,7 @@ let modular_partition t ~chips =
       for i = size t - 1 downto 0 do
         if i mod chips = c then idx := i :: !idx
       done;
-      sub t (Array.of_list !idx))
+      sub t !idx)
 
 let pp fmt t =
   Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

@@ -11,9 +11,6 @@ val of_primes : int list -> t
 (** Number of moduli (the "level" when used as a ciphertext basis). *)
 val size : t -> int
 
-(** Raw prime values, in order (fresh array). *)
-val values : t -> int array
-
 val value : t -> int -> int
 val modulus : t -> int -> Modarith.modulus
 val to_list : t -> int list
@@ -28,8 +25,8 @@ val prefix : t -> int -> t
 (** Moduli at indices [lo, hi). *)
 val prefix_range : t -> int -> int -> t
 
-(** Sub-basis by index array. *)
-val sub : t -> int array -> t
+(** Sub-basis by index list. *)
+val sub : t -> int list -> t
 
 (** Concatenation of disjoint bases; raises on overlap. *)
 val union : t -> t -> t

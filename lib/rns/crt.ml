@@ -16,6 +16,10 @@ type consts = {
   qhat_inv : int array; (* (Q/q_i)^-1 mod q_i *)
 }
 
+let q_prod c = c.q_prod
+let qhat c i = c.qhat.(i)
+let qhat_inv c i = c.qhat_inv.(i)
+
 let cache : (int list, consts) Cinnamon_util.Memo.t = Cinnamon_util.Memo.create ~size:32 ()
 
 let consts basis =

@@ -6,12 +6,16 @@
     inverses mod q_i.  Built once per basis (keyed by the prime list)
     in a mutex-guarded Memo table. *)
 
-type consts = {
-  q_prod : Cinnamon_util.Bigint.t;  (** Q *)
-  qhat : Cinnamon_util.Bigint.t array;  (** Q/q_i *)
-  qhat_inv : int array;  (** (Q/q_i){^-1} mod q_i *)
-}
+type consts
 
 val consts : Basis.t -> consts
-(** Constants for [basis]; cached.  The arrays are shared — callers
-    must not mutate them. *)
+(** Constants for [basis]; cached and immutable. *)
+
+val q_prod : consts -> Cinnamon_util.Bigint.t
+(** Q, the basis product. *)
+
+val qhat : consts -> int -> Cinnamon_util.Bigint.t
+(** Q/q{_i}. *)
+
+val qhat_inv : consts -> int -> int
+(** (Q/q{_i}){^-1} mod q{_i}. *)

@@ -1,0 +1,66 @@
+(** Flat, unboxed limb buffers — the memory representation of all RNS
+    limb data.
+
+    A limb buffer is a C-layout [int64] {!Bigarray.Array1}: contiguous
+    unboxed storage with no per-element tags, so kernels stream it at
+    memory bandwidth and hand slices to each other without copying.
+    The type is {e exposed} (not abstract) on purpose: the NTT
+    butterflies and base-conversion inner loops index it with
+    [Array1.unsafe_get]/[unsafe_set] directly, and OCaml's local int64
+    unboxing keeps those accesses allocation-free.
+
+    Values stored are always non-negative and < 2{^62}, so
+    [Int64.to_int]/[of_int] round-trip exactly; the accessors below
+    speak native [int].
+
+    Views made with {!sub} alias the parent storage — writing through a
+    view writes the parent.  This is the zero-copy handoff the kernel
+    layer is built on (a polynomial's limbs are strided views of one
+    slab); treat every view as mutable shared state.
+
+    [of_int_array]/[to_int_array] are the only sanctioned conversions
+    to boxed arrays — boundary and oracle use (tests, [of_coeffs]),
+    never kernels. *)
+
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Fresh zero-filled buffer of [len] elements.  (Bigarrays are NOT
+    zeroed by the allocator; this constructor is.) *)
+val create : int -> t
+
+(** Fresh buffer with element [i] set to [f i]. *)
+val init : int -> (int -> int) -> t
+
+val length : t -> int
+
+(** Bounds-checked accessors (native-int valued). *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** Unchecked accessors for kernel inner loops that have performed
+    their one up-front shape check. *)
+val unsafe_get : t -> int -> int
+
+val unsafe_set : t -> int -> int -> unit
+
+val fill : t -> int -> unit
+
+(** [blit ~src ~dst] copies [length src] elements; lengths must match.
+    A no-op when [src == dst]. *)
+val blit : src:t -> dst:t -> unit
+
+(** Zero-copy view of [len] elements starting at [pos].  The view
+    shares storage with [t]. *)
+val sub : t -> pos:int -> len:int -> t
+
+(** Allocating copy (never shares storage). *)
+val copy : t -> t
+
+(** Structural equality of contents. *)
+val equal : t -> t -> bool
+
+(** Boundary conversions (see module doc). *)
+val of_int_array : int array -> t
+
+val to_int_array : t -> int array

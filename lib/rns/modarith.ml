@@ -45,6 +45,20 @@ let[@inline] reduce m x =
   let t = if t >= m.q then t - m.q else t in
   if t >= m.q then t - m.q else t
 
+(* Shoup precomputation for multiplication by a fixed operand w < q:
+   with w' = floor(w * 2^31 / q), the product
+     v = x*w - (x*w' lsr 31) * q
+   is congruent to x*w mod q and lies in [0, 2q) — two multiplies, a
+   shift and a subtract, no mu chain.  The NTT butterflies use it for
+   twiddles; 31 is chosen so both x*w and x*w' stay below 2^62 for the
+   lazy input ranges the kernels maintain (x < 4q when q < 2^29,
+   x < 2q otherwise). *)
+let shoup_shift = 31
+
+let shoup m w =
+  if w < 0 || w >= m.q then invalid_arg "Modarith.shoup: operand not a residue";
+  (w lsl shoup_shift) / m.q
+
 let[@inline] add m a b =
   let s = a + b in
   if s >= m.q then s - m.q else s

@@ -27,6 +27,16 @@ val reduce : modulus -> int -> int
     [x < q²]. *)
 val barrett : modulus -> int * int * int
 
+(** Shift used by {!shoup} constants (31). *)
+val shoup_shift : int
+
+(** Shoup constant [w' = floor(w·2{^31} / q)] for a fixed multiplicand
+    [w < q].  Callers inline
+    [x*w - ((x*w') lsr shoup_shift) * q ∈ \[0, 2q)] into hot loops;
+    the products stay below 2{^62} for any [x < 4q] when [q < 2{^29}]
+    (and for [x < 2q] at the full 30-bit width). *)
+val shoup : modulus -> int -> int
+
 val add : modulus -> int -> int -> int
 val sub : modulus -> int -> int -> int
 val neg : modulus -> int -> int

@@ -1,4 +1,5 @@
-(* Negacyclic Number Theoretic Transform over Z_q[X]/(X^N + 1).
+(* Negacyclic Number Theoretic Transform over Z_q[X]/(X^N + 1), on
+   flat Limb_buf storage.
 
    We use the standard fused-psi formulation: with psi a primitive
    2N-th root of unity mod q, the forward transform is a Cooley–Tukey
@@ -13,16 +14,58 @@
    psi^(2*br(j) + 1).  This is what makes the Eval-domain Galois
    permutation below a pure index shuffle.
 
+   Reduction strategy (Harvey-style): butterflies keep residues in a
+   redundant representation instead of canonically reducing every
+   output.  Twiddle products use Shoup constants (Modarith.shoup):
+   v = x*w - (x*w' lsr 31)*q lies in [0, 2q) at the cost of two
+   multiplies, a shift and a subtract.  When q < 2^29 the forward pass
+   lets values drift up to < 4q and re-centers one butterfly input per
+   visit with a single conditional subtract, folding the full
+   reduction to [0, q) into the final t = 1 stage; at the full 30-bit
+   modulus width the invariant tightens to < 2q so every product stays
+   below 2^62.  The inverse keeps everything < 2q and reduces during
+   the N^-1 scaling.  Corrections are branchless
+   (r + (c land (r asr 62)) after r = x - c) — the butterfly loop is
+   the hottest loop in the library and mispredicts would dominate.
+
+   Parallel decomposition (forward; the inverse mirrors it): butterfly
+   b of stage m sits in block i = b/t (t = N/2m) at index j = i*t + b,
+   so consecutive butterflies write consecutive indices.  With P a
+   power of two, split the N/2 butterflies into P equal chunks.
+   Early stages (m < P) have blocks spanning >= 2 chunks, so each
+   chunk lies inside one block (constant twiddle) and stages need a
+   barrier between them: one Pool round per stage.  Once m >= P,
+   blocks fit inside a chunk and chunk c's writes stay inside the
+   index region [c*N/P, (c+1)*N/P) for every remaining stage, so a
+   single Pool round runs all of them region-locally.  Every butterfly
+   computes the exact same scalar operations as the sequential code
+   and all writes are disjoint, so results are bit-identical for any
+   P — `--jobs` never changes output.
+
    Tables are computed once per (q, N) and cached; the caches are
    Memo tables because plans are built lazily from concurrent domains
    (lib/exec pool). *)
+
+module Pool = Cinnamon_pool.Pool
+
+(* Local bigarray accessors for the butterfly loops.  Limb_buf exposes
+   identical [@inline] wrappers, but dune's dev profile compiles with
+   -opaque, which disables cross-module inlining — a call per memory
+   access in the hottest loop of the library.  Same-unit definitions
+   inline under every build profile. *)
+let[@inline always] bget (a : Limb_buf.t) i = Int64.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline always] bset (a : Limb_buf.t) i v = Bigarray.Array1.unsafe_set a i (Int64.of_int v)
 
 type plan = {
   md : Modarith.modulus;
   n : int;
   psi_br : int array; (* powers of psi in bit-reversed order, length n *)
+  psi_sh : int array; (* Shoup constants for psi_br *)
   inv_psi_br : int array; (* powers of psi^-1 in bit-reversed order *)
+  inv_psi_sh : int array; (* Shoup constants for inv_psi_br *)
   n_inv : int; (* N^-1 mod q *)
+  n_inv_sh : int; (* Shoup constant for n_inv *)
+  lazy4 : bool; (* 4q < 2^31: forward may hold values < 4q *)
 }
 
 let plans : (int * int, plan) Cinnamon_util.Memo.t = Cinnamon_util.Memo.create ~size:64 ()
@@ -40,26 +83,424 @@ let make_plan ~q ~n =
   in
   let bits = Cinnamon_util.Bitops.log2_exact n in
   let reorder a = Array.init n (fun i -> a.(Cinnamon_util.Bitops.bit_reverse i ~bits)) in
+  let psi_br = reorder (powers psi) in
+  let inv_psi_br = reorder (powers inv_psi) in
+  let n_inv = Modarith.inv md n in
   {
     md;
     n;
-    psi_br = reorder (powers psi);
-    inv_psi_br = reorder (powers inv_psi);
-    n_inv = Modarith.inv md n;
+    psi_br;
+    psi_sh = Array.map (Modarith.shoup md) psi_br;
+    inv_psi_br;
+    inv_psi_sh = Array.map (Modarith.shoup md) inv_psi_br;
+    n_inv;
+    n_inv_sh = Modarith.shoup md n_inv;
+    lazy4 = 4 * q < 1 lsl 31;
   }
 
 let plan ~q ~n =
   if not (Cinnamon_util.Bitops.is_pow2 n) then invalid_arg "Ntt.plan: N not a power of 2";
   Cinnamon_util.Memo.get plans (q, n) (fun () -> make_plan ~q ~n)
 
-(* Forward negacyclic NTT, in place (Cooley–Tukey DIT, natural order
-   input, bit-reversed twiddle indexing).  The butterfly loop is the
-   single hottest loop in the library, so the Barrett reduction is
-   inlined and all array accesses are unsafe behind the one length
-   check at entry. *)
-let forward_in_place plan a =
+let plan_n plan = plan.n
+let plan_modulus plan = plan.md
+
+(* ------------------------------------------------------------------ *)
+(* Sequential forward.  The 4q-lazy variant is the benchmark path:
+   unrolled by two (block length t is a power of two >= 2 in every
+   non-final stage, so there is never a tail) with the final t = 1
+   stage specialized to emit canonical residues. *)
+
+let forward_seq plan (a : Limb_buf.t) =
   let n = plan.n in
-  if Array.length a <> n then invalid_arg "Ntt.forward_in_place: length";
+  let q = Modarith.q plan.md in
+  let q2 = q * 2 in
+  let sh = Modarith.shoup_shift in
+  let psi_br = plan.psi_br and psi_sh = plan.psi_sh in
+  if plan.lazy4 then begin
+    let t = ref n and m = ref 1 in
+    while !m < n do
+      t := !t / 2;
+      let mm = !m in
+      if 2 * mm >= n then
+        (* final stage, t = 1: inputs < 4q, outputs canonical [0, q) *)
+        for i = 0 to mm - 1 do
+          let j = 2 * i in
+          let w = Array.unsafe_get psi_br (mm + i) in
+          let w' = Array.unsafe_get psi_sh (mm + i) in
+          let u = bget a j in
+          let u = let r = u - q2 in r + (q2 land (r asr 62)) in
+          let x1 = bget a (j + 1) in
+          let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+          let s0 = u + v in
+          let s0 = let r = s0 - q2 in r + (q2 land (r asr 62)) in
+          let s0 = let r = s0 - q in r + (q land (r asr 62)) in
+          bset a j s0;
+          let d = u - v + q2 in
+          let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+          let d = let r = d - q in r + (q land (r asr 62)) in
+          bset a (j + 1) d
+        done
+      else begin
+        let tt = !t in
+        for i = 0 to mm - 1 do
+          let w = Array.unsafe_get psi_br (mm + i) in
+          let w' = Array.unsafe_get psi_sh (mm + i) in
+          let j1 = 2 * i * tt in
+          let stop = j1 + tt in
+          let j = ref j1 in
+          while !j < stop do
+            let j0 = !j in
+            let u = bget a j0 in
+            let u = let r = u - q2 in r + (q2 land (r asr 62)) in
+            let x1 = bget a (j0 + tt) in
+            let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+            bset a j0 (u + v);
+            bset a (j0 + tt) (u - v + q2);
+            let u = bget a (j0 + 1) in
+            let u = let r = u - q2 in r + (q2 land (r asr 62)) in
+            let x1 = bget a (j0 + 1 + tt) in
+            let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+            bset a (j0 + 1) (u + v);
+            bset a (j0 + 1 + tt) (u - v + q2);
+            j := j0 + 2
+          done
+        done
+      end;
+      m := mm * 2
+    done
+  end
+  else begin
+    (* full 30-bit moduli: keep every value < 2q *)
+    let t = ref n and m = ref 1 in
+    while !m < n do
+      t := !t / 2;
+      let mm = !m and tt = !t in
+      let last = 2 * mm >= n in
+      for i = 0 to mm - 1 do
+        let w = Array.unsafe_get psi_br (mm + i) in
+        let w' = Array.unsafe_get psi_sh (mm + i) in
+        let j1 = 2 * i * tt in
+        let j2 = j1 + tt - 1 in
+        if last then
+          for j = j1 to j2 do
+            let u = bget a j in
+            let x1 = bget a (j + tt) in
+            let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+            let s0 = u + v in
+            let s0 = let r = s0 - q2 in r + (q2 land (r asr 62)) in
+            let s0 = let r = s0 - q in r + (q land (r asr 62)) in
+            bset a j s0;
+            let d = u - v + q2 in
+            let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+            let d = let r = d - q in r + (q land (r asr 62)) in
+            bset a (j + tt) d
+          done
+        else
+          for j = j1 to j2 do
+            let u = bget a j in
+            let x1 = bget a (j + tt) in
+            let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+            let s0 = u + v in
+            let s0 = let r = s0 - q2 in r + (q2 land (r asr 62)) in
+            bset a j s0;
+            let d = u - v + q2 in
+            let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+            bset a (j + tt) d
+          done
+      done;
+      m := mm * 2
+    done
+  end
+
+(* Butterflies [b0, b1) of forward stage m (stride t = n/2m), exactly
+   the scalar operations of forward_seq per butterfly — the parallel
+   split must stay bit-identical to the sequential path. *)
+let fwd_range plan (a : Limb_buf.t) ~m ~t ~b0 ~b1 =
+  let q = Modarith.q plan.md in
+  let q2 = q * 2 in
+  let sh = Modarith.shoup_shift in
+  let psi_br = plan.psi_br and psi_sh = plan.psi_sh in
+  let last = 2 * m >= plan.n in
+  let lazy4 = plan.lazy4 in
+  let i0 = b0 / t and i1 = (b1 - 1) / t in
+  for i = i0 to i1 do
+    let bl = let x = i * t in if b0 > x then b0 else x in
+    let bh = let x = (i + 1) * t in if b1 < x then b1 else x in
+    let w = Array.unsafe_get psi_br (m + i) in
+    let w' = Array.unsafe_get psi_sh (m + i) in
+    let jl = (i * t) + bl and jh = (i * t) + bh - 1 in
+    if last then
+      if lazy4 then
+        for j = jl to jh do
+          let u = bget a j in
+          let u = let r = u - q2 in r + (q2 land (r asr 62)) in
+          let x1 = bget a (j + t) in
+          let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+          let s0 = u + v in
+          let s0 = let r = s0 - q2 in r + (q2 land (r asr 62)) in
+          let s0 = let r = s0 - q in r + (q land (r asr 62)) in
+          bset a j s0;
+          let d = u - v + q2 in
+          let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+          let d = let r = d - q in r + (q land (r asr 62)) in
+          bset a (j + t) d
+        done
+      else
+        for j = jl to jh do
+          let u = bget a j in
+          let x1 = bget a (j + t) in
+          let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+          let s0 = u + v in
+          let s0 = let r = s0 - q2 in r + (q2 land (r asr 62)) in
+          let s0 = let r = s0 - q in r + (q land (r asr 62)) in
+          bset a j s0;
+          let d = u - v + q2 in
+          let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+          let d = let r = d - q in r + (q land (r asr 62)) in
+          bset a (j + t) d
+        done
+    else if lazy4 then
+      for j = jl to jh do
+        let u = bget a j in
+        let u = let r = u - q2 in r + (q2 land (r asr 62)) in
+        let x1 = bget a (j + t) in
+        let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+        bset a j (u + v);
+        bset a (j + t) (u - v + q2)
+      done
+    else
+      for j = jl to jh do
+        let u = bget a j in
+        let x1 = bget a (j + t) in
+        let v = (x1 * w) - (((x1 * w') lsr sh) * q) in
+        let s0 = u + v in
+        let s0 = let r = s0 - q2 in r + (q2 land (r asr 62)) in
+        bset a j s0;
+        let d = u - v + q2 in
+        let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+        bset a (j + t) d
+      done
+  done
+
+(* Butterflies [b0, b1) of the inverse (Gentleman–Sande) stage with h
+   blocks of stride t.  The inverse keeps every value < 2q: the sum
+   leg gets one conditional subtract, the difference leg exits through
+   the Shoup product which lands in [0, 2q) by construction. *)
+let inv_range plan (a : Limb_buf.t) ~h ~t ~b0 ~b1 =
+  let q = Modarith.q plan.md in
+  let q2 = q * 2 in
+  let sh = Modarith.shoup_shift in
+  let ipsi = plan.inv_psi_br and ipsh = plan.inv_psi_sh in
+  let i0 = b0 / t and i1 = (b1 - 1) / t in
+  for i = i0 to i1 do
+    let bl = let x = i * t in if b0 > x then b0 else x in
+    let bh = let x = (i + 1) * t in if b1 < x then b1 else x in
+    let s = Array.unsafe_get ipsi (h + i) in
+    let s' = Array.unsafe_get ipsh (h + i) in
+    let jl = (i * t) + bl and jh = (i * t) + bh - 1 in
+    if plan.lazy4 then
+      for j = jl to jh do
+        let u = bget a j in
+        let v = bget a (j + t) in
+        let su = u + v in
+        let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+        bset a j su;
+        let d = u - v + q2 in
+        let x = (d * s) - (((d * s') lsr sh) * q) in
+        bset a (j + t) x
+      done
+    else
+      for j = jl to jh do
+        let u = bget a j in
+        let v = bget a (j + t) in
+        let su = u + v in
+        let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+        bset a j su;
+        let d = u - v + q2 in
+        (* 30-bit q: fold d below 2q so d * s' stays under 2^62 *)
+        let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+        let x = (d * s) - (((d * s') lsr sh) * q) in
+        bset a (j + t) x
+      done
+  done
+
+(* Final N^-1 scaling of the inverse; reduces < 2q values to [0, q). *)
+let inv_scale_range plan (a : Limb_buf.t) ~lo ~hi =
+  let q = Modarith.q plan.md in
+  let sh = Modarith.shoup_shift in
+  let ninv = plan.n_inv and ninv' = plan.n_inv_sh in
+  for j = lo to hi - 1 do
+    let x = bget a j in
+    let v = (x * ninv) - (((x * ninv') lsr sh) * q) in
+    let v = let r = v - q in r + (q land (r asr 62)) in
+    bset a j v
+  done
+
+let inverse_seq plan (a : Limb_buf.t) =
+  let n = plan.n in
+  let half = n / 2 in
+  let m = ref n and t = ref 1 in
+  while !m > 1 do
+    let h = !m / 2 in
+    inv_range plan a ~h ~t:!t ~b0:0 ~b1:half;
+    t := !t * 2;
+    m := h
+  done;
+  inv_scale_range plan a ~lo:0 ~hi:n
+
+(* ------------------------------------------------------------------ *)
+(* Parallel drivers (see the decomposition note at the top). *)
+
+let min_parallel_n = 4096
+
+let pow2_le x =
+  let r = ref 1 in
+  while !r * 2 <= x do
+    r := !r * 2
+  done;
+  !r
+
+(* Worker count for the split: the largest power of two within the
+   pool, capped so every chunk keeps >= 512 butterflies. *)
+let split_width pool n =
+  match pool with
+  | Some pl when n >= min_parallel_n && Pool.jobs pl > 1 ->
+      let p = pow2_le (Pool.jobs pl) in
+      let p = if p > n / 1024 then n / 1024 else p in
+      if p >= 2 then Some (pl, p) else None
+  | _ -> None
+
+let idx p = List.init p (fun i -> i)
+
+let forward_par plan pl (a : Limb_buf.t) ~p =
+  let n = plan.n in
+  let chunk = n / 2 / p in
+  (* stages m < p: chunks sit inside one block; barrier per stage *)
+  let m = ref 1 and t = ref n in
+  while !m < p do
+    t := !t / 2;
+    let mm = !m and tt = !t in
+    Pool.iter pl
+      (fun c -> fwd_range plan a ~m:mm ~t:tt ~b0:(c * chunk) ~b1:((c + 1) * chunk))
+      (idx p);
+    m := mm * 2
+  done;
+  (* stages m >= p: region-local, one barrier for all of them *)
+  Pool.iter pl
+    (fun r ->
+      let b0 = r * chunk and b1 = (r + 1) * chunk in
+      let m = ref p and t = ref (n / (2 * p)) in
+      while !m < n do
+        fwd_range plan a ~m:!m ~t:!t ~b0 ~b1;
+        m := !m * 2;
+        t := !t / 2
+      done)
+    (idx p)
+
+let inverse_par plan pl (a : Limb_buf.t) ~p =
+  let n = plan.n in
+  let chunk = n / 2 / p in
+  (* stages with h >= p blocks: region-local, one barrier *)
+  Pool.iter pl
+    (fun r ->
+      let b0 = r * chunk and b1 = (r + 1) * chunk in
+      let m = ref n and t = ref 1 in
+      while !m / 2 >= p do
+        let h = !m / 2 in
+        inv_range plan a ~h ~t:!t ~b0 ~b1;
+        t := !t * 2;
+        m := h
+      done)
+    (idx p);
+  (* stages with h < p blocks: barrier per stage *)
+  let m = ref p and t = ref (n / p) in
+  while !m > 1 do
+    let h = !m / 2 in
+    let tt = !t in
+    Pool.iter pl
+      (fun c -> inv_range plan a ~h ~t:tt ~b0:(c * chunk) ~b1:((c + 1) * chunk))
+      (idx p);
+    t := tt * 2;
+    m := h
+  done;
+  let sc = n / p in
+  Pool.iter pl (fun c -> inv_scale_range plan a ~lo:(c * sc) ~hi:((c + 1) * sc)) (idx p)
+
+(* ------------------------------------------------------------------ *)
+
+let check_into name plan ~src ~dst =
+  if Limb_buf.length src <> plan.n || Limb_buf.length dst <> plan.n then
+    invalid_arg (name ^ ": length")
+
+let forward_into ?pool plan ~src ~dst =
+  check_into "Ntt.forward_into" plan ~src ~dst;
+  Limb_buf.blit ~src ~dst;
+  match split_width pool plan.n with
+  | Some (pl, p) -> forward_par plan pl dst ~p
+  | None -> forward_seq plan dst
+
+let inverse_into ?pool plan ~src ~dst =
+  check_into "Ntt.inverse_into" plan ~src ~dst;
+  Limb_buf.blit ~src ~dst;
+  match split_width pool plan.n with
+  | Some (pl, p) -> inverse_par plan pl dst ~p
+  | None -> inverse_seq plan dst
+
+(* Eval-domain Galois permutation for the automorphism tau_k : X -> X^k
+   (k odd, taken mod 2N).
+
+   Slot j of the forward transform holds the evaluation at
+   psi^(2*br(j)+1).  Since (tau_k f)(psi^e) = f(psi^(e*k mod 2N)) and
+   e*k mod 2N is again odd, applying tau_k in the Eval domain moves the
+   value stored at exponent e*k into the slot for exponent e:
+
+     out.(j) = in.(perm.(j))   with
+     perm.(j) = br(((k * (2*br(j)+1)) mod 2N - 1) / 2)
+
+   A pure index shuffle — no modular arithmetic, no sign flips — and
+   bitwise-identical to conjugating through INTT/NTT (the Coeff-domain
+   path stays available as the test oracle).  Permutations are cached
+   per (n, k), like plans.  Exponents stay below 2^34 so the product
+   k * (2*br(j)+1) never overflows. *)
+
+type perm = int array
+
+let galois_perms : (int * int, int array) Cinnamon_util.Memo.t =
+  Cinnamon_util.Memo.create ~size:64 ()
+
+let galois_perm ~n ~k : perm =
+  if not (Cinnamon_util.Bitops.is_pow2 n) then invalid_arg "Ntt.galois_perm: N not a power of 2";
+  let two_n = 2 * n in
+  let k = ((k mod two_n) + two_n) mod two_n in
+  if k land 1 = 0 then invalid_arg "Ntt.galois_perm: k must be odd";
+  Cinnamon_util.Memo.get galois_perms (n, k) (fun () ->
+      let bits = Cinnamon_util.Bitops.log2_exact n in
+      Array.init n (fun j ->
+          let e = (2 * Cinnamon_util.Bitops.bit_reverse j ~bits) + 1 in
+          let e' = e * k mod two_n in
+          Cinnamon_util.Bitops.bit_reverse ((e' - 1) / 2) ~bits))
+
+let perm_nth (p : perm) j = p.(j)
+
+let apply_perm_into (p : perm) ~src ~dst =
+  let n = Array.length p in
+  if Limb_buf.length src <> n || Limb_buf.length dst <> n then
+    invalid_arg "Ntt.apply_perm_into: length";
+  for j = 0 to n - 1 do
+    bset dst j (bget src (Array.unsafe_get p j))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Test oracles on boxed int arrays.  These are the PR 3 Barrett
+   kernels kept verbatim: an independent code path (different
+   reduction, different storage) that the differential tests pin the
+   Limb_buf kernels against, bitwise. *)
+
+let forward_oracle plan a =
+  let n = plan.n in
+  if Array.length a <> n then invalid_arg "Ntt.forward_oracle: length";
+  let a = Array.copy a in
   let q, mu, shift = Modarith.barrett plan.md in
   let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
   let psi_br = plan.psi_br in
@@ -83,12 +524,13 @@ let forward_in_place plan a =
       done
     done;
     m := !m * 2
-  done
+  done;
+  a
 
-(* Inverse negacyclic NTT, in place (Gentleman–Sande DIF). *)
-let inverse_in_place plan a =
+let inverse_oracle plan a =
   let n = plan.n in
-  if Array.length a <> n then invalid_arg "Ntt.inverse_in_place: length";
+  if Array.length a <> n then invalid_arg "Ntt.inverse_oracle: length";
+  let a = Array.copy a in
   let q, mu, shift = Modarith.barrett plan.md in
   let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
   let inv_psi_br = plan.inv_psi_br in
@@ -122,62 +564,8 @@ let inverse_in_place plan a =
     let w = x - (((x lsr sh1) * mu) lsr sh2) * q in
     let w = if w >= q then w - q else w in
     Array.unsafe_set a j (if w >= q then w - q else w)
-  done
-
-(* Into-buffer variants: transform [src] into [dst] without allocating.
-   [dst == src] is allowed (the blit degenerates to a no-op). *)
-let forward_into plan ~src ~dst =
-  if Array.length src <> plan.n || Array.length dst <> plan.n then
-    invalid_arg "Ntt.forward_into: length";
-  if dst != src then Array.blit src 0 dst 0 plan.n;
-  forward_in_place plan dst
-
-let inverse_into plan ~src ~dst =
-  if Array.length src <> plan.n || Array.length dst <> plan.n then
-    invalid_arg "Ntt.inverse_into: length";
-  if dst != src then Array.blit src 0 dst 0 plan.n;
-  inverse_in_place plan dst
-
-let forward plan a =
-  let b = Array.copy a in
-  forward_in_place plan b;
-  b
-
-let inverse plan a =
-  let b = Array.copy a in
-  inverse_in_place plan b;
-  b
-
-(* Eval-domain Galois permutation for the automorphism tau_k : X -> X^k
-   (k odd, taken mod 2N).
-
-   Slot j of the forward transform holds the evaluation at
-   psi^(2*br(j)+1).  Since (tau_k f)(psi^e) = f(psi^(e*k mod 2N)) and
-   e*k mod 2N is again odd, applying tau_k in the Eval domain moves the
-   value stored at exponent e*k into the slot for exponent e:
-
-     out.(j) = in.(perm.(j))   with
-     perm.(j) = br(((k * (2*br(j)+1)) mod 2N - 1) / 2)
-
-   A pure index shuffle — no modular arithmetic, no sign flips — and
-   bitwise-identical to conjugating through INTT/NTT (the Coeff-domain
-   path stays available as the test oracle).  Permutations are cached
-   per (n, k), like plans.  Exponents stay below 2^34 so the product
-   k * (2*br(j)+1) never overflows. *)
-let galois_perms : (int * int, int array) Cinnamon_util.Memo.t =
-  Cinnamon_util.Memo.create ~size:64 ()
-
-let galois_perm ~n ~k =
-  if not (Cinnamon_util.Bitops.is_pow2 n) then invalid_arg "Ntt.galois_perm: N not a power of 2";
-  let two_n = 2 * n in
-  let k = ((k mod two_n) + two_n) mod two_n in
-  if k land 1 = 0 then invalid_arg "Ntt.galois_perm: k must be odd";
-  Cinnamon_util.Memo.get galois_perms (n, k) (fun () ->
-      let bits = Cinnamon_util.Bitops.log2_exact n in
-      Array.init n (fun j ->
-          let e = (2 * Cinnamon_util.Bitops.bit_reverse j ~bits) + 1 in
-          let e' = e * k mod two_n in
-          Cinnamon_util.Bitops.bit_reverse ((e' - 1) / 2) ~bits))
+  done;
+  a
 
 (* Schoolbook negacyclic convolution; quadratic, test oracle only. *)
 let negacyclic_mul_naive md a b =

@@ -1,13 +1,18 @@
-(** Negacyclic NTT over Z{_q}[X]/(X{^N}+1).
+(** Negacyclic NTT over Z{_q}[X]/(X{^N}+1) on {!Limb_buf} storage.
 
     Fused-psi formulation: pointwise products of transformed
     polynomials realize negacyclic convolution with no zero padding.
     Slot [j] of the forward transform holds the evaluation at
     psi{^2·br(j)+1} (br = bit reversal), which makes Galois
-    automorphisms pure slot permutations in the Eval domain.  Twiddle
-    tables and permutations are cached per (q, N) / (N, k) in
-    mutex-guarded {!Cinnamon_util.Memo} tables, safe under concurrent
-    domains. *)
+    automorphisms pure slot permutations in the Eval domain.
+
+    Butterflies run in a Harvey-style redundant representation
+    (values < 4q for q < 2{^29}, < 2q at the full 30-bit width) with
+    Shoup twiddle products and a single final reduction, and can split
+    deterministically across a {!Cinnamon_pool.Pool} — output is
+    bit-identical for every worker count.  Twiddle tables and
+    permutations are cached per (q, N) / (N, k) in mutex-guarded
+    {!Cinnamon_util.Memo} tables, safe under concurrent domains. *)
 
 type plan
 
@@ -15,29 +20,45 @@ type plan
     power-of-two ring dimension [n]. [q] must be ≡ 1 (mod 2n). *)
 val plan : q:int -> n:int -> plan
 
-(** Forward transform, in place, natural-order input and output. *)
-val forward_in_place : plan -> int array -> unit
+val plan_n : plan -> int
+val plan_modulus : plan -> Modarith.modulus
 
-(** Inverse transform, in place, including the N{^-1} scaling. *)
-val inverse_in_place : plan -> int array -> unit
+(** Forward transform of [src] into [dst] (natural-order input and
+    output, canonical [0, q) residues both ways).  [dst] may be the
+    same buffer as [src]; distinct overlapping views are not allowed.
+    With [pool] (of 2+ jobs, [n >= 4096]) the butterfly passes split
+    across domains — bit-identical to the sequential path for any job
+    count.  Only call with [pool] from the domain that owns it. *)
+val forward_into : ?pool:Cinnamon_pool.Pool.t -> plan -> src:Limb_buf.t -> dst:Limb_buf.t -> unit
 
-(** Into-buffer variants; [dst] may alias [src]. *)
-val forward_into : plan -> src:int array -> dst:int array -> unit
+(** Inverse transform, including the N{^-1} scaling; same aliasing and
+    pool contract as {!forward_into}. *)
+val inverse_into : ?pool:Cinnamon_pool.Pool.t -> plan -> src:Limb_buf.t -> dst:Limb_buf.t -> unit
 
-val inverse_into : plan -> src:int array -> dst:int array -> unit
+(** Eval-domain slot permutation for the Galois automorphism
+    X ↦ X{^k} ([k] odd, taken mod 2N): [out.(j) = in.(nth perm j)]
+    applied to every Eval-domain limb equals the Coeff-domain
+    automorphism conjugated through the transform, bitwise.  Cached
+    per (n, k). *)
+type perm
 
-(** Allocating variants. *)
-val forward : plan -> int array -> int array
+val galois_perm : n:int -> k:int -> perm
 
-val inverse : plan -> int array -> int array
+(** Source slot feeding output slot [j]. *)
+val perm_nth : perm -> int -> int
 
-(** Eval-domain permutation for the Galois automorphism
-    X ↦ X{^k} ([k] odd, taken mod 2N): applying
-    [out.(j) = in.(perm.(j))] to every Eval-domain limb equals the
-    Coeff-domain automorphism conjugated through the transform,
-    bitwise.  Cached per (n, k).  The returned array is shared —
-    callers must not mutate it. *)
-val galois_perm : n:int -> k:int -> int array
+(** [dst.(j) <- src.(nth perm j)] for all [j]; [src] and [dst] must
+    not overlap. *)
+val apply_perm_into : perm -> src:Limb_buf.t -> dst:Limb_buf.t -> unit
 
-(** Quadratic schoolbook negacyclic product — test oracle. *)
+(** {2 Test oracles}
+
+    Independent reference implementations on boxed [int array]s — the
+    PR 3 Barrett kernels, kept verbatim so differential tests can pin
+    the Limb_buf kernels bitwise against a different code path. *)
+
+val forward_oracle : plan -> int array -> int array
+val inverse_oracle : plan -> int array -> int array
+
+(** Quadratic schoolbook negacyclic product. *)
 val negacyclic_mul_naive : Modarith.modulus -> int array -> int array -> int array

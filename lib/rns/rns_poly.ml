@@ -5,16 +5,31 @@
    parallel across limbs; base conversion (see Base_conv) is the
    exception.
 
+   Storage is ONE contiguous Limb_buf of level*n elements per
+   polynomial; limb i is the zero-copy view [i*n, (i+1)*n).  Kernels
+   (Ntt, Base_conv) take those views directly, so limb data moves
+   between operations without ever round-tripping through boxed
+   arrays, and whole-polynomial copies/compares are single flat
+   blits.  The views are cut once at construction — the [limbs] field
+   is derived state over [buf], never separate storage.
+
    The representation domain is tracked explicitly: Eval (NTT/
    evaluation domain, the default for arithmetic) or Coeff (coefficient
    domain, required by base conversion).  Mixing domains is a
    programming error and raises.
 
    Limb arithmetic is written as specialized first-order loops with
-   one up-front shape check per operation and unsafe accesses inside —
-   the closure-per-element Array.init style was the dominant allocation
-   source at N = 2^16.  Every binary operation has an into-buffer
-   variant ([add_into] etc.); the allocating form is create + into. *)
+   one up-front shape check per operation and unsafe accesses inside.
+   Every binary operation has an into-buffer variant ([add_into] etc.);
+   the allocating form is create + into. *)
+
+(* Same-unit bigarray accessors: dune's dev profile compiles with
+   -opaque, so the [@inline] wrappers in Limb_buf are not inlined
+   across modules — these local twins are (see Ntt). *)
+let[@inline always] bget (a : Limb_buf.t) i = Int64.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline always] bset (a : Limb_buf.t) i v = Bigarray.Array1.unsafe_set a i (Int64.of_int v)
+
+module Pool = Cinnamon_pool.Pool
 
 type domain = Coeff | Eval
 
@@ -22,55 +37,58 @@ type t = {
   n : int;
   basis : Basis.t;
   domain : domain;
-  limbs : int array array; (* limbs.(i).(j): j-th entry of limb i *)
+  buf : Limb_buf.t; (* level * n contiguous elements *)
+  limbs : Limb_buf.t array; (* limbs.(i) views buf at [i*n, (i+1)*n) *)
 }
 
 let n t = t.n
 let basis t = t.basis
 let domain t = t.domain
 let level t = Basis.size t.basis
-let limb t i = t.limbs.(i)
+let unsafe_limb_view t i = t.limbs.(i)
+let copy_limb t i = Limb_buf.copy t.limbs.(i)
+
+let cut_views ~n buf level = Array.init level (fun i -> Limb_buf.sub buf ~pos:(i * n) ~len:n)
 
 let create ~n ~basis ~domain =
-  { n; basis; domain; limbs = Array.init (Basis.size basis) (fun _ -> Array.make n 0) }
+  let level = Basis.size basis in
+  let buf = Limb_buf.create (level * n) in
+  { n; basis; domain; buf; limbs = cut_views ~n buf level }
 
 let zero ~n ~basis = create ~n ~basis ~domain:Eval
 
-let copy t = { t with limbs = Array.map Array.copy t.limbs }
+let copy t =
+  let buf = Limb_buf.copy t.buf in
+  { t with buf; limbs = cut_views ~n:t.n buf (level t) }
 
-let create_like a =
-  { a with limbs = Array.init (Array.length a.limbs) (fun _ -> Array.make a.n 0) }
+let create_like a = create ~n:a.n ~basis:a.basis ~domain:a.domain
 
 (* Build from signed coefficients: limb i is coeffs mod q_i. *)
 let of_coeffs ~basis ~domain coeffs =
   let n = Array.length coeffs in
-  {
-    n;
-    basis;
-    domain;
-    limbs =
-      Array.init (Basis.size basis) (fun i ->
-          let md = Basis.modulus basis i in
-          Array.map (fun c -> Modarith.of_int md c) coeffs);
-  }
+  let out = create ~n ~basis ~domain in
+  for i = 0 to Basis.size basis - 1 do
+    let md = Basis.modulus basis i in
+    let li = out.limbs.(i) in
+    for j = 0 to n - 1 do
+      bset li j (Modarith.of_int md (Array.unsafe_get coeffs j))
+    done
+  done;
+  out
 
 let check_compat a b =
   if a.n <> b.n then invalid_arg "Rns_poly: ring dimension mismatch";
   if not (Basis.equal a.basis b.basis) then invalid_arg "Rns_poly: basis mismatch";
   if a.domain <> b.domain then invalid_arg "Rns_poly: domain mismatch"
 
-(* One shape check per (dst, a, b) limb triple; the loops below then
-   run unchecked. *)
-let check_limbs3 name n la lb ld =
-  if Array.length la <> n || Array.length lb <> n || Array.length ld <> n then
-    invalid_arg (name ^ ": limb length mismatch")
-
 let check_dst name dst a =
   if dst.n <> a.n then invalid_arg (name ^ ": ring dimension mismatch");
   if not (Basis.equal dst.basis a.basis) then invalid_arg (name ^ ": basis mismatch");
   if dst.domain <> a.domain then invalid_arg (name ^ ": domain mismatch")
 
-(* dst may alias a and/or b. *)
+(* dst may alias a and/or b — limb views always carry exactly n
+   elements by construction, so the compat checks above are the whole
+   shape proof and the loops run unchecked. *)
 let add_into ~dst a b =
   check_compat a b;
   check_dst "Rns_poly.add_into" dst a;
@@ -78,10 +96,9 @@ let add_into ~dst a b =
   for i = 0 to level a - 1 do
     let q = Modarith.q (Basis.modulus a.basis i) in
     let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
-    check_limbs3 "Rns_poly.add_into" n la lb ld;
     for j = 0 to n - 1 do
-      let s = Array.unsafe_get la j + Array.unsafe_get lb j in
-      Array.unsafe_set ld j (if s >= q then s - q else s)
+      let s = bget la j + bget lb j in
+      bset ld j (if s >= q then s - q else s)
     done
   done
 
@@ -92,10 +109,9 @@ let sub_into ~dst a b =
   for i = 0 to level a - 1 do
     let q = Modarith.q (Basis.modulus a.basis i) in
     let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
-    check_limbs3 "Rns_poly.sub_into" n la lb ld;
     for j = 0 to n - 1 do
-      let d = Array.unsafe_get la j - Array.unsafe_get lb j in
-      Array.unsafe_set ld j (if d < 0 then d + q else d)
+      let d = bget la j - bget lb j in
+      bset ld j (if d < 0 then d + q else d)
     done
   done
 
@@ -109,12 +125,11 @@ let mul_into ~dst a b =
     let q, mu, shift = Modarith.barrett (Basis.modulus a.basis i) in
     let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
     let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
-    check_limbs3 "Rns_poly.mul_into" n la lb ld;
     for j = 0 to n - 1 do
-      let x = Array.unsafe_get la j * Array.unsafe_get lb j in
+      let x = bget la j * bget lb j in
       let r = x - (((x lsr sh1) * mu) lsr sh2) * q in
       let r = if r >= q then r - q else r in
-      Array.unsafe_set ld j (if r >= q then r - q else r)
+      bset ld j (if r >= q then r - q else r)
     done
   done
 
@@ -145,68 +160,68 @@ let neg a =
     let q = Modarith.q (Basis.modulus a.basis i) in
     let la = a.limbs.(i) and ld = dst.limbs.(i) in
     for j = 0 to n - 1 do
-      let x = Array.unsafe_get la j in
-      Array.unsafe_set ld j (if x = 0 then 0 else q - x)
+      let x = bget la j in
+      bset ld j (if x = 0 then 0 else q - x)
     done
   done;
   dst
 
-(* Multiply limb i by a per-limb (signed) scalar s.(i); dst may alias a. *)
+(* Multiply limb i by the signed scalar [s i]; dst may alias a. *)
 let scalar_mul_per_limb_into ~dst a s =
-  if Array.length s <> level a then invalid_arg "Rns_poly.scalar_mul_per_limb";
   check_dst "Rns_poly.scalar_mul_per_limb_into" dst a;
   let n = a.n in
   for i = 0 to level a - 1 do
     let md = Basis.modulus a.basis i in
     let q, mu, shift = Modarith.barrett md in
     let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
-    let si = Modarith.of_int md s.(i) in
+    let si = Modarith.of_int md (s i) in
     let la = a.limbs.(i) and ld = dst.limbs.(i) in
-    if Array.length la <> n || Array.length ld <> n then
-      invalid_arg "Rns_poly.scalar_mul_per_limb_into: limb length mismatch";
     for j = 0 to n - 1 do
-      let x = Array.unsafe_get la j * si in
+      let x = bget la j * si in
       let r = x - (((x lsr sh1) * mu) lsr sh2) * q in
       let r = if r >= q then r - q else r in
-      Array.unsafe_set ld j (if r >= q then r - q else r)
+      bset ld j (if r >= q then r - q else r)
     done
   done
 
 let scalar_mul_per_limb a s =
-  if Array.length s <> level a then invalid_arg "Rns_poly.scalar_mul_per_limb";
   let dst = create_like a in
   scalar_mul_per_limb_into ~dst a s;
   dst
 
 (* Multiply every limb by the same (signed) integer scalar. *)
-let scalar_mul_into ~dst a s = scalar_mul_per_limb_into ~dst a (Array.make (level a) s)
-let scalar_mul a s = scalar_mul_per_limb a (Array.make (level a) s)
+let scalar_mul_into ~dst a s = scalar_mul_per_limb_into ~dst a (fun _ -> s)
+let scalar_mul a s = scalar_mul_per_limb a (fun _ -> s)
 
-let to_eval t =
+(* Domain conversions.  With [pool], multi-limb polynomials transform
+   limbs in parallel (each worker running the sequential NTT — nested
+   pool use would deadlock); a single-limb polynomial hands the pool
+   down so the butterfly passes themselves split.  Either way the
+   result is bit-identical to the sequential path. *)
+let transform_limbs ?pool t ~target ~into =
+  let lv = level t in
+  let out = create ~n:t.n ~basis:t.basis ~domain:target in
+  let do_limb ?pool i =
+    let plan = Ntt.plan ~q:(Basis.value t.basis i) ~n:t.n in
+    into ?pool plan ~src:t.limbs.(i) ~dst:out.limbs.(i)
+  in
+  (match pool with
+  | Some pl when Pool.jobs pl > 1 && lv > 1 -> Pool.iter pl (do_limb ?pool:None) (List.init lv Fun.id)
+  | _ ->
+      for i = 0 to lv - 1 do
+        do_limb ?pool i
+      done);
+  out
+
+let to_eval ?pool t =
   match t.domain with
   | Eval -> t
-  | Coeff ->
-    {
-      t with
-      domain = Eval;
-      limbs =
-        Array.init (level t) (fun i ->
-            let plan = Ntt.plan ~q:(Basis.value t.basis i) ~n:t.n in
-            Ntt.forward plan t.limbs.(i));
-    }
+  | Coeff -> transform_limbs ?pool t ~target:Eval ~into:Ntt.forward_into
 
-let to_coeff t =
+let to_coeff ?pool t =
   match t.domain with
   | Coeff -> t
-  | Eval ->
-    {
-      t with
-      domain = Coeff;
-      limbs =
-        Array.init (level t) (fun i ->
-            let plan = Ntt.plan ~q:(Basis.value t.basis i) ~n:t.n in
-            Ntt.inverse plan t.limbs.(i));
-    }
+  | Eval -> transform_limbs ?pool t ~target:Coeff ~into:Ntt.inverse_into
 
 (* Automorphism X -> X^k (k odd).
 
@@ -225,32 +240,25 @@ let automorphism t ~k =
   let k = ((k mod two_n) + two_n) mod two_n in
   match t.domain with
   | Eval ->
-    let perm = Ntt.galois_perm ~n:t.n ~k in
-    {
-      t with
-      limbs =
-        Array.map
-          (fun src ->
-            if Array.length src <> t.n then
-              invalid_arg "Rns_poly.automorphism: limb length mismatch";
-            let dst = Array.make t.n 0 in
-            for j = 0 to t.n - 1 do
-              Array.unsafe_set dst j (Array.unsafe_get src (Array.unsafe_get perm j))
-            done;
-            dst)
-          t.limbs;
-    }
-  | Coeff ->
-    let apply md src =
-      let dst = Array.make t.n 0 in
-      for i = 0 to t.n - 1 do
-        let pos = i * k mod two_n in
-        if pos < t.n then dst.(pos) <- Modarith.add md dst.(pos) src.(i)
-        else dst.(pos - t.n) <- Modarith.sub md dst.(pos - t.n) src.(i)
+      let perm = Ntt.galois_perm ~n:t.n ~k in
+      let out = create ~n:t.n ~basis:t.basis ~domain:Eval in
+      for i = 0 to level t - 1 do
+        Ntt.apply_perm_into perm ~src:t.limbs.(i) ~dst:out.limbs.(i)
       done;
-      dst
-    in
-    { t with limbs = Array.init (level t) (fun i -> apply (Basis.modulus t.basis i) t.limbs.(i)) }
+      out
+  | Coeff ->
+      let out = create ~n:t.n ~basis:t.basis ~domain:Coeff in
+      for i = 0 to level t - 1 do
+        let md = Basis.modulus t.basis i in
+        let src = t.limbs.(i) and dst = out.limbs.(i) in
+        for j = 0 to t.n - 1 do
+          let pos = j * k mod two_n in
+          let c = Limb_buf.get src j in
+          if pos < t.n then Limb_buf.set dst pos (Modarith.add md (Limb_buf.get dst pos) c)
+          else Limb_buf.set dst (pos - t.n) (Modarith.sub md (Limb_buf.get dst (pos - t.n)) c)
+        done
+      done;
+      out
 
 (* Multiply by the monomial X^e (negacyclic): coefficient k moves to
    k+e mod 2N with a sign flip past N.  Exact and rescale-free; with
@@ -261,51 +269,67 @@ let monomial_mul t ~e =
   if e = 0 then t
   else begin
     let tc = to_coeff t in
-    let apply md src =
-      let dst = Array.make t.n 0 in
-      for i = 0 to t.n - 1 do
-        let pos = (i + e) mod two_n in
-        if pos < t.n then dst.(pos) <- src.(i) else dst.(pos - t.n) <- Modarith.neg md src.(i)
-      done;
-      dst
-    in
-    let out =
-      { tc with limbs = Array.init (level t) (fun i -> apply (Basis.modulus t.basis i) tc.limbs.(i)) }
-    in
+    let out = create ~n:t.n ~basis:t.basis ~domain:Coeff in
+    for i = 0 to level t - 1 do
+      let md = Basis.modulus t.basis i in
+      let src = tc.limbs.(i) and dst = out.limbs.(i) in
+      for j = 0 to t.n - 1 do
+        let pos = (j + e) mod two_n in
+        let c = Limb_buf.get src j in
+        if pos < t.n then Limb_buf.set dst pos c
+        else Limb_buf.set dst (pos - t.n) (Modarith.neg md c)
+      done
+    done;
     if t.domain = Eval then to_eval out else out
   end
 
-(* Restrict to a prefix of the basis (drop the top limbs). *)
+(* Restrict to a prefix of the basis (drop the top limbs) — a
+   zero-copy view of the low end of the slab. *)
 let drop_to_level t k =
   if k > level t then invalid_arg "Rns_poly.drop_to_level";
-  { t with basis = Basis.prefix t.basis k; limbs = Array.sub t.limbs 0 k }
-
-(* Keep only the limbs whose modulus appears in [sub] (order of [sub]). *)
-let restrict t sub =
   {
     t with
-    basis = sub;
-    limbs =
-      Array.init (Basis.size sub) (fun i -> Array.copy t.limbs.(Basis.index t.basis (Basis.value sub i)));
+    basis = Basis.prefix t.basis k;
+    buf = Limb_buf.sub t.buf ~pos:0 ~len:(k * t.n);
+    limbs = Array.sub t.limbs 0 k;
   }
 
-(* Concatenate limbs of two polynomials over disjoint bases. *)
+(* Keep only the limbs whose modulus appears in [sub] (order of [sub]);
+   copies into a fresh slab. *)
+let restrict t sub =
+  let out = create ~n:t.n ~basis:sub ~domain:t.domain in
+  for i = 0 to Basis.size sub - 1 do
+    let j = Basis.index t.basis (Basis.value sub i) in
+    Limb_buf.blit ~src:t.limbs.(j) ~dst:out.limbs.(i)
+  done;
+  out
+
+(* Concatenate limbs of two polynomials over disjoint bases into a
+   fresh contiguous slab. *)
 let concat a b =
   if a.n <> b.n || a.domain <> b.domain then invalid_arg "Rns_poly.concat";
-  { a with basis = Basis.union a.basis b.basis; limbs = Array.append a.limbs b.limbs }
+  let out = create ~n:a.n ~basis:(Basis.union a.basis b.basis) ~domain:a.domain in
+  let la = level a in
+  for i = 0 to la - 1 do
+    Limb_buf.blit ~src:a.limbs.(i) ~dst:out.limbs.(i)
+  done;
+  for i = 0 to level b - 1 do
+    Limb_buf.blit ~src:b.limbs.(i) ~dst:out.limbs.(la + i)
+  done;
+  out
 
 (* Sample with uniformly random limbs (mod each q_i independently) —
    used for the `a` part of ciphertexts/keys. *)
 let random ~n ~basis ~domain rng =
-  {
-    n;
-    basis;
-    domain;
-    limbs =
-      Array.init (Basis.size basis) (fun i ->
-          let q = Basis.value basis i in
-          Array.init n (fun _ -> Cinnamon_util.Rng.int rng q));
-  }
+  let out = create ~n ~basis ~domain in
+  for i = 0 to Basis.size basis - 1 do
+    let q = Basis.value basis i in
+    let li = out.limbs.(i) in
+    for j = 0 to n - 1 do
+      bset li j (Cinnamon_util.Rng.int rng q)
+    done
+  done;
+  out
 
 (* CRT-reconstruct coefficient [j] exactly as a centered bignum pair
    (value, is_negative). Cold path: tests and decode.  The per-basis
@@ -316,12 +340,14 @@ let coeff_centered t j =
   let tc = to_coeff t in
   let module B = Cinnamon_util.Bigint in
   let c = Crt.consts t.basis in
-  let q_prod = c.Crt.q_prod in
+  let q_prod = Crt.q_prod c in
   (* Garner-free reconstruction: x = sum_i r_i * (Q/q_i) * ((Q/q_i)^-1 mod q_i) mod Q *)
   let acc = ref B.zero in
   for i = 0 to level t - 1 do
     let md = Basis.modulus t.basis i in
-    let term = B.mul_small c.Crt.qhat.(i) (Modarith.mul md tc.limbs.(i).(j) c.Crt.qhat_inv.(i)) in
+    let term =
+      B.mul_small (Crt.qhat c i) (Modarith.mul md (Limb_buf.get tc.limbs.(i) j) (Crt.qhat_inv c i))
+    in
     acc := B.add !acc term
   done;
   (* reduce mod Q: the sum of l terms each < Q is < l*Q, so a
@@ -341,4 +367,4 @@ let equal a b =
   a.n = b.n && Basis.equal a.basis b.basis
   &&
   let a' = to_coeff a and b' = to_coeff b in
-  a'.limbs = b'.limbs
+  Limb_buf.equal a'.buf b'.buf

@@ -3,7 +3,11 @@
     Limb i is the residue polynomial mod the i-th basis prime. Most
     operations are data parallel across limbs (paper §2); the
     representation domain (Coeff vs Eval/NTT) is tracked and mixing
-    domains raises. *)
+    domains raises.
+
+    Storage is one contiguous {!Limb_buf} per polynomial with limbs as
+    strided views, so kernels hand limb data to each other zero-copy
+    and whole-polynomial moves are flat blits. *)
 
 type domain = Coeff | Eval
 
@@ -16,8 +20,13 @@ val domain : t -> domain
 (** Number of limbs (the ciphertext "level"). *)
 val level : t -> int
 
-(** Direct access to limb [i] (not a copy — callers must not mutate). *)
-val limb : t -> int -> int array
+(** Zero-copy view of limb [i]'s storage.  Mutating the view mutates
+    the polynomial — kernel plumbing only; use {!copy_limb} when a
+    snapshot is wanted. *)
+val unsafe_limb_view : t -> int -> Limb_buf.t
+
+(** Fresh copy of limb [i] (safe to mutate or keep). *)
+val copy_limb : t -> int -> Limb_buf.t
 
 (** All-zero polynomial. *)
 val create : n:int -> basis:Basis.t -> domain:domain -> t
@@ -29,7 +38,8 @@ val copy : t -> t
     argument — the natural destination for the [_into] operations. *)
 val create_like : t -> t
 
-(** Reduce signed coefficients into every limb. *)
+(** Reduce signed coefficients into every limb (boxed-array boundary —
+    the only one besides the test oracles). *)
 val of_coeffs : basis:Basis.t -> domain:domain -> int array -> t
 
 val add : t -> t -> t
@@ -48,20 +58,23 @@ val mul_into : dst:t -> t -> t -> unit
 
 val neg : t -> t
 
-(** Multiply limb i by scalar [s.(i)]. *)
-val scalar_mul_per_limb : t -> int array -> t
+(** Multiply limb [i] by the signed scalar [s i]. *)
+val scalar_mul_per_limb : t -> (int -> int) -> t
 
-val scalar_mul_per_limb_into : dst:t -> t -> int array -> unit
+val scalar_mul_per_limb_into : dst:t -> t -> (int -> int) -> unit
 
 (** Multiply every limb by the same signed scalar. *)
 val scalar_mul : t -> int -> t
 
 val scalar_mul_into : dst:t -> t -> int -> unit
 
-(** Domain conversions (cached NTT plans; no-ops when already there). *)
-val to_eval : t -> t
+(** Domain conversions (cached NTT plans; no-ops when already there).
+    With [pool], limbs transform in parallel (single-limb inputs split
+    the butterfly passes instead); output is bit-identical for any job
+    count.  Only pass [pool] from the domain that owns it. *)
+val to_eval : ?pool:Cinnamon_pool.Pool.t -> t -> t
 
-val to_coeff : t -> t
+val to_coeff : ?pool:Cinnamon_pool.Pool.t -> t -> t
 
 (** Automorphism X ↦ X{^k}, [k] odd. Preserves the input domain.
     Eval-domain inputs use a precomputed slot permutation (no NTTs,
@@ -74,13 +87,15 @@ val automorphism : t -> k:int -> t
     multiplies every CKKS slot by i, exactly and for free. *)
 val monomial_mul : t -> e:int -> t
 
-(** Drop the top limbs, keeping the first [k]. *)
+(** Drop the top limbs, keeping the first [k] — a zero-copy view
+    sharing storage with the argument. *)
 val drop_to_level : t -> int -> t
 
-(** Keep only the limbs whose modulus appears in the sub-basis. *)
+(** Keep only the limbs whose modulus appears in the sub-basis
+    (fresh storage). *)
 val restrict : t -> Basis.t -> t
 
-(** Concatenate limbs over disjoint bases. *)
+(** Concatenate limbs over disjoint bases (fresh storage). *)
 val concat : t -> t -> t
 
 (** Uniformly random limbs (used for the `a` part of ciphertexts). *)

@@ -1,48 +1,67 @@
-(* Domain-local scratch-buffer arena.
+(* Domain-local scratch-buffer arena on Limb_buf slabs.
 
-   Base conversion and the keyswitch inner loop need short-lived int
-   arrays of a handful of distinct lengths (the ring dimension, mostly)
-   on every call; allocating them fresh keeps the minor heap churning
-   at N = 2^16.  The arena keeps a small free list of buffers per
-   length, keyed per domain via Domain.DLS — each domain of the
-   lib/exec pool gets its own pool, so borrowing and releasing never
-   synchronizes and is race-free by construction.
+   Base conversion and the keyswitch inner loop need short-lived limb
+   buffers of a handful of distinct lengths (the ring dimension,
+   mostly) on every call; allocating them fresh keeps malloc churning
+   at N = 2^16.  The arena keeps a small free list of SLABS per
+   power-of-two capacity class, keyed per domain via Domain.DLS — each
+   domain of the lib/exec pool gets its own pool, so borrowing and
+   releasing never synchronizes and is race-free by construction.
 
-   Borrowed buffers are NOT zeroed: callers must fully initialize every
-   element they read. *)
+   Loans are exact-length views cut from a slab at loan time.  The
+   pool only ever stores and indexes whole slabs by their own
+   capacity, so a loan can never observe another request's length —
+   the shape confusion the old exact-length free lists allowed (a
+   buffer filed under one length bucket being handed to a request for
+   another after an interleaved resize) is structurally impossible.
 
-(* Cap per (domain, length) so a burst can't pin memory forever. *)
+   Borrowed buffers are NOT zeroed: callers must fully initialize
+   every element they read. *)
+
+(* Cap per (domain, capacity class) so a burst can't pin memory forever. *)
 let max_pooled = 32
 
-type pool = (int, int array list ref) Hashtbl.t
+type pool = (int, Limb_buf.t list ref) Hashtbl.t
 
 let dls_key : pool Domain.DLS.key = Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
-let borrow n =
-  let pool = Domain.DLS.get dls_key in
-  match Hashtbl.find_opt pool n with
-  | Some ({ contents = buf :: rest } as cell) ->
-    cell := rest;
-    buf
-  | _ -> Array.make n 0
+let capacity_of n =
+  let c = ref 64 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
 
-let release buf =
+let borrow_slab cap =
   let pool = Domain.DLS.get dls_key in
-  let n = Array.length buf in
+  match Hashtbl.find_opt pool cap with
+  | Some ({ contents = slab :: rest } as cell) ->
+      cell := rest;
+      slab
+  | _ -> Limb_buf.create cap
+
+let release_slab slab =
+  let pool = Domain.DLS.get dls_key in
+  let cap = Limb_buf.length slab in
   let cell =
-    match Hashtbl.find_opt pool n with
+    match Hashtbl.find_opt pool cap with
     | Some c -> c
     | None ->
-      let c = ref [] in
-      Hashtbl.add pool n c;
-      c
+        let c = ref [] in
+        Hashtbl.add pool cap c;
+        c
   in
-  if List.length !cell < max_pooled then cell := buf :: !cell
+  if List.length !cell < max_pooled then cell := slab :: !cell
 
 let with_buf ~n f =
-  let buf = borrow n in
-  Fun.protect ~finally:(fun () -> release buf) (fun () -> f buf)
+  let slab = borrow_slab (capacity_of n) in
+  let view = if Limb_buf.length slab = n then slab else Limb_buf.sub slab ~pos:0 ~len:n in
+  Fun.protect ~finally:(fun () -> release_slab slab) (fun () -> f view)
 
+(* One slab for all [count] buffers: the loans are disjoint
+   consecutive views, so a multi-buffer working set is also one
+   contiguous block (cache-friendly column walks in Base_conv). *)
 let with_bufs ~n ~count f =
-  let bufs = Array.init count (fun _ -> borrow n) in
-  Fun.protect ~finally:(fun () -> Array.iter release bufs) (fun () -> f bufs)
+  let slab = borrow_slab (capacity_of (n * count)) in
+  let views = Array.init count (fun i -> Limb_buf.sub slab ~pos:(i * n) ~len:n) in
+  Fun.protect ~finally:(fun () -> release_slab slab) (fun () -> f views)

@@ -1,14 +1,16 @@
-(** Domain-local scratch-buffer arena.
+(** Domain-local scratch-buffer arena on {!Limb_buf} slabs.
 
-    Reusable int arrays keyed by length, pooled per domain
-    (Domain.DLS), so hot-path kernels avoid re-allocating
-    ring-dimension-sized temporaries.  Buffers are {e not} zeroed on
-    loan — callers must fully initialize every element they read. *)
+    Reusable slabs pooled per domain (Domain.DLS) by power-of-two
+    capacity; loans are exact-length views cut at loan time, so a loan
+    always has precisely the requested length whatever lengths other
+    callers used.  Buffers are {e not} zeroed on loan — callers must
+    fully initialize every element they read. *)
 
-val with_buf : n:int -> (int array -> 'a) -> 'a
+val with_buf : n:int -> (Limb_buf.t -> 'a) -> 'a
 (** [with_buf ~n f] loans a buffer of exactly [n] elements to [f] and
-    returns it to the domain-local pool afterwards (also on
+    returns its slab to the domain-local pool afterwards (also on
     exception).  The buffer must not escape [f]. *)
 
-val with_bufs : n:int -> count:int -> (int array array -> 'a) -> 'a
-(** Loan [count] distinct buffers of [n] elements each. *)
+val with_bufs : n:int -> count:int -> (Limb_buf.t array -> 'a) -> 'a
+(** Loan [count] distinct buffers of [n] elements each, cut
+    consecutively from one slab.  They must not escape [f]. *)

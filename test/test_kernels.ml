@@ -1,0 +1,191 @@
+(* Differential tests for the Bigarray kernel layer.
+
+   Every Limb_buf kernel is pinned BITWISE against a naive boxed
+   [int array] oracle (plain Barrett arithmetic, no lazy reduction, no
+   Bigarray) across random ring sizes, modulus widths and limb counts —
+   so the Harvey lazy-reduction tricks and the domain-parallel split
+   can never drift from the textbook semantics unnoticed.
+
+   The determinism tests force the parallel paths with explicit pools
+   and require bit-identical output for jobs=1 vs jobs=4: the split
+   assigns disjoint butterfly/column ranges and performs the same
+   per-element operations, so any schedule dependence is a bug. *)
+
+open Cinnamon_rns
+module Rng = Cinnamon_util.Rng
+module Pool = Cinnamon_pool.Pool
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_arr rng n q = Array.init n (fun _ -> Rng.int rng q)
+
+(* Run the Limb_buf kernel on a boxed input, return a boxed output. *)
+let run_fwd ?pool plan a =
+  let dst = Limb_buf.create (Array.length a) in
+  Ntt.forward_into ?pool plan ~src:(Limb_buf.of_int_array a) ~dst;
+  Limb_buf.to_int_array dst
+
+let run_inv ?pool plan a =
+  let dst = Limb_buf.create (Array.length a) in
+  Ntt.inverse_into ?pool plan ~src:(Limb_buf.of_int_array a) ~dst;
+  Limb_buf.to_int_array dst
+
+(* --- NTT vs oracle, random shapes ---------------------------------------- *)
+
+(* Modulus width sweeps across the lazy-reduction boundary: q < 2^29
+   takes the 4q-lazy butterflies, 29..30-bit q the 2q variant. *)
+let shape_gen = QCheck2.Gen.(triple (int_range 3 11) (int_range 26 30) (int_bound 10000))
+
+let test_ntt_forward_matches_oracle =
+  qtest ~count:40 "ntt forward = int-array oracle (bitwise)" shape_gen
+    (fun (logn, bits, seed) ->
+      let n = 1 lsl logn in
+      let q = List.hd (Prime_gen.gen_primes ~bits ~n ~count:1 ()) in
+      let plan = Ntt.plan ~q ~n in
+      let a = random_arr (Rng.create ~seed) n q in
+      run_fwd plan a = Ntt.forward_oracle plan a)
+
+let test_ntt_inverse_matches_oracle =
+  qtest ~count:40 "ntt inverse = int-array oracle (bitwise)" shape_gen
+    (fun (logn, bits, seed) ->
+      let n = 1 lsl logn in
+      let q = List.hd (Prime_gen.gen_primes ~bits ~n ~count:1 ()) in
+      let plan = Ntt.plan ~q ~n in
+      let a = random_arr (Rng.create ~seed) n q in
+      run_inv plan a = Ntt.inverse_oracle plan a)
+
+let test_ntt_roundtrip_shapes =
+  qtest ~count:30 "intt(ntt(a)) = a (random shapes)" shape_gen
+    (fun (logn, bits, seed) ->
+      let n = 1 lsl logn in
+      let q = List.hd (Prime_gen.gen_primes ~bits ~n ~count:1 ()) in
+      let plan = Ntt.plan ~q ~n in
+      let a = random_arr (Rng.create ~seed) n q in
+      run_inv plan (run_fwd plan a) = a)
+
+(* --- base conversion vs oracle ------------------------------------------- *)
+
+let test_base_conv_matches_oracle =
+  qtest ~count:20 "base_conv = int-array oracle (bitwise)"
+    QCheck2.Gen.(
+      quad (int_range 1 5) (int_range 1 4) (int_range 26 30) (int_bound 10000))
+    (fun (l, m, bits, seed) ->
+      let n = 64 in
+      let src_ps = Prime_gen.gen_primes ~bits ~n ~count:l () in
+      let src = Basis.of_primes src_ps in
+      let dst = Basis.of_primes (Prime_gen.gen_primes ~bits:28 ~n ~count:m ~avoid:src_ps ()) in
+      let rng = Rng.create ~seed in
+      let x = Rns_poly.random ~n ~basis:src ~domain:Rns_poly.Coeff rng in
+      let fast = Base_conv.convert x ~dst in
+      let naive = Base_conv.convert_oracle x ~dst in
+      List.for_all
+        (fun k ->
+          Limb_buf.equal (Rns_poly.unsafe_limb_view fast k) (Rns_poly.unsafe_limb_view naive k))
+        (List.init m Fun.id))
+
+(* --- jobs=1 vs jobs=4 determinism ---------------------------------------- *)
+
+(* The parallel split engages for n >= 4096 (NTT butterflies) or
+   level > 1 (limb fan-out), so these run at n = 4096 with explicit
+   pools — on any host, including single-core CI, the worker domains
+   execute the identical chunk decomposition. *)
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_ntt_parallel_deterministic () =
+  let n = 4096 in
+  List.iter
+    (fun bits ->
+      let q = List.hd (Prime_gen.gen_primes ~bits ~n ~count:1 ()) in
+      let plan = Ntt.plan ~q ~n in
+      let a = random_arr (Rng.create ~seed:(31 + bits)) n q in
+      let seq_f = run_fwd plan a and seq_i = run_inv plan a in
+      List.iter
+        (fun jobs ->
+          with_pool jobs (fun pool ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "forward bits=%d jobs=%d" bits jobs)
+                seq_f (run_fwd ~pool plan a);
+              Alcotest.(check (array int))
+                (Printf.sprintf "inverse bits=%d jobs=%d" bits jobs)
+                seq_i (run_inv ~pool plan a)))
+        [ 2; 4 ])
+    [ 28; 30 ]
+
+let test_base_conv_parallel_deterministic () =
+  let n = 64 in
+  let src_ps = Prime_gen.gen_primes ~bits:28 ~n ~count:5 () in
+  let src = Basis.of_primes src_ps in
+  let dst = Basis.of_primes (Prime_gen.gen_primes ~bits:30 ~n ~count:3 ~avoid:src_ps ()) in
+  let x = Rns_poly.random ~n ~basis:src ~domain:Rns_poly.Coeff (Rng.create ~seed:5) in
+  let seq = Base_conv.convert x ~dst in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let par = Base_conv.convert ~pool x ~dst in
+          List.iter
+            (fun k ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "column %d jobs=%d" k jobs)
+                (Limb_buf.to_int_array (Rns_poly.unsafe_limb_view seq k))
+                (Limb_buf.to_int_array (Rns_poly.unsafe_limb_view par k)))
+            (List.init (Basis.size dst) Fun.id)))
+    [ 2; 4 ]
+
+let test_domain_transform_parallel_deterministic () =
+  (* to_eval/to_coeff fan out across limbs when a pool is present; the
+     per-limb transforms are sequential there, so results must be
+     bit-identical to the no-pool path. *)
+  let n = 64 in
+  let basis = Basis.of_primes (Prime_gen.gen_primes ~bits:28 ~n ~count:5 ()) in
+  let x = Rns_poly.random ~n ~basis ~domain:Rns_poly.Coeff (Rng.create ~seed:6) in
+  let seq = Rns_poly.to_eval x in
+  with_pool 4 (fun pool ->
+      let par = Rns_poly.to_eval ~pool x in
+      Alcotest.(check bool) "to_eval jobs=4 bitwise" true
+        (List.for_all
+           (fun i ->
+             Limb_buf.equal (Rns_poly.unsafe_limb_view seq i) (Rns_poly.unsafe_limb_view par i))
+           (List.init (Basis.size basis) Fun.id));
+      let back = Rns_poly.to_coeff ~pool par in
+      Alcotest.(check bool) "to_coeff jobs=4 roundtrip" true (Rns_poly.equal x back))
+
+(* --- scratch arena --------------------------------------------------------- *)
+
+let test_scratch_shapes () =
+  (* with_bufs hands out [count] views of exactly [n] elements each —
+     the n/count confusion of the old int-array arena cannot recur *)
+  Scratch.with_bufs ~n:5 ~count:3 (fun bufs ->
+      Alcotest.(check int) "count" 3 (Array.length bufs);
+      Array.iter (fun b -> Alcotest.(check int) "len" 5 (Limb_buf.length b)) bufs;
+      (* the views are disjoint: writes through one never alias another *)
+      Array.iteri (fun i b -> Limb_buf.fill b (i + 1)) bufs;
+      Array.iteri
+        (fun i b ->
+          for j = 0 to 4 do
+            Alcotest.(check int) "disjoint" (i + 1) (Limb_buf.get b j)
+          done)
+        bufs);
+  (* interleaved loans of different lengths keep exact lengths *)
+  Scratch.with_buf ~n:7 (fun a ->
+      Scratch.with_buf ~n:100 (fun b ->
+          Alcotest.(check int) "inner len" 100 (Limb_buf.length b);
+          Alcotest.(check int) "outer len" 7 (Limb_buf.length a)))
+
+let suite =
+  ( "kernels",
+    [
+      test_ntt_forward_matches_oracle;
+      test_ntt_inverse_matches_oracle;
+      test_ntt_roundtrip_shapes;
+      test_base_conv_matches_oracle;
+      Alcotest.test_case "ntt parallel deterministic" `Quick test_ntt_parallel_deterministic;
+      Alcotest.test_case "base_conv parallel deterministic" `Quick
+        test_base_conv_parallel_deterministic;
+      Alcotest.test_case "to_eval/to_coeff parallel deterministic" `Quick
+        test_domain_transform_parallel_deterministic;
+      Alcotest.test_case "scratch arena shapes" `Quick test_scratch_shapes;
+    ] )

@@ -5,6 +5,7 @@ let () =
     [
       Test_util.suite;
       Test_rns.suite;
+      Test_kernels.suite;
       Test_ckks.suite;
       Test_bootstrap.suite;
       Test_ir.suite;

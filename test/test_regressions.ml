@@ -33,7 +33,7 @@ let test_base_conv_wide_to_narrow () =
       let cand = B.add xfull (B.mul_small q_prod e) in
       if
         List.for_all
-          (fun k -> B.rem_small cand (Basis.value dst k) = (Rns_poly.limb fast k).(i))
+          (fun k -> B.rem_small cand (Basis.value dst k) = Limb_buf.get (Rns_poly.unsafe_limb_view fast k) i)
           [ 0; 1; 2; 3 ]
       then ok := true
     done;

@@ -12,6 +12,23 @@ let n_test = 64
 let primes = lazy (Prime_gen.gen_primes ~bits:28 ~n:n_test ~count:5 ())
 let q0 = lazy (List.hd (Lazy.force primes))
 
+(* Boxed-array wrappers around the Limb_buf NTT kernels: tests stay
+   written in plain [int array] terms while exercising the real
+   Bigarray fast path (differential coverage against the int-array
+   oracles lives in Test_kernels). *)
+let ntt_fwd plan a =
+  let dst = Limb_buf.create (Array.length a) in
+  Ntt.forward_into plan ~src:(Limb_buf.of_int_array a) ~dst;
+  Limb_buf.to_int_array dst
+
+let ntt_inv plan a =
+  let dst = Limb_buf.create (Array.length a) in
+  Ntt.inverse_into plan ~src:(Limb_buf.of_int_array a) ~dst;
+  Limb_buf.to_int_array dst
+
+(* Limb [i] of [p] as a boxed array (copy). *)
+let limb_arr p i = Limb_buf.to_int_array (Rns_poly.unsafe_limb_view p i)
+
 (* --- Modarith ------------------------------------------------------------ *)
 
 let test_modarith_vs_native =
@@ -96,7 +113,7 @@ let test_ntt_roundtrip () =
   let rng = Rng.create ~seed:10 in
   let plan = Ntt.plan ~q ~n:n_test in
   let a = Array.init n_test (fun _ -> Rng.int rng q) in
-  Alcotest.(check (array int)) "intt(ntt(a)) = a" a (Ntt.inverse plan (Ntt.forward plan a))
+  Alcotest.(check (array int)) "intt(ntt(a)) = a" a (ntt_inv plan (ntt_fwd plan a))
 
 let test_ntt_convolution () =
   let q = Lazy.force q0 in
@@ -105,10 +122,10 @@ let test_ntt_convolution () =
   let plan = Ntt.plan ~q ~n:n_test in
   let a = Array.init n_test (fun _ -> Rng.int rng q) in
   let b = Array.init n_test (fun _ -> Rng.int rng q) in
-  let fa = Ntt.forward plan a and fb = Ntt.forward plan b in
+  let fa = ntt_fwd plan a and fb = ntt_fwd plan b in
   let prod = Array.init n_test (fun i -> Modarith.mul m fa.(i) fb.(i)) in
   Alcotest.(check (array int)) "negacyclic convolution" (Ntt.negacyclic_mul_naive m a b)
-    (Ntt.inverse plan prod)
+    (ntt_inv plan prod)
 
 let test_ntt_linear =
   qtest ~count:20 "ntt is linear" QCheck2.Gen.(int_bound 1000)
@@ -120,8 +137,8 @@ let test_ntt_linear =
       let a = Array.init n_test (fun _ -> Rng.int rng q) in
       let b = Array.init n_test (fun _ -> Rng.int rng q) in
       let sum = Array.init n_test (fun i -> Modarith.add m a.(i) b.(i)) in
-      let fa = Ntt.forward plan a and fb = Ntt.forward plan b in
-      Ntt.forward plan sum = Array.init n_test (fun i -> Modarith.add m fa.(i) fb.(i)))
+      let fa = ntt_fwd plan a and fb = ntt_fwd plan b in
+      ntt_fwd plan sum = Array.init n_test (fun i -> Modarith.add m fa.(i) fb.(i)))
 
 let test_ntt_x_shift () =
   (* multiplying by X rotates coefficients negacyclically *)
@@ -131,8 +148,8 @@ let test_ntt_x_shift () =
   let a = Array.init n_test (fun i -> (i * 7) mod q) in
   let x = Array.make n_test 0 in
   x.(1) <- 1;
-  let prod = Ntt.inverse plan (Array.init n_test (fun i ->
-      Modarith.mul m (Ntt.forward plan a).(i) (Ntt.forward plan x).(i))) in
+  let prod = ntt_inv plan (Array.init n_test (fun i ->
+      Modarith.mul m (ntt_fwd plan a).(i) (ntt_fwd plan x).(i))) in
   let expect = Array.make n_test 0 in
   for i = 0 to n_test - 2 do
     expect.(i + 1) <- a.(i)
@@ -216,10 +233,10 @@ let test_rns_mul_matches_naive () =
     let m = Basis.modulus b i in
     let naive =
       Ntt.negacyclic_mul_naive m
-        (Rns_poly.limb (Rns_poly.to_coeff x) i)
-        (Rns_poly.limb (Rns_poly.to_coeff y) i)
+        (limb_arr (Rns_poly.to_coeff x) i)
+        (limb_arr (Rns_poly.to_coeff y) i)
     in
-    Alcotest.(check (array int)) (Printf.sprintf "limb %d" i) naive (Rns_poly.limb z i)
+    Alcotest.(check (array int)) (Printf.sprintf "limb %d" i) naive (limb_arr z i)
   done
 
 let test_automorphism_composition () =
@@ -272,13 +289,14 @@ let test_ntt_mul_random_shapes =
       let plan = Ntt.plan ~q ~n in
       let a = Array.init n (fun _ -> Rng.int rng q) in
       let b = Array.init n (fun _ -> Rng.int rng q) in
-      let fa = Ntt.forward plan a and fb = Ntt.forward plan b in
+      let fa = ntt_fwd plan a and fb = ntt_fwd plan b in
       let prod = Array.init n (fun i -> Modarith.mul m fa.(i) fb.(i)) in
-      Ntt.inverse plan prod = Ntt.negacyclic_mul_naive m a b)
+      ntt_inv plan prod = Ntt.negacyclic_mul_naive m a b)
 
 let limbs_equal a b =
   List.for_all
-    (fun i -> Rns_poly.limb a i = Rns_poly.limb b i)
+    (fun i ->
+      Limb_buf.equal (Rns_poly.unsafe_limb_view a i) (Rns_poly.unsafe_limb_view b i))
     (List.init (Rns_poly.level a) Fun.id)
 
 (* Eval-domain automorphism (slot permutation) vs the Coeff-domain
@@ -322,7 +340,9 @@ let test_galois_perm_is_permutation =
       let k = (2 * kseed) + 1 in
       let perm = Ntt.galois_perm ~n:n_test ~k in
       let seen = Array.make n_test false in
-      Array.iter (fun j -> seen.(j) <- true) perm;
+      for j = 0 to n_test - 1 do
+        seen.(Ntt.perm_nth perm j) <- true
+      done;
       Array.for_all Fun.id seen)
 
 (* Into-buffer variants agree with the allocating ones, including when
@@ -355,16 +375,18 @@ let test_ntt_into_matches () =
   let rng = Rng.create ~seed:23 in
   let plan = Ntt.plan ~q ~n:n_test in
   let a = Array.init n_test (fun _ -> Rng.int rng q) in
-  let dst = Array.make n_test 0 in
-  Ntt.forward_into plan ~src:a ~dst;
-  Alcotest.(check (array int)) "forward_into = forward" (Ntt.forward plan a) dst;
-  let inv = Array.make n_test 0 in
+  let dst = Limb_buf.create n_test in
+  Ntt.forward_into plan ~src:(Limb_buf.of_int_array a) ~dst;
+  Alcotest.(check (array int)) "forward_into = oracle" (Ntt.forward_oracle plan a)
+    (Limb_buf.to_int_array dst);
+  let inv = Limb_buf.create n_test in
   Ntt.inverse_into plan ~src:dst ~dst:inv;
-  Alcotest.(check (array int)) "roundtrip" a inv;
+  Alcotest.(check (array int)) "roundtrip" a (Limb_buf.to_int_array inv);
   (* aliasing src == dst *)
-  let b = Array.copy a in
+  let b = Limb_buf.of_int_array a in
   Ntt.forward_into plan ~src:b ~dst:b;
-  Alcotest.(check (array int)) "aliased forward_into" (Ntt.forward plan a) b
+  Alcotest.(check (array int)) "aliased forward_into" (Ntt.forward_oracle plan a)
+    (Limb_buf.to_int_array b)
 
 (* --- Base_conv / Mod_updown ---------------------------------------------------- *)
 
@@ -390,7 +412,7 @@ let test_base_conv_approximate =
           let matches =
             List.for_all
               (fun k ->
-                B.rem_small cand (Basis.value dst k) = (Rns_poly.limb fast k).(i))
+                B.rem_small cand (Basis.value dst k) = Limb_buf.get (Rns_poly.unsafe_limb_view fast k) i)
               [ 0; 1; 2 ]
           in
           if matches then found := true
@@ -427,7 +449,7 @@ let test_mod_down_divides () =
   (* y_Q - P*z must be small: in [-(slack+1)*P, (slack+1)*P] *)
   let p_prod = Basis.product ext in
   let pscal = Array.init (Basis.size target) (fun j -> B.rem_small p_prod (Basis.value target j)) in
-  let w = Rns_poly.sub (Rns_poly.restrict y target) (Rns_poly.scalar_mul_per_limb (Rns_poly.to_coeff z) pscal) in
+  let w = Rns_poly.sub (Rns_poly.restrict y target) (Rns_poly.scalar_mul_per_limb (Rns_poly.to_coeff z) (fun j -> pscal.(j))) in
   let bound = B.to_float p_prod *. Float.of_int (Basis.size ext + 2) in
   for i = 0 to n_test - 1 do
     Alcotest.(check bool) "remainder bounded" true (Float.abs (Rns_poly.coeff_float w i) < bound)
@@ -442,7 +464,7 @@ let test_mod_up_consistent () =
   let x = Rns_poly.random ~n:n_test ~basis:s ~domain:Rns_poly.Coeff rng in
   let up = Mod_updown.mod_up x ~ext in
   (* original limbs carried over verbatim *)
-  Alcotest.(check (array int)) "limb 0 preserved" (Rns_poly.limb x 0) (Rns_poly.limb up 0);
+  Alcotest.(check (array int)) "limb 0 preserved" (limb_arr x 0) (limb_arr up 0);
   Alcotest.(check int) "extended size" 4 (Rns_poly.level up)
 
 let suite =
