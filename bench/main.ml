@@ -10,14 +10,14 @@
    Usage: main.exe [section ...] [--jobs N] [--quick] [--cache-dir DIR]
                    [--bench-out FILE] [--trace FILE] [--metrics]
      sections: table1 table2 table3 fig6 fig11 fig12 fig13 fig14 fig15
-               fig16 sec43 sec74 micro kernels serve   (default: all)
+               fig16 sec43 sec74 micro kernels serve fleet   (default: all)
      --jobs N        worker domains for the Table-2/Fig-11 sweep
                      (0 = Domain.recommended_domain_count; 1 = sequential)
      --quick         restrict the sweep to the Bootstrap benchmark,
                      shrink the kernel microbench to N=2^12 and the
-                     serving load test to its quick preset, and default
-                     the section list to "table2 kernels serve" (CI
-                     smoke run)
+                     serving load test and fleet sweep to their quick
+                     presets, and default the section list to
+                     "table2 kernels serve fleet" (CI smoke run)
      --cache-dir DIR persist simulation results under DIR
                      (conventionally _cinnamon_cache/); warm runs skip
                      re-simulation entirely
@@ -811,6 +811,41 @@ let serve () =
       "  WARNING: batching did not amortize compiles (%d compiles for %d admitted)\n%!"
       rp.Slo.rp_compiles rp.Slo.rp_admitted
 
+(* The fleet-scale serving sweep (lib/fleet): scaling-efficiency curves
+   per routing policy under Poisson and diurnal traces, plus the
+   autoscaler demo.  The standard preset keeps the harness's wall time
+   bounded; the full 1..64-node million-request sweep runs via
+   `cinnamon serve-fleet`. *)
+
+let fleet_result : Cinnamon_fleet.Fleet_bench.result option ref = ref None
+
+let fleet () =
+  section_header
+    (Printf.sprintf "Serving fleet sweep (%s preset)" (if !quick then "quick" else "standard"));
+  let open Cinnamon_fleet in
+  let base = Fleet_bench.quick in
+  let cfg =
+    if !quick then { base with Fleet_bench.fb_jobs = !jobs }
+    else
+      { base with Fleet_bench.fb_nodes = [ 1; 2; 4; 8; 16 ]; fb_requests = 6_000; fb_jobs = !jobs }
+  in
+  let r = Fleet_bench.run cfg in
+  Fleet_bench.print_result r;
+  fleet_result := Some r;
+  (* the locality curve exists to beat round-robin on warm-key hits *)
+  let hit_rate policy =
+    let pts = List.filter (fun p -> p.Fleet_bench.pt_policy = policy) r.Fleet_bench.fbr_points in
+    if pts = [] then 0.0
+    else
+      List.fold_left (fun acc p -> acc +. p.Fleet_bench.pt_key_hit_rate) 0.0 pts
+      /. Float.of_int (List.length pts)
+  in
+  let loc = hit_rate "locality" and rr = hit_rate "round_robin" in
+  Printf.printf "\nmean key hit rate: locality %.1f%%, round_robin %.1f%%\n" (100.0 *. loc)
+    (100.0 *. rr);
+  if loc <= rr then
+    Printf.printf "  WARNING: locality routing did not beat round-robin on warm-key hits\n%!"
+
 (* ------------------------------------------------------ perf trajectory *)
 
 (* BENCH_cinnamon.json: the machine-readable record of the sweep — one
@@ -818,8 +853,9 @@ let serve () =
    plus cache effectiveness and wall-clock.  Consumed by CI (uploaded
    as an artifact) to track the perf trajectory across commits. *)
 let write_bench_json file ~wall_seconds =
-  if !sweep_state = None && !micro_entries = [] && !serve_results = [] then ()
-    (* no sweep, kernel microbench or serving load test ran; nothing to record *)
+  if !sweep_state = None && !micro_entries = [] && !serve_results = [] && !fleet_result = None
+  then ()
+    (* no sweep, kernel microbench or serving section ran; nothing to record *)
   else begin
     let st = Exec.Result_cache.stats () in
     let lookups = st.Exec.Result_cache.hits + st.Exec.Result_cache.disk_hits + st.Exec.Result_cache.misses in
@@ -832,7 +868,6 @@ let write_bench_json file ~wall_seconds =
     let sw_results = match !sweep_state with Some sw -> sw.Runner.sw_results | None -> [] in
     let jobs_used = match !sweep_state with Some sw -> sw.Runner.sw_jobs | None -> !jobs in
     let j =
-      Json.Obj
         [
           ("schema", Json.Str "cinnamon-bench-v1");
           ("generated_by", Json.Str "bench/main");
@@ -897,7 +932,13 @@ let write_bench_json file ~wall_seconds =
                    (r.Cinnamon_serve.Loadgen.lr_mode, Cinnamon_serve.Loadgen.result_json r))
                  !serve_results) );
         ]
+        @
+        (* fleet-scale serving sweep (fleet section) *)
+        match !fleet_result with
+        | None -> []
+        | Some r -> [ ("serve_fleet", Cinnamon_fleet.Fleet_bench.result_json r) ]
     in
+    let j = Json.Obj j in
     let oc = open_out file in
     output_string oc (Json.to_string j);
     output_char oc '\n';
@@ -916,7 +957,7 @@ let sections =
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("fig16", fig16); ("sec43", sec43); ("sec74", sec74);
     ("ablation", ablation); ("characterize", characterize); ("energy", energy);
-    ("micro", micro); ("kernels", kernels); ("serve", serve);
+    ("micro", micro); ("kernels", kernels); ("serve", serve); ("fleet", fleet);
   ]
 
 let () =
@@ -967,7 +1008,7 @@ let () =
   in
   let requested, trace, metrics = parse_args [] None false (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    if requested = [] && !quick then [ "table2"; "kernels"; "serve" ] else requested
+    if requested = [] && !quick then [ "table2"; "kernels"; "serve"; "fleet" ] else requested
   in
   if trace <> None || metrics then Tel.enable ();
   let to_run =

@@ -319,7 +319,7 @@ let do_bench bench system verify jobs cache_dir list trace metrics =
 (* serve-sim: play a generated request stream through the virtual-time
    serving layer (lib/serve) and report SLO metrics. *)
 module Loadgen = Cinnamon_serve.Loadgen
-module Server = Cinnamon_serve.Server
+module Node = Cinnamon_serve.Node
 
 let quick_arg =
   Arg.(
@@ -411,12 +411,12 @@ let do_serve_sim quick mode requests overload clients think seed deadline worker
     | Some `Closed -> Loadgen.Closed_loop { clients; think_factor = think }
   in
   let opt v dflt = Option.value v ~default:dflt in
-  let server =
+  let node_capacity =
     {
-      base.Loadgen.lg_server with
-      Server.workers = opt workers base.Loadgen.lg_server.Server.workers;
-      queue_capacity = opt capacity base.Loadgen.lg_server.Server.queue_capacity;
-      max_batch = opt max_batch base.Loadgen.lg_server.Server.max_batch;
+      base.Loadgen.lg_capacity with
+      Node.workers = opt workers base.Loadgen.lg_capacity.Node.workers;
+      queue_capacity = opt capacity base.Loadgen.lg_capacity.Node.queue_capacity;
+      max_batch = opt max_batch base.Loadgen.lg_capacity.Node.max_batch;
     }
   in
   let cfg =
@@ -426,7 +426,7 @@ let do_serve_sim quick mode requests overload clients think seed deadline worker
       lg_requests = opt requests base.Loadgen.lg_requests;
       lg_seed = opt seed base.Loadgen.lg_seed;
       lg_deadline_factor = opt deadline base.Loadgen.lg_deadline_factor;
-      lg_server = server;
+      lg_capacity = node_capacity;
       lg_jobs = resolve_jobs jobs;
     }
   in
@@ -435,6 +435,111 @@ let do_serve_sim quick mode requests overload clients think seed deadline worker
   Loadgen.print_result r;
   Loadgen.write_section ~file:bench_json r;
   Printf.printf "serve_loadtest: merged %s section into %s\n" r.Loadgen.lr_mode bench_json;
+  0
+
+(* serve-fleet: sweep fleet sizes under Poisson/diurnal traces for each
+   routing policy (lib/fleet) and merge the scaling-efficiency curves
+   into the perf artifact. *)
+module Fleet_bench = Cinnamon_fleet.Fleet_bench
+module Router = Cinnamon_fleet.Router
+
+let fleet_quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Use the quick preset (600 requests, fleets of 1/2/4 nodes) instead of the \
+              full sweep (million-request traces over 1..64 nodes).")
+
+let nodes_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "nodes" ] ~docv:"N,N,.."
+        ~doc:"Fleet sizes to sweep, comma-separated ascending (default: preset).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Routing policy: $(b,round_robin), $(b,least_loaded), $(b,locality) or \
+              $(b,all) (default: all).")
+
+let trace_shape_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("poisson", `Poisson); ("diurnal", `Diurnal); ("both", `Both) ])) None
+    & info [ "trace-shape" ] ~docv:"SHAPE"
+        ~doc:"Arrival trace: $(b,poisson), $(b,diurnal) or $(b,both) (default: both).")
+
+let fleet_overload_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "overload" ] ~docv:"X"
+        ~doc:"Offered load as a multiple of aggregate fleet capacity (default: preset).")
+
+let key_slots_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "key-slots" ] ~docv:"N"
+        ~doc:"Per-node warm-key cache capacity, in resident key sets (default: preset).")
+
+let key_load_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "key-load-factor" ] ~docv:"X"
+        ~doc:"Modeled HBM key-load penalty on a cold dispatch, as a multiple of the mean \
+              service time (default: preset).")
+
+let no_autoscale_arg =
+  Arg.(value & flag & info [ "no-autoscale" ] ~doc:"Skip the autoscaler demo runs.")
+
+let do_serve_fleet quick nodes policy trace_shape requests overload seed deadline key_slots
+    key_load no_autoscale jobs cache_dir bench_json trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
+  Cinnamon_exec.Result_cache.set_dir cache_dir;
+  guarded @@ fun () ->
+  let base = if quick then Fleet_bench.quick else Fleet_bench.full in
+  let opt v dflt = Option.value v ~default:dflt in
+  let policies =
+    match policy with
+    | None | Some "all" -> Router.all_policies
+    | Some s -> (
+      match Router.policy_of_string s with
+      | Some p -> [ p ]
+      | None ->
+        Cinnamon_util.Error.fail Cinnamon_util.Error.Invalid_input
+          (Printf.sprintf "unknown policy %S (want round_robin, least_loaded, locality or all)" s))
+  in
+  let shapes =
+    match trace_shape with
+    | None | Some `Both -> [ `Poisson; `Diurnal ]
+    | Some `Poisson -> [ `Poisson ]
+    | Some `Diurnal -> [ `Diurnal ]
+  in
+  let cfg =
+    {
+      base with
+      Fleet_bench.fb_nodes = opt nodes base.Fleet_bench.fb_nodes;
+      fb_policies = policies;
+      fb_shapes = shapes;
+      fb_requests = opt requests base.Fleet_bench.fb_requests;
+      fb_seed = opt seed base.Fleet_bench.fb_seed;
+      fb_overload = opt overload base.Fleet_bench.fb_overload;
+      fb_deadline_factor = opt deadline base.Fleet_bench.fb_deadline_factor;
+      fb_key_slots = opt key_slots base.Fleet_bench.fb_key_slots;
+      fb_key_load_factor = opt key_load base.Fleet_bench.fb_key_load_factor;
+      fb_autoscale = base.Fleet_bench.fb_autoscale && not no_autoscale;
+      fb_jobs = resolve_jobs jobs;
+    }
+  in
+  let r = Fleet_bench.run cfg in
+  Fleet_bench.print_result r;
+  Fleet_bench.write_section ~file:bench_json r;
+  Printf.printf "\nserve_fleet: merged section into %s\n" bench_json;
   0
 
 let do_arch () =
@@ -479,9 +584,25 @@ let serve_sim_cmd =
       $ think_arg $ seed_arg $ deadline_arg $ workers_arg $ capacity_arg $ max_batch_arg
       $ jobs_arg $ cache_dir_arg $ bench_json_arg $ trace_arg $ metrics_arg)
 
+let serve_fleet_cmd =
+  Cmd.v
+    (Cmd.info "serve-fleet"
+       ~doc:
+         "Simulate a multi-node serving fleet: sweep fleet sizes under Poisson and diurnal \
+          request traces for each routing policy (round-robin, least-loaded, \
+          locality-aware), demo the SLO-driven autoscaler, and merge per-policy \
+          scaling-efficiency curves into the perf artifact.")
+    Term.(
+      const do_serve_fleet $ fleet_quick_arg $ nodes_arg $ policy_arg $ trace_shape_arg
+      $ requests_arg $ fleet_overload_arg $ seed_arg $ deadline_arg $ key_slots_arg $ key_load_arg
+      $ no_autoscale_arg $ jobs_arg $ cache_dir_arg $ bench_json_arg $ trace_arg $ metrics_arg)
+
 let arch_cmd =
   Cmd.v (Cmd.info "arch" ~doc:"Print area and yield models") Term.(const do_arch $ const ())
 
 let () =
   let info = Cmd.info "cinnamon" ~version:"1.0.0" ~doc:"Scale-out encrypted AI toolchain" in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; simulate_cmd; bench_cmd; serve_sim_cmd; arch_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; simulate_cmd; bench_cmd; serve_sim_cmd; serve_fleet_cmd; arch_cmd ]))

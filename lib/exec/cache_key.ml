@@ -29,15 +29,25 @@ let pass_mode_name = function
 
 let topology_name = function SC.Ring -> "ring" | SC.Switch -> "switch"
 
-let make ~(config : CC.t) ~(sim : SC.t) ~kernel =
+(* The compile-config fragment, exposed on its own so other layers that
+   need "structurally identical compile configuration" (the serving
+   batcher's compatibility key) share this rendering instead of
+   marshalling the record. *)
+let config_sig (config : CC.t) =
   Printf.sprintf
-    "%s|k=%s|cc:chips=%d,log_n=%d,limb_bits=%d,top_limbs=%d,dnum=%d,alpha=%d,group_size=%d,ks=%s,pass=%s,pp=%b,rf=%d|sc:chips=%d,clk=%g,cl=%d,lanes=%d,bcu=%d,rf=%d,hbm=%g,link=%g,topo=%s,hop=%d,pipe=%d"
-    schema kernel config.CC.chips config.CC.log_n config.CC.limb_bits config.CC.top_limbs
+    "cc:chips=%d,log_n=%d,limb_bits=%d,top_limbs=%d,dnum=%d,alpha=%d,group_size=%d,ks=%s,pass=%s,pp=%b,rf=%d"
+    config.CC.chips config.CC.log_n config.CC.limb_bits config.CC.top_limbs
     config.CC.dnum config.CC.alpha config.CC.group_size
     (Cinnamon_ir.Poly_ir.algorithm_name config.CC.default_ks)
     (pass_mode_name config.CC.pass_mode)
-    config.CC.progpar config.CC.rf_bytes sim.SC.chips sim.SC.clock_ghz sim.SC.clusters sim.SC.lanes_per_cluster
-    sim.SC.bcu_lanes_per_cluster sim.SC.rf_bytes sim.SC.hbm_gbps sim.SC.link_gbps
+    config.CC.progpar config.CC.rf_bytes
+
+let make ~(config : CC.t) ~(sim : SC.t) ~kernel =
+  Printf.sprintf
+    "%s|k=%s|%s|sc:chips=%d,clk=%g,cl=%d,lanes=%d,bcu=%d,rf=%d,hbm=%g,link=%g,topo=%s,hop=%d,pipe=%d"
+    schema kernel (config_sig config) sim.SC.chips sim.SC.clock_ghz sim.SC.clusters
+    sim.SC.lanes_per_cluster sim.SC.bcu_lanes_per_cluster sim.SC.rf_bytes sim.SC.hbm_gbps
+    sim.SC.link_gbps
     (topology_name sim.SC.topology)
     sim.SC.hop_latency_cycles sim.SC.ntt_pipe_depth
 

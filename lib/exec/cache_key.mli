@@ -14,6 +14,12 @@ val schema : string
 
 val make : config:Cinnamon_compiler.Compile_config.t -> sim:Cinnamon_sim.Sim_config.t -> kernel:string -> t
 
+(** The compile-configuration fragment of the key ([cc:...], every
+    behavioural field, no cosmetic ones) — the shared definition of
+    "structurally identical compile configuration" other layers key on
+    (e.g. the serving batcher's compatibility key). *)
+val config_sig : Cinnamon_compiler.Compile_config.t -> string
+
 (** Canonical, human-readable rendering (also the equality witness). *)
 val to_string : t -> string
 

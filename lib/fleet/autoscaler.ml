@@ -1,0 +1,133 @@
+(* Autoscaling on the virtual clock, driven by the live SLO signals
+   the serving layer already tracks (queue-depth gauge, streaming p99).
+
+   Pure decision logic: the fleet driver feeds a signal snapshot each
+   time the clock crosses the evaluation interval and applies whatever
+   action comes back (spawn a node / drain the newest node).  Two
+   layers of hysteresis keep it from flapping:
+   - a deadband between the scale-up and scale-down depth thresholds
+     (validated [as_up_depth > as_down_depth]), and
+   - a cooldown after any action during which the scaler only holds.
+
+   Scale-up triggers on mean queue depth per node above [as_up_depth]
+   OR live p99 above [as_up_p99_ms] (when set) — depth reacts to
+   bursts before latency percentiles move, p99 catches slow drift that
+   never piles the queues deep.  Scale-down requires BOTH depth below
+   [as_down_depth] AND (when set) p99 at or below the up threshold, so
+   the fleet never sheds capacity while visibly missing latency. *)
+
+type config = {
+  as_min_nodes : int;
+  as_max_nodes : int;
+  as_interval_s : float; (* evaluation cadence on the virtual clock *)
+  as_cooldown_s : float; (* hold this long after any action *)
+  as_up_depth : float; (* mean queue depth per node that triggers growth *)
+  as_down_depth : float; (* ... below which shrinking is allowed *)
+  as_up_p99_ms : float option; (* optional latency trigger *)
+}
+
+let default =
+  {
+    as_min_nodes = 1;
+    as_max_nodes = 64;
+    as_interval_s = 5.0;
+    as_cooldown_s = 15.0;
+    as_up_depth = 4.0;
+    as_down_depth = 0.5;
+    as_up_p99_ms = None;
+  }
+
+let validate c =
+  let module E = Cinnamon_util.Error in
+  if c.as_min_nodes < 1 then E.fail E.Invalid_input "Autoscaler: min_nodes must be >= 1";
+  if c.as_max_nodes < c.as_min_nodes then
+    E.fail E.Invalid_input "Autoscaler: max_nodes must be >= min_nodes";
+  if c.as_interval_s <= 0.0 then E.fail E.Invalid_input "Autoscaler: interval must be > 0";
+  if c.as_cooldown_s < 0.0 then E.fail E.Invalid_input "Autoscaler: cooldown must be >= 0";
+  if not (c.as_up_depth > c.as_down_depth) then
+    E.fail E.Invalid_input "Autoscaler: up_depth must exceed down_depth (hysteresis deadband)"
+
+type signals = {
+  sg_now_s : float;
+  sg_nodes : int; (* active (non-draining) nodes *)
+  sg_mean_depth : float; (* mean queue depth per active node *)
+  sg_p99_ms : float option; (* live streaming p99, None before first completion *)
+}
+
+type action = Scale_up | Scale_down
+
+type event = {
+  ev_time_s : float;
+  ev_action : action;
+  ev_nodes_before : int;
+  ev_nodes_after : int;
+  ev_reason : string;
+}
+
+let action_name = function Scale_up -> "scale_up" | Scale_down -> "scale_down"
+
+type t = {
+  cfg : config;
+  mutable last_action_s : float; (* -infinity until the first action *)
+  mutable events : event list; (* newest first *)
+}
+
+let create cfg =
+  validate cfg;
+  { cfg; last_action_s = neg_infinity; events = [] }
+
+let config t = t.cfg
+let events t = List.rev t.events
+let next_eval_after t ~now_s = now_s +. t.cfg.as_interval_s
+
+let decide t (sg : signals) =
+  let c = t.cfg in
+  if sg.sg_now_s -. t.last_action_s < c.as_cooldown_s then None
+  else begin
+    let p99_high =
+      match (c.as_up_p99_ms, sg.sg_p99_ms) with
+      | Some lim, Some p -> p > lim
+      | _ -> false
+    in
+    let p99_ok =
+      match (c.as_up_p99_ms, sg.sg_p99_ms) with
+      | Some lim, Some p -> p <= lim
+      | _ -> true
+    in
+    let record action reason =
+      let after = match action with Scale_up -> sg.sg_nodes + 1 | Scale_down -> sg.sg_nodes - 1 in
+      let ev =
+        {
+          ev_time_s = sg.sg_now_s;
+          ev_action = action;
+          ev_nodes_before = sg.sg_nodes;
+          ev_nodes_after = after;
+          ev_reason = reason;
+        }
+      in
+      t.last_action_s <- sg.sg_now_s;
+      t.events <- ev :: t.events;
+      Some ev
+    in
+    if sg.sg_nodes < c.as_max_nodes && sg.sg_mean_depth > c.as_up_depth then
+      record Scale_up (Printf.sprintf "mean depth %.2f > %.2f" sg.sg_mean_depth c.as_up_depth)
+    else if sg.sg_nodes < c.as_max_nodes && p99_high then
+      record Scale_up
+        (Printf.sprintf "p99 %.1f ms > %.1f ms"
+           (Option.value sg.sg_p99_ms ~default:nan)
+           (Option.value c.as_up_p99_ms ~default:nan))
+    else if sg.sg_nodes > c.as_min_nodes && sg.sg_mean_depth < c.as_down_depth && p99_ok then
+      record Scale_down (Printf.sprintf "mean depth %.2f < %.2f" sg.sg_mean_depth c.as_down_depth)
+    else None
+  end
+
+let event_json ev =
+  let module Json = Cinnamon_util.Json in
+  Json.Obj
+    [
+      ("t_s", Json.Float ev.ev_time_s);
+      ("action", Json.Str (action_name ev.ev_action));
+      ("nodes_before", Json.Int ev.ev_nodes_before);
+      ("nodes_after", Json.Int ev.ev_nodes_after);
+      ("reason", Json.Str ev.ev_reason);
+    ]

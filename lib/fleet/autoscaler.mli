@@ -1,0 +1,61 @@
+(** Autoscaling on the virtual clock, from live SLO signals.
+
+    Pure decision logic with two layers of hysteresis: a deadband
+    between the up/down depth thresholds, and a cooldown after any
+    action.  The fleet driver calls {!decide} each time the clock
+    crosses the evaluation interval and applies the action. *)
+
+type config = {
+  as_min_nodes : int;  (** >= 1 *)
+  as_max_nodes : int;  (** >= min *)
+  as_interval_s : float;  (** evaluation cadence, > 0 *)
+  as_cooldown_s : float;  (** hold after any action, >= 0 *)
+  as_up_depth : float;  (** grow when mean queue depth per node exceeds this *)
+  as_down_depth : float;  (** shrink allowed below this; must be < up *)
+  as_up_p99_ms : float option;  (** optional latency trigger for growth *)
+}
+
+(** 1..64 nodes, evaluate every 5 virtual s, 15 s cooldown, up at mean
+    depth 4, down below 0.5, no latency trigger. *)
+val default : config
+
+(** Raises a typed [Invalid_input] error on inconsistent bounds or a
+    non-positive deadband. *)
+val validate : config -> unit
+
+type signals = {
+  sg_now_s : float;
+  sg_nodes : int;  (** active (non-draining) nodes *)
+  sg_mean_depth : float;  (** mean queue depth per active node *)
+  sg_p99_ms : float option;  (** streaming p99; [None] before first completion *)
+}
+
+type action = Scale_up | Scale_down
+
+type event = {
+  ev_time_s : float;
+  ev_action : action;
+  ev_nodes_before : int;
+  ev_nodes_after : int;
+  ev_reason : string;
+}
+
+val action_name : action -> string
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+(** [Some event] when the signals cross a threshold outside the
+    cooldown window (the event is also recorded); [None] to hold.
+    Scale-up: depth above [as_up_depth] or p99 above [as_up_p99_ms];
+    scale-down: depth below [as_down_depth] AND p99 not above the up
+    threshold.  Bounded by [as_min_nodes]/[as_max_nodes]. *)
+val decide : t -> signals -> event option
+
+(** All recorded events, oldest first. *)
+val events : t -> event list
+
+val next_eval_after : t -> now_s:float -> float
+val event_json : event -> Cinnamon_util.Json.t

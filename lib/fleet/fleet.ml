@@ -1,0 +1,291 @@
+(* The multi-node serving driver: one discrete-event loop over the
+   shared virtual clock stepping N per-node Engines, with a Router
+   deciding admission placement, per-node warm-key caches modeling
+   HBM-resident evaluation/rotation key sets, and an optional
+   Autoscaler growing/shrinking the fleet from live SLO signals.
+
+   Determinism.  Every decision that shapes the run — routing, batch
+   formation, key-cache penalties, autoscaling — happens sequentially
+   on the virtual clock, in node-id order.  The only concurrency is
+   the real compile/simulate work: at each virtual instant, the
+   batches formed on ALL nodes are fanned across one shared
+   Exec.Pool in a single order-preserving map (Engine.execute touches
+   no engine state), then committed back in formation order.  So fleet
+   results are bit-identical for any --jobs, the same property the
+   single-node server and Runner.run_sweep have.
+
+   Accounting.  Each engine's Slo accumulator absorbs everything that
+   happens to requests it owns; requests no node could take (router
+   found every queue full) are Rejected with the typed
+   Admission.Fleet_full error against a router-level accumulator.
+   [Slo.merge] over router + every node ever spawned restores the
+   exactly-one-terminal-response identity fleet-wide.
+
+   Scaling.  Scale-up spawns [make_node id] and routes to it from the
+   next arrival on (its key cache starts cold).  Scale-down drains the
+   newest active node: admission closes immediately (the router stops
+   seeing it), admitted work runs to completion, and the empty shell
+   is dropped from stepping once drained. *)
+
+module Tel = Cinnamon_telemetry.Telemetry
+module Exec = Cinnamon_exec
+module Error = Cinnamon_util.Error
+module Engine = Cinnamon_serve.Engine
+module Node = Cinnamon_serve.Node
+module Request = Cinnamon_serve.Request
+module Response = Cinnamon_serve.Response
+module Admission = Cinnamon_serve.Admission
+module Batcher = Cinnamon_serve.Batcher
+module Slo = Cinnamon_serve.Slo
+
+type config = {
+  fc_nodes : int; (* initial fleet size *)
+  fc_policy : Router.policy;
+  fc_key_slots : int; (* per-node warm-key cache capacity *)
+  fc_key_load_s : float; (* modeled HBM key-load penalty on a cold dispatch *)
+  fc_autoscale : Autoscaler.config option;
+  fc_collect_responses : bool; (* retain terminal responses (tests; O(requests)) *)
+}
+
+let default_config =
+  {
+    fc_nodes = 4;
+    fc_policy = Router.Least_loaded;
+    fc_key_slots = 1;
+    fc_key_load_s = 0.0;
+    fc_autoscale = None;
+    fc_collect_responses = false;
+  }
+
+type result = {
+  fr_slo : Slo.t; (* merged: router + every node ever spawned *)
+  fr_makespan_s : float;
+  fr_router : (string * int) list;
+  fr_key_hits : int;
+  fr_key_misses : int;
+  fr_events : Autoscaler.event list;
+  fr_nodes_peak : int;
+  fr_nodes_final : int;
+  fr_responses : Response.t list; (* [] unless fc_collect_responses *)
+}
+
+let key_hit_rate r =
+  let total = r.fr_key_hits + r.fr_key_misses in
+  if total = 0 then 0.0 else Float.of_int r.fr_key_hits /. Float.of_int total
+
+type fnode = {
+  fn_id : int;
+  fn_engine : Engine.t;
+  fn_keys : Key_cache.t;
+  mutable fn_draining : bool;
+}
+
+let cmp_arrival (a : Request.t) (b : Request.t) =
+  match Float.compare a.Request.req_arrival_s b.Request.req_arrival_s with
+  | 0 -> compare a.Request.req_id b.Request.req_id
+  | c -> c
+
+let run ?pool config ~make_node ~arrivals () =
+  if config.fc_nodes < 1 then Error.fail Error.Invalid_input "Fleet.run: fc_nodes must be >= 1";
+  if config.fc_key_slots < 1 then
+    Error.fail Error.Invalid_input "Fleet.run: fc_key_slots must be >= 1";
+  if config.fc_key_load_s < 0.0 || Float.is_nan config.fc_key_load_s then
+    Error.fail Error.Invalid_input "Fleet.run: fc_key_load_s must be >= 0";
+  Option.iter Autoscaler.validate config.fc_autoscale;
+  Tel.name_process ~pid:Engine.serve_pid "serve (virtual time)";
+  let pending = ref (List.stable_sort cmp_arrival arrivals) in
+  let insert_pending rs =
+    if rs <> [] then pending := List.merge cmp_arrival (List.stable_sort cmp_arrival rs) !pending
+  in
+  let responses = ref [] in
+  let record resp = if config.fc_collect_responses then responses := resp :: !responses in
+  let mk_fnode id =
+    let node = make_node id in
+    let respond resp =
+      record resp;
+      (* closed-loop follow-ups re-enter through the router *)
+      insert_pending (node.Node.on_terminal resp)
+    in
+    {
+      fn_id = id;
+      fn_engine = Engine.create ~node ~respond;
+      fn_keys = Key_cache.create ~slots:config.fc_key_slots;
+      fn_draining = false;
+    }
+  in
+  let next_node_id = ref 0 in
+  let spawn () =
+    let id = !next_node_id in
+    incr next_node_id;
+    mk_fnode id
+  in
+  (* all nodes ever spawned, in id order; draining shells are dropped
+     from this list once empty but their SLO accumulators are kept *)
+  let nodes = ref (List.init config.fc_nodes (fun _ -> spawn ())) in
+  let retired = ref [] in (* drained shells: SLO + key counters still count *)
+  let active () = List.filter (fun n -> not n.fn_draining) !nodes in
+  let nodes_peak = ref config.fc_nodes in
+  let router = Router.create config.fc_policy in
+  let router_slo = Slo.create () in
+  let scaler = Option.map Autoscaler.create config.fc_autoscale in
+  let now = ref 0.0 in
+  let next_batch_id = ref 0 in
+  let next_eval =
+    ref (match config.fc_autoscale with Some c -> c.Autoscaler.as_interval_s | None -> infinity)
+  in
+  let apply_scaling ev =
+    match ev.Autoscaler.ev_action with
+    | Autoscaler.Scale_up ->
+      nodes := !nodes @ [ spawn () ];
+      let n_active = List.length (active ()) in
+      if n_active > !nodes_peak then nodes_peak := n_active
+    | Autoscaler.Scale_down -> (
+      (* drain the newest active node: LIFO keeps ids compact and the
+         warm caches of older nodes intact *)
+      match List.rev (active ()) with
+      | [] -> ()
+      | newest :: _ ->
+        newest.fn_draining <- true;
+        Engine.close newest.fn_engine)
+  in
+  let tick_autoscaler () =
+    match scaler with
+    | None -> ()
+    | Some sc ->
+      while !next_eval <= !now do
+        let act = active () in
+        let n = List.length act in
+        let signals =
+          {
+            Autoscaler.sg_now_s = !next_eval;
+            sg_nodes = n;
+            sg_mean_depth =
+              (if n = 0 then 0.0
+               else
+                 Float.of_int
+                   (List.fold_left (fun acc fn -> acc + Engine.queue_depth fn.fn_engine) 0 act)
+                 /. Float.of_int n);
+            sg_p99_ms =
+              Slo.live_p99_ms (Slo.merge (List.map (fun fn -> Engine.slo fn.fn_engine) act));
+          }
+        in
+        Option.iter apply_scaling (Autoscaler.decide sc signals);
+        next_eval := Autoscaler.next_eval_after sc ~now_s:!next_eval
+      done
+  in
+  let route (r : Request.t) =
+    let key = Batcher.compat_key r in
+    let candidates =
+      List.map
+        (fun fn ->
+          {
+            Router.cd_id = fn.fn_id;
+            cd_load = Engine.load fn.fn_engine;
+            cd_has_room = Engine.has_room fn.fn_engine;
+            cd_warm = Key_cache.mem fn.fn_keys key;
+          })
+        (active ())
+    in
+    match Router.pick router candidates with
+    | Some id ->
+      let fn = List.find (fun fn -> fn.fn_id = id) !nodes in
+      Engine.offer fn.fn_engine ~now_s:!now r
+    | None ->
+      (* global backpressure: typed fleet-level rejection, accounted at
+         the router so the merged report keeps every request terminal *)
+      Slo.observe_offered router_slo;
+      let err = Admission.Fleet_full { nodes = List.length candidates } in
+      Slo.observe_rejected router_slo err;
+      record { Response.req = r; outcome = Response.Rejected err }
+  in
+  let rec admit_due () =
+    match !pending with
+    | r :: rest when r.Request.req_arrival_s <= !now ->
+      pending := rest;
+      route r;
+      admit_due ()
+    | _ -> ()
+  in
+  let dispatch () =
+    let pairs =
+      List.concat_map
+        (fun fn ->
+          List.map
+            (fun b -> (fn, b))
+            (Engine.form_batches fn.fn_engine ~now_s:!now ~next_batch_id))
+        !nodes
+    in
+    match pairs with
+    | [] -> ()
+    | pairs ->
+      let t_dispatch = !now in
+      (* warm-key penalties are decided sequentially, in formation
+         order, BEFORE the parallel fan-out — cache state never races *)
+      let jobs =
+        List.map
+          (fun (fn, b) ->
+            let warm = Key_cache.touch fn.fn_keys b.Batcher.batch_key in
+            (fn, b, if warm then 0.0 else config.fc_key_load_s))
+          pairs
+      in
+      let exec (fn, b, _) = Engine.execute fn.fn_engine ~now_s:t_dispatch b in
+      let results =
+        match pool with Some p -> Exec.Pool.map p exec jobs | None -> List.map exec jobs
+      in
+      List.iter2
+        (fun (fn, b, penalty_s) res ->
+          Engine.commit fn.fn_engine ~now_s:t_dispatch ~extra_service_s:penalty_s b res)
+        jobs results
+  in
+  let reap_drained () =
+    let drained, rest =
+      List.partition (fun fn -> fn.fn_draining && Engine.is_drained fn.fn_engine) !nodes
+    in
+    if drained <> [] then begin
+      retired := !retired @ drained;
+      nodes := rest
+    end
+  in
+  let rec loop () =
+    tick_autoscaler ();
+    admit_due ();
+    List.iter (fun fn -> Engine.shed_expired fn.fn_engine ~now_s:!now) !nodes;
+    List.iter (fun fn -> Engine.observe_depth fn.fn_engine) (active ());
+    dispatch ();
+    if List.exists (fun fn -> Engine.wants_dispatch fn.fn_engine) !nodes then loop ()
+    else begin
+      reap_drained ();
+      let next_arrival =
+        match !pending with [] -> infinity | r :: _ -> r.Request.req_arrival_s
+      in
+      let next_completion =
+        List.fold_left
+          (fun acc fn -> Float.min acc (Engine.next_completion_s fn.fn_engine))
+          infinity !nodes
+      in
+      let next_work = Float.min next_arrival next_completion in
+      if next_work < infinity then begin
+        now := Float.max !now (Float.min next_work !next_eval);
+        List.iter (fun fn -> Engine.complete_due fn.fn_engine ~now_s:!now) !nodes;
+        loop ()
+      end
+      (* else: no arrivals pending, every queue empty, nothing in
+         flight — the fleet is drained (pending autoscaler evals are
+         moot with no work left) *)
+    end
+  in
+  loop ();
+  let everyone = !retired @ !nodes in
+  let key_hits = List.fold_left (fun acc fn -> acc + Key_cache.hits fn.fn_keys) 0 everyone
+  and key_misses = List.fold_left (fun acc fn -> acc + Key_cache.misses fn.fn_keys) 0 everyone in
+  {
+    fr_slo = Slo.merge (router_slo :: List.map (fun fn -> Engine.slo fn.fn_engine) everyone);
+    fr_makespan_s = !now;
+    fr_router = Router.decisions router;
+    fr_key_hits = key_hits;
+    fr_key_misses = key_misses;
+    fr_events = (match scaler with None -> [] | Some sc -> Autoscaler.events sc);
+    fr_nodes_peak = !nodes_peak;
+    fr_nodes_final = List.length (active ());
+    fr_responses = List.rev !responses;
+  }

@@ -1,0 +1,58 @@
+(** The multi-node serving driver: one discrete-event loop over the
+    shared virtual clock stepping N {!Cinnamon_serve.Engine}s, with a
+    {!Router} placing admissions, per-node {!Key_cache}s modeling
+    HBM-resident key sets, and an optional {!Autoscaler}.
+
+    All decisions (routing, batching, key penalties, scaling) are
+    sequential on the virtual clock; only the real compile/simulate
+    work fans across the shared pool — results are bit-identical for
+    any [--jobs].  Every arrival reaches exactly one terminal
+    response: per-node outcomes land in that node's SLO accumulator,
+    fleet-wide backpressure ([Admission.Fleet_full]) in a router-level
+    one, and [fr_slo] is their {!Cinnamon_serve.Slo.merge}. *)
+
+type config = {
+  fc_nodes : int;  (** initial fleet size, >= 1 *)
+  fc_policy : Router.policy;
+  fc_key_slots : int;  (** per-node warm-key cache capacity, >= 1 *)
+  fc_key_load_s : float;
+      (** modeled HBM key-load penalty added to a batch's service time
+          when its compatibility key is cold on the serving node *)
+  fc_autoscale : Autoscaler.config option;
+  fc_collect_responses : bool;
+      (** retain terminal responses (tests only; O(requests) memory) *)
+}
+
+(** 4 nodes, least-loaded, 1 key slot, no key penalty, no autoscaler,
+    responses not retained. *)
+val default_config : config
+
+type result = {
+  fr_slo : Cinnamon_serve.Slo.t;  (** merged: router + every node ever *)
+  fr_makespan_s : float;
+  fr_router : (string * int) list;  (** router decision counts *)
+  fr_key_hits : int;
+  fr_key_misses : int;
+  fr_events : Autoscaler.event list;  (** oldest first *)
+  fr_nodes_peak : int;
+  fr_nodes_final : int;  (** active (non-draining) nodes at the end *)
+  fr_responses : Cinnamon_serve.Response.t list;
+      (** [] unless [fc_collect_responses] *)
+}
+
+(** Dispatched-batch warm-key hit rate; 0 when nothing dispatched. *)
+val key_hit_rate : result -> float
+
+(** [run config ~make_node ~arrivals ()] plays the arrival list to
+    completion.  [make_node id] builds node [id] — initial nodes get
+    ids [0 .. fc_nodes-1]; the autoscaler calls it for each scale-up,
+    and scale-down gracefully drains the newest active node.  Raises
+    typed [Invalid_input] errors on bad counts/penalties and validates
+    the autoscaler config up front. *)
+val run :
+  ?pool:Cinnamon_exec.Pool.t ->
+  config ->
+  make_node:(int -> Cinnamon_serve.Node.t) ->
+  arrivals:Cinnamon_serve.Request.t list ->
+  unit ->
+  result

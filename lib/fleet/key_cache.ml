@@ -1,0 +1,45 @@
+(* Per-node warm-key cache: which batch compatibility keys (compiled
+   program + its evaluation/rotation key set) are resident in a node's
+   HBM right now.
+
+   Modeled as a tiny MRU list — real deployments keep a handful of
+   multi-GB key sets resident, so capacities are single digits and a
+   list beats any clever structure.  A dispatch whose key is cold pays
+   the fleet's modeled HBM key-load penalty and evicts the
+   least-recently-used resident key.  Hit/miss counters feed the
+   per-policy hit-rate comparison in the fleet bench. *)
+
+type t = {
+  slots : int;
+  mutable keys : string list; (* MRU first; length <= slots *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Key_cache.create: slots must be >= 1";
+  { slots; keys = []; hits = 0; misses = 0 }
+
+(* Peek for routing decisions: no promotion, no counter movement — the
+   router asking "where is this key warm?" must not perturb the cache
+   state the dispatch path accounts against. *)
+let mem t key = List.exists (String.equal key) t.keys
+
+(* The dispatch path: promote on hit, insert-and-evict on miss.
+   Returns [true] iff the key was already resident. *)
+let touch t key =
+  if mem t key then begin
+    t.hits <- t.hits + 1;
+    t.keys <- key :: List.filter (fun k -> not (String.equal k key)) t.keys;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let keep = List.filteri (fun i _ -> i < t.slots - 1) t.keys in
+    t.keys <- key :: keep;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let resident t = t.keys

@@ -1,0 +1,22 @@
+(** Per-node warm-key cache: which batch compatibility keys (compiled
+    program + evaluation/rotation key set) are resident in a node's
+    HBM.  Tiny MRU list — real key sets are multi-GB, so capacities
+    are single digits. *)
+
+type t
+
+(** Raises [Invalid_argument] if [slots < 1]. *)
+val create : slots:int -> t
+
+(** Residency peek for routing: no promotion, no counters. *)
+val mem : t -> string -> bool
+
+(** Dispatch-path lookup: promote on hit; insert (evicting the LRU
+    key) and count a miss otherwise.  [true] iff already resident. *)
+val touch : t -> string -> bool
+
+val hits : t -> int
+val misses : t -> int
+
+(** Resident keys, most recently used first. *)
+val resident : t -> string list

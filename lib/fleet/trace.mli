@@ -1,0 +1,35 @@
+(** Arrival-trace generation for fleet sweeps: stationary Poisson and
+    a diurnal (non-homogeneous Poisson, thinned cosine wave) shape
+    that gives the autoscaler load swings to follow.  Mix, priorities
+    and deadlines follow the {!Cinnamon_serve.Loadgen} conventions. *)
+
+type shape =
+  | Poisson of { rate_rps : float }
+  | Diurnal of { base_rps : float; peak_rps : float; period_s : float }
+      (** rate(t) = base + (peak - base)(1 - cos 2πt/T)/2 *)
+
+(** ["poisson"] or ["diurnal"]. *)
+val shape_name : shape -> string
+
+type config = {
+  tr_shape : shape;
+  tr_requests : int;
+  tr_seed : int;
+  tr_deadline_factor : float;
+      (** deadline = arrival + factor x class base service time *)
+  tr_compile : Cinnamon_compiler.Compile_config.t;
+}
+
+(** Raises a typed [Invalid_input] error on non-positive counts,
+    rates, factors or periods, or peak < base. *)
+val validate : config -> unit
+
+(** [generate cfg ~classes] draws [tr_requests] arrivals from the
+    weight-proportional class mix, where [classes] pairs each spec
+    with its calibrated base service seconds (see
+    {!Cinnamon_serve.Loadgen.calibrate}).  Deterministic in
+    [tr_seed]. *)
+val generate :
+  config ->
+  classes:(Cinnamon_serve.Loadgen.class_spec * float) list ->
+  Cinnamon_serve.Request.t list

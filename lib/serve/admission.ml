@@ -12,12 +12,15 @@ type error =
   | Queue_full of { capacity : int }
   | Expired of { deadline_s : float; now_s : float }
   | Closed
+  | Fleet_full of { nodes : int }
 
 let error_to_string = function
   | Queue_full { capacity } -> Printf.sprintf "queue full (capacity %d)" capacity
   | Expired { deadline_s; now_s } ->
     Printf.sprintf "deadline %.6fs already expired at admission (now %.6fs)" deadline_s now_s
   | Closed -> "server draining: admission closed"
+  | Fleet_full { nodes } ->
+    Printf.sprintf "fleet backpressure: all %d nodes at capacity" nodes
 
 type t = {
   capacity : int;

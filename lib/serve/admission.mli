@@ -8,6 +8,9 @@ type error =
   | Expired of { deadline_s : float; now_s : float }
       (** the deadline had already passed on arrival *)
   | Closed  (** the server is draining; no new admissions *)
+  | Fleet_full of { nodes : int }
+      (** global backpressure: a fleet router found every node at
+          capacity (never produced by a single queue's {!admit}) *)
 
 val error_to_string : error -> string
 

@@ -5,12 +5,14 @@
    Compatibility means "could be packed into the same CKKS ciphertext
    batch and served by the same compiled program": same benchmark, same
    system, and a structurally identical compile configuration.  The
-   configuration part of the key is a digest of the full Compile_config
-   record (every behavioural field, the same no-hand-rolled-keys rule
-   the Result_cache follows), so two configs differing in any field
-   never share a batch.
+   configuration part of the key digests Exec.Cache_key.config_sig —
+   the SAME structural rendering (every behavioural field, no cosmetic
+   ones) the Result_cache keys compile+simulate results on — so the
+   batcher and the cache can never disagree about which requests share
+   a compiled program.  (It used to digest Marshal output, which is
+   sensitive to sharing/representation rather than structure.) *)
 
-   Batch size is capped by the caller's [max_batch] AND by the ring's
+(* Batch size is capped by the caller's [max_batch] AND by the ring's
    slot count (2^(log_n - 1)) — the CKKS slot-packing limit: one
    ciphertext holds at most that many packed inferences. *)
 
@@ -24,7 +26,7 @@ type batch = {
 let size b = List.length b.requests
 
 let config_digest (c : Cinnamon_compiler.Compile_config.t) =
-  Digest.to_hex (Digest.string (Marshal.to_string c []))
+  Digest.to_hex (Digest.string (Cinnamon_exec.Cache_key.config_sig c))
 
 let compat_key (r : Request.t) =
   Printf.sprintf "%s|%s|%s" r.Request.req_bench r.Request.req_system

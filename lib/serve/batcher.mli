@@ -15,8 +15,10 @@ type batch = private {
 
 val size : batch -> int
 
-(** The compatibility key: benchmark name, system name, and a digest of
-    the full compile configuration (every behavioural field). *)
+(** The compatibility key: benchmark name, system name, and a digest
+    of {!Cinnamon_exec.Cache_key.config_sig} — the same structural
+    rendering of the compile configuration (every behavioural field)
+    the result cache keys on. *)
 val compat_key : Request.t -> string
 
 (** [form q ~now_s ~max_batch ~batch_id] pops the head-of-line request

@@ -38,7 +38,7 @@ type config = {
   lg_mix : class_spec list;
   lg_seed : int;
   lg_deadline_factor : float; (* deadline = arrival + factor * class service *)
-  lg_server : Server.config;
+  lg_capacity : Node.capacity;
   lg_compile : CC.t;
   lg_jobs : int; (* real pool workers; 0 = recommended *)
 }
@@ -50,8 +50,8 @@ let quick =
     lg_mix = [ { cls_bench = "bootstrap"; cls_system = "cinnamon-4"; cls_weight = 1.0 } ];
     lg_seed = 42;
     lg_deadline_factor = 3.0;
-    lg_server =
-      { Server.workers = 2; queue_capacity = 12; max_batch = 4; max_attempts = 3; drain_after_s = None };
+    lg_capacity =
+      { Node.workers = 2; queue_capacity = 12; max_batch = 4; max_attempts = 3; drain_after_s = None };
     lg_compile = CC.paper ();
     lg_jobs = 0;
   }
@@ -112,6 +112,16 @@ let workload_executor ~now_s:_ (b : Batcher.batch) =
     in
     (Runner.run_benchmark ~config:r.Request.req_config sys bench).Runner.br_seconds
 
+(* Calibrate: one real run per class gives its base service time and
+   pre-warms the compile cache the serving run will hit. *)
+let calibrate ~pool ~compile mix =
+  let classes = List.map resolve_class mix in
+  Exec.Pool.map pool
+    (fun (cls, bench, sys) ->
+      let r = Runner.run_benchmark ~config:compile sys bench in
+      (cls, r.Runner.br_seconds))
+    classes
+
 let run cfg =
   if cfg.lg_requests < 1 then Error.fail Error.Invalid_input "Loadgen.run: lg_requests must be >= 1";
   if cfg.lg_mix = [] then Error.fail Error.Invalid_input "Loadgen.run: lg_mix must be non-empty";
@@ -128,19 +138,10 @@ let run cfg =
   | Closed_loop { clients; think_factor } ->
     if clients < 1 then Error.fail Error.Invalid_input "Loadgen.run: clients must be >= 1";
     if think_factor < 0.0 then Error.fail Error.Invalid_input "Loadgen.run: think_factor must be >= 0");
-  let classes = List.map resolve_class cfg.lg_mix in
   let pool = Exec.Pool.create ~jobs:cfg.lg_jobs () in
   Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) @@ fun () ->
   let stats0 = Exec.Result_cache.stats () in
-  (* Calibrate: one real run per class gives its base service time and
-     pre-warms the compile cache the serving run will hit. *)
-  let calibrated =
-    Exec.Pool.map pool
-      (fun (cls, bench, sys) ->
-        let r = Runner.run_benchmark ~config:cfg.lg_compile sys bench in
-        (cls, r.Runner.br_seconds))
-      classes
-  in
+  let calibrated = calibrate ~pool ~compile:cfg.lg_compile cfg.lg_mix in
   let total_weight = List.fold_left (fun acc (c, _) -> acc +. c.cls_weight) 0.0 calibrated in
   let mean_service =
     List.fold_left (fun acc (c, s) -> acc +. (c.cls_weight /. total_weight *. s)) 0.0 calibrated
@@ -169,7 +170,7 @@ let run cfg =
     match cfg.lg_mode with
     | Open_loop { overload } ->
       (* rate such that offered work = overload x server capacity *)
-      let rate = overload *. Float.of_int cfg.lg_server.Server.workers /. mean_service in
+      let rate = overload *. Float.of_int cfg.lg_capacity.Node.workers /. mean_service in
       let t = ref 0.0 in
       let arrivals =
         List.init cfg.lg_requests (fun id ->
@@ -199,9 +200,13 @@ let run cfg =
       let rate = Float.of_int clients /. (mean_service +. think) in
       (rate, initial, Some feedback)
   in
-  let server_result =
-    Server.run ~pool ?feedback cfg.lg_server ~executor:workload_executor ~arrivals ()
+  (* Loadgen implements the Node interface: the real workload executor
+     plus (for closed loops) the think-time feedback hook. *)
+  let node =
+    Node.make ~name:"loadgen" ?on_terminal:feedback ~capacity:cfg.lg_capacity
+      ~execute:workload_executor ()
   in
+  let server_result = Server.run ~pool node ~arrivals () in
   let stats1 = Exec.Result_cache.stats () in
   let report =
     Slo.report server_result.Server.slo

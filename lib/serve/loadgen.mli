@@ -33,7 +33,7 @@ type config = {
   lg_seed : int;  (** all randomness (arrivals, mix, priorities) *)
   lg_deadline_factor : float;
       (** deadline = arrival + factor x class base service time *)
-  lg_server : Server.config;
+  lg_capacity : Node.capacity;
   lg_compile : CC.t;
   lg_jobs : int;  (** real pool workers; 0 = recommended count *)
 }
@@ -54,8 +54,22 @@ type result = {
   lr_report : Slo.report;
 }
 
-(** Generate the arrival stream, play it through {!Server.run} with
-    the real compile/simulate executor, and report.  Raises
+(** The production [Node.execute]: resolve the head request's workload
+    and charge the batch one real compile + simulation (all requests
+    in a batch share the batcher's compatibility key, so one run
+    amortizes over the whole batch).  The fleet layer builds its nodes
+    from this. *)
+val workload_executor : now_s:float -> Batcher.batch -> float
+
+(** Run each class once (through the result cache, pre-warming the
+    compiles a serving run will hit) and pair it with its measured
+    base service seconds.  Raises typed errors on unknown workload
+    names. *)
+val calibrate :
+  pool:Cinnamon_exec.Pool.t -> compile:CC.t -> class_spec list -> (class_spec * float) list
+
+(** Generate the arrival stream, play it through {!Server.run} against
+    a node built from {!workload_executor}, and report.  Raises
     [Invalid_argument] on an empty mix, non-positive weights, counts
     or factors, and on workload names missing from the registries. *)
 val run : config -> result

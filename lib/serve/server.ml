@@ -1,47 +1,27 @@
-(* The serving scheduler: a discrete-event loop over a virtual clock
-   that admits arrivals, sheds expired work, forms batches, and
-   dispatches them onto Cinnamon_exec.Pool workers.
+(* The single-node serving driver: a discrete-event loop over a
+   virtual clock that plays an arrival list against one Node through
+   the per-node Engine.
 
    Time model.  Admission, batching and completion bookkeeping run in
    VIRTUAL seconds — a batch dispatched at virtual time t whose
-   executor reports s seconds of service occupies one of the
-   [config.workers] simulated executors until t + s.  The executor
-   itself (a compile + cycle-simulation through the Result_cache) is
-   REAL work: every batch dispatchable at the same virtual instant is
-   fanned across the pool and runs concurrently, and the loop blocks
-   until all their service times are known before advancing the clock.
-   Because batch formation depends only on virtual times and service
-   times are deterministic, the whole run is bit-identical for every
-   pool size — the same property Runner.run_sweep has.
+   executor reports s seconds of service occupies one of the node's
+   simulated executors until t + s.  The executor itself (a compile +
+   cycle-simulation through the Result_cache) is REAL work: every
+   batch dispatchable at the same virtual instant is fanned across the
+   pool and runs concurrently, and the loop blocks until all their
+   service times are known before advancing the clock.  Because batch
+   formation depends only on virtual times and service times are
+   deterministic, the whole run is bit-identical for every pool size —
+   the same property Runner.run_sweep has.
 
-   Failure model.  An executor may raise [Transient] (a worker hiccup:
-   the batch is retried in place up to [config.max_attempts] total
-   attempts) or any other exception (permanent: every request in the
-   batch fails with a typed [Failed] outcome).  Admission rejections
-   and deadline sheds are typed outcomes too — every request offered
-   to [run] appears in exactly one response.
-
-   Drain.  With [drain_after_s = Some d], admission closes at virtual
-   time d (later arrivals are Rejected Closed) but every admitted
-   request still runs to a terminal state before [run] returns; the
-   natural end of the arrival list drains the same way. *)
+   Failure and drain semantics live in Engine (Transient retries up to
+   [capacity.max_attempts]; drain closes admission but runs admitted
+   work to completion); every request offered to [run] — including
+   follow-ups injected by the node's [on_terminal] hook — appears in
+   exactly one response. *)
 
 module Tel = Cinnamon_telemetry.Telemetry
 module Exec = Cinnamon_exec
-module Error = Cinnamon_util.Error
-
-exception Transient of string
-
-type config = {
-  workers : int; (* simulated parallel executors *)
-  queue_capacity : int;
-  max_batch : int; (* also capped per-batch by the ring's slot count *)
-  max_attempts : int; (* total executor attempts per batch *)
-  drain_after_s : float option; (* close admission at this virtual time *)
-}
-
-let default_config =
-  { workers = 2; queue_capacity = 64; max_batch = 8; max_attempts = 3; drain_after_s = None }
 
 type result = {
   responses : Response.t list; (* terminal-event order *)
@@ -49,141 +29,36 @@ type result = {
   makespan_s : float;
 }
 
-(* Virtual-time trace row for per-request events. *)
-let serve_pid = 99
+let cmp_arrival (a : Request.t) (b : Request.t) =
+  match Float.compare a.Request.req_arrival_s b.Request.req_arrival_s with
+  | 0 -> compare a.Request.req_id b.Request.req_id
+  | c -> c
 
-let c_admitted = Tel.Counter.make ~cat:"serve" "requests_admitted"
-let c_rejected = Tel.Counter.make ~cat:"serve" "requests_rejected"
-let c_shed = Tel.Counter.make ~cat:"serve" "requests_shed"
-let c_completed = Tel.Counter.make ~cat:"serve" "requests_completed"
-let c_failed = Tel.Counter.make ~cat:"serve" "requests_failed"
-let c_retries = Tel.Counter.make ~cat:"serve" "batch_retries"
-let c_batches = Tel.Counter.make ~cat:"serve" "batches_dispatched"
-
-type inflight = {
-  if_finish_s : float;
-  if_started_s : float;
-  if_batch : Batcher.batch;
-  if_attempts : int;
-}
-
-let run ?pool ?(feedback = fun _ -> []) config ~executor ~arrivals () =
-  if config.workers < 1 then Error.fail Error.Invalid_input "Server.run: workers must be >= 1";
-  if config.max_batch < 1 then Error.fail Error.Invalid_input "Server.run: max_batch must be >= 1";
-  if config.max_attempts < 1 then Error.fail Error.Invalid_input "Server.run: max_attempts must be >= 1";
-  Tel.name_process ~pid:serve_pid "serve (virtual time)";
-  let q = Admission.create ~capacity:config.queue_capacity in
-  let slo = Slo.create () in
-  let cmp_arrival (a : Request.t) (b : Request.t) =
-    match Float.compare a.Request.req_arrival_s b.Request.req_arrival_s with
-    | 0 -> compare a.Request.req_id b.Request.req_id
-    | c -> c
-  in
+let run ?pool (node : Node.t) ~arrivals () =
+  Tel.name_process ~pid:Engine.serve_pid "serve (virtual time)";
   let pending = ref (List.stable_sort cmp_arrival arrivals) in
-  let inflight = ref ([] : inflight list) (* sorted by if_finish_s *) in
-  let free = ref config.workers in
-  let now = ref 0.0 in
-  let next_batch_id = ref 0 in
   let responses = ref [] in
   let insert_pending rs =
     if rs <> [] then pending := List.merge cmp_arrival (List.stable_sort cmp_arrival rs) !pending
   in
-  let rec respond (req : Request.t) (outcome : Response.outcome) =
-    let resp = { Response.req; outcome } in
-    (match outcome with
-    | Response.Completed c ->
-      Slo.observe_completed slo
-        ~latency_s:(c.finished_s -. req.Request.req_arrival_s)
-        ~met:(c.finished_s <= req.Request.req_deadline_s);
-      Tel.Counter.incr c_completed;
-      Tel.emit_complete ~cat:"serve" ~pid:serve_pid
-        ~tid:(Request.priority_rank req.Request.req_priority)
-        ~ts:(req.Request.req_arrival_s *. 1e6)
-        ~dur:((c.finished_s -. req.Request.req_arrival_s) *. 1e6)
-        ~args:
-          [ ("bench", Tel.Str req.Request.req_bench); ("system", Tel.Str req.Request.req_system);
-            ("batch", Tel.Int c.batch_id);
-            ("deadline_met", Tel.Str (if Response.met_deadline resp then "yes" else "no")) ]
-        (Printf.sprintf "%s@%s" req.Request.req_bench req.Request.req_system)
-    | Response.Rejected e ->
-      Slo.observe_rejected slo e;
-      Tel.Counter.incr c_rejected
-    | Response.Shed s ->
-      Slo.observe_shed slo;
-      Tel.Counter.incr c_shed;
-      Tel.emit_instant ~cat:"serve" ~pid:serve_pid
-        ~tid:(Request.priority_rank req.Request.req_priority)
-        ~ts:(s.shed_s *. 1e6) "shed"
-    | Response.Failed _ ->
-      Slo.observe_failed slo;
-      Tel.Counter.incr c_failed);
+  let respond resp =
     responses := resp :: !responses;
     (* closed-loop clients key their next request off this response *)
-    insert_pending (feedback resp)
-  and admit_due () =
+    insert_pending (node.Node.on_terminal resp)
+  in
+  let eng = Engine.create ~node ~respond in
+  let now = ref 0.0 in
+  let next_batch_id = ref 0 in
+  let rec admit_due () =
     match !pending with
     | r :: rest when r.Request.req_arrival_s <= !now ->
       pending := rest;
-      Slo.observe_offered slo;
-      (match Admission.admit q ~now_s:!now r with
-      | Ok () ->
-        Slo.observe_admitted slo;
-        Tel.Counter.incr c_admitted
-      | Error e -> respond r (Response.Rejected e));
+      Engine.offer eng ~now_s:!now r;
       admit_due ()
     | _ -> ()
   in
-  let maybe_close () =
-    match config.drain_after_s with
-    | Some d when !now >= d && not (Admission.is_closed q) -> Admission.close q
-    | _ -> ()
-  in
-  let shed_now () =
-    List.iter
-      (fun (r : Request.t) ->
-        respond r (Response.Shed { deadline_s = r.Request.req_deadline_s; shed_s = !now }))
-      (Admission.shed_expired q ~now_s:!now)
-  in
-  (* One executor call per batch, with in-place retries on Transient.
-     Runs on a pool worker; returns attempts alongside the verdict. *)
-  let exec_one t_dispatch (b : Batcher.batch) =
-    let rec attempt k =
-      match
-        Tel.Span.with_ ~cat:"serve" "serve.execute"
-          ~args:
-            [ ("key", Tel.Str b.Batcher.batch_key); ("size", Tel.Int (Batcher.size b));
-              ("attempt", Tel.Int k) ]
-          (fun () -> executor ~now_s:t_dispatch b)
-      with
-      | s when Float.is_nan s || s < 0.0 ->
-        Error (k, Printf.sprintf "executor returned invalid service time %g" s)
-      | s -> Ok (s, k)
-      | exception Transient msg ->
-        if k >= config.max_attempts then Error (k, "transient (retries exhausted): " ^ msg)
-        else attempt (k + 1)
-      | exception e -> Error (k, Printexc.to_string e)
-    in
-    attempt 1
-  in
-  let insert_inflight entry =
-    let rec ins = function
-      | [] -> [ entry ]
-      | x :: rest as l -> if entry.if_finish_s < x.if_finish_s then entry :: l else x :: ins rest
-    in
-    inflight := ins !inflight
-  in
   let dispatch () =
-    let rec collect acc =
-      if !free <= 0 then List.rev acc
-      else
-        match Batcher.form q ~now_s:!now ~max_batch:config.max_batch ~batch_id:!next_batch_id with
-        | None -> List.rev acc
-        | Some b ->
-          incr next_batch_id;
-          decr free;
-          collect (b :: acc)
-    in
-    match collect [] with
+    match Engine.form_batches eng ~now_s:!now ~next_batch_id with
     | [] -> ()
     | batches ->
       let t_dispatch = !now in
@@ -191,66 +66,18 @@ let run ?pool ?(feedback = fun _ -> []) config ~executor ~arrivals () =
          simulates concurrently on the real pool *)
       let results =
         match pool with
-        | Some p -> Exec.Pool.map p (exec_one t_dispatch) batches
-        | None -> List.map (exec_one t_dispatch) batches
+        | Some p -> Exec.Pool.map p (Engine.execute eng ~now_s:t_dispatch) batches
+        | None -> List.map (Engine.execute eng ~now_s:t_dispatch) batches
       in
-      List.iter2
-        (fun (b : Batcher.batch) res ->
-          Slo.observe_batch slo ~size:(Batcher.size b);
-          Tel.Counter.incr c_batches;
-          match res with
-          | Ok (service_s, attempts) ->
-            Slo.observe_retries slo (attempts - 1);
-            Tel.Counter.add c_retries (attempts - 1);
-            insert_inflight
-              {
-                if_finish_s = t_dispatch +. service_s;
-                if_started_s = t_dispatch;
-                if_batch = b;
-                if_attempts = attempts;
-              }
-          | Error (attempts, reason) ->
-            Slo.observe_retries slo (attempts - 1);
-            Tel.Counter.add c_retries (attempts - 1);
-            incr free;
-            List.iter
-              (fun r ->
-                respond r (Response.Failed { attempts; failed_s = t_dispatch; reason }))
-              b.Batcher.requests)
-        batches results
-  in
-  let complete_due () =
-    let rec go () =
-      match !inflight with
-      | entry :: rest when entry.if_finish_s <= !now ->
-        inflight := rest;
-        incr free;
-        let b = entry.if_batch in
-        let size = Batcher.size b in
-        List.iter
-          (fun r ->
-            respond r
-              (Response.Completed
-                 {
-                   started_s = entry.if_started_s;
-                   finished_s = entry.if_finish_s;
-                   attempts = entry.if_attempts;
-                   batch_id = b.Batcher.batch_id;
-                   batch_size = size;
-                 }))
-          b.Batcher.requests;
-        go ()
-      | _ -> ()
-    in
-    go ()
+      List.iter2 (fun b res -> Engine.commit eng ~now_s:t_dispatch b res) batches results
   in
   let rec loop () =
-    maybe_close ();
+    Engine.maybe_close eng ~now_s:!now;
     admit_due ();
-    shed_now ();
-    Slo.observe_queue_depth slo (Admission.depth q);
+    Engine.shed_expired eng ~now_s:!now;
+    Engine.observe_depth eng;
     dispatch ();
-    if (not (Admission.is_empty q)) && !free > 0 then
+    if Engine.wants_dispatch eng then
       (* a permanently failed dispatch freed a worker with work still
          queued: dispatch again before advancing the clock *)
       loop ()
@@ -258,13 +85,10 @@ let run ?pool ?(feedback = fun _ -> []) config ~executor ~arrivals () =
       let next_arrival =
         match !pending with [] -> infinity | r :: _ -> r.Request.req_arrival_s
       in
-      let next_completion =
-        match !inflight with [] -> infinity | e :: _ -> e.if_finish_s
-      in
-      let next = Float.min next_arrival next_completion in
+      let next = Float.min next_arrival (Engine.next_completion_s eng) in
       if next < infinity then begin
         now := Float.max !now next;
-        complete_due ();
+        Engine.complete_due eng ~now_s:!now;
         loop ()
       end
       (* else: no pending arrivals, nothing queued, nothing in flight —
@@ -272,4 +96,4 @@ let run ?pool ?(feedback = fun _ -> []) config ~executor ~arrivals () =
     end
   in
   loop ();
-  { responses = List.rev !responses; slo; makespan_s = !now }
+  { responses = List.rev !responses; slo = Engine.slo eng; makespan_s = !now }

@@ -1,34 +1,16 @@
-(** The serving scheduler: a deterministic discrete-event loop over a
-    virtual clock.
+(** The single-node serving driver: a deterministic discrete-event
+    loop over a virtual clock.
 
     Admission, batching and completions are bookkept in virtual
-    seconds; the executor (compile + cycle simulation) is real work,
-    fanned across an {!Cinnamon_exec.Pool} when all the batches
+    seconds; the node's executor (compile + cycle simulation) is real
+    work, fanned across an {!Cinnamon_exec.Pool} when all the batches
     dispatchable at one virtual instant are known.  Results are
     bit-identical for any pool size.
 
-    Every request in [arrivals] (and every request injected via
-    [feedback]) reaches exactly one terminal {!Response.t}. *)
-
-(** Raised by an executor to signal a retryable failure; the server
-    re-runs the batch in place, up to [max_attempts] total attempts.
-    Any other exception fails the batch permanently. *)
-exception Transient of string
-
-type config = {
-  workers : int;  (** simulated parallel executors, >= 1 *)
-  queue_capacity : int;
-  max_batch : int;
-      (** upper bound on batch size; each batch is further capped by
-          its ring's CKKS slot count ({!Request.slots}) *)
-  max_attempts : int;  (** total executor attempts per batch, >= 1 *)
-  drain_after_s : float option;
-      (** close admission at this virtual time; admitted work still
-          drains to completion *)
-}
-
-(** workers 2, capacity 64, max batch 8, 3 attempts, no forced drain. *)
-val default_config : config
+    Every request in [arrivals] (and every follow-up injected by the
+    node's [on_terminal] hook) reaches exactly one terminal
+    {!Response.t}.  Fleets of nodes are driven by [Cinnamon_fleet]
+    through the same {!Engine} core. *)
 
 type result = {
   responses : Response.t list;  (** in terminal-event order *)
@@ -36,19 +18,11 @@ type result = {
   makespan_s : float;  (** virtual time the last event settled *)
 }
 
-(** [run config ~executor ~arrivals ()] plays the arrival list to
-    completion.  [executor ~now_s batch] performs the batch's real
-    compile/simulate work and returns its {e service time} in virtual
-    seconds (it runs on a pool worker when [pool] is given).
-    [feedback] is invoked on every terminal response and returns
-    follow-up requests to inject — closed-loop load generators use it
-    to model think time.  Raises [Invalid_argument] on a non-positive
-    [workers], [max_batch] or [max_attempts]. *)
-val run :
-  ?pool:Cinnamon_exec.Pool.t ->
-  ?feedback:(Response.t -> Request.t list) ->
-  config ->
-  executor:(now_s:float -> Batcher.batch -> float) ->
-  arrivals:Request.t list ->
-  unit ->
-  result
+(** [run node ~arrivals ()] plays the arrival list to completion
+    against [node] — its [execute] performs each batch's real
+    compile/simulate work and returns the service time in virtual
+    seconds (on a pool worker when [pool] is given), its [on_terminal]
+    may inject follow-up requests, and its [capacity] bounds workers,
+    queueing, batching, retries and drain.  Raises a typed
+    [Invalid_input] error on a non-positive capacity field. *)
+val run : ?pool:Cinnamon_exec.Pool.t -> Node.t -> arrivals:Request.t list -> unit -> result

@@ -91,6 +91,22 @@ module Histogram = struct
   let min_value t = if t.n = 0 then nan else t.vmin
   let max_value t = if t.n = 0 then nan else t.vmax
 
+  (* Accumulate [src] into [dst].  Only histograms with identical
+     bucket geometry merge (same lo, ratio and bucket count) — the SLO
+     layer merges per-node accumulators that all come from the same
+     [Slo.create], so a mismatch is a caller bug, not data. *)
+  let merge_into ~dst src =
+    if
+      dst.lo <> src.lo
+      || dst.log_ratio <> src.log_ratio
+      || Array.length dst.counts <> Array.length src.counts
+    then invalid_arg "Stats.Histogram.merge_into: bucket geometry mismatch";
+    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+    dst.n <- dst.n + src.n;
+    dst.sum <- dst.sum +. src.sum;
+    if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+    if src.vmax > dst.vmax then dst.vmax <- src.vmax
+
   (* Nearest-rank over the bucket counts, linearly interpolated inside
      the selected bucket, then clamped to the observed range (which
      makes the singleton histogram exact). *)

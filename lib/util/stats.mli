@@ -38,6 +38,11 @@ module Histogram : sig
   val min_value : t -> float
   val max_value : t -> float
 
+  (** [merge_into ~dst src] adds [src]'s samples into [dst] (bucket
+      counts, totals and observed range).  Raises [Invalid_argument]
+      unless both histograms share the same bucket geometry. *)
+  val merge_into : dst:t -> t -> unit
+
   (** [quantile t q] for [q] in [\[0, 1\]]: nearest-rank over bucket
       counts, interpolated within the bucket and clamped to the
       observed range (exact for a singleton).  [nan] when empty. *)

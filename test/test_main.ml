@@ -17,6 +17,7 @@ let () =
       Test_workloads.suite;
       Test_exec.suite;
       Test_serve.suite;
+      Test_fleet.suite;
       Test_telemetry.suite;
       Test_regressions.suite;
       Test_verify.suite;

@@ -17,6 +17,10 @@ let const_executor ?(service = 1.0) calls ~now_s:_ _batch =
   incr calls;
   service
 
+(* The single-node entry point, via the first-class Node record. *)
+let run_server ?on_terminal ~capacity ~executor arrivals =
+  Server.run (Node.make ?on_terminal ~capacity ~execute:executor ()) ~arrivals ()
+
 let contains ~needle hay =
   let ls = String.length needle and ln = String.length hay in
   let rec scan i = i + ls <= ln && (String.sub hay i ls = needle || scan (i + 1)) in
@@ -29,6 +33,8 @@ let count name r = List.length (List.filter (( = ) name) (outcomes r))
 
 let find_response (r : Server.result) id =
   List.find (fun (resp : Response.t) -> resp.Response.req.Request.req_id = id) r.responses
+
+let opt_ms = Alcotest.(option (float 1e-9))
 
 (* --- request validation and slots ------------------------------------ *)
 
@@ -47,10 +53,10 @@ let test_queue_full_rejection () =
      four arrivals: worker takes r0, queue holds r1 r2, r3 bounces *)
   let calls = ref 0 in
   let arrivals = List.init 4 (fun id -> req ~id ~arrival_s:(0.001 *. Float.of_int id) ()) in
-  let cfg =
-    { Server.default_config with Server.workers = 1; queue_capacity = 2; max_batch = 1 }
+  let capacity =
+    { Node.default_capacity with Node.workers = 1; queue_capacity = 2; max_batch = 1 }
   in
-  let r = Server.run cfg ~executor:(const_executor calls) ~arrivals () in
+  let r = run_server ~capacity ~executor:(const_executor calls) arrivals in
   Alcotest.(check int) "three complete" 3 (count "completed" r);
   Alcotest.(check int) "one rejected" 1 (count "rejected" r);
   match (find_response r 3).Response.outcome with
@@ -64,8 +70,8 @@ let test_expired_on_arrival () =
   let arrivals =
     [ req ~id:0 ~arrival_s:0.0 (); req ~id:1 ~deadline_s:0.5 ~arrival_s:1.0 () ]
   in
-  let cfg = { Server.default_config with Server.workers = 1 } in
-  let r = Server.run cfg ~executor:(const_executor calls) ~arrivals () in
+  let capacity = { Node.default_capacity with Node.workers = 1 } in
+  let r = run_server ~capacity ~executor:(const_executor calls) arrivals in
   match (find_response r 1).Response.outcome with
   | Response.Rejected (Admission.Expired { deadline_s; now_s }) ->
     Alcotest.(check (float 1e-9)) "deadline" 0.5 deadline_s;
@@ -79,10 +85,8 @@ let test_deadline_shed_while_queued () =
   let arrivals =
     [ req ~id:0 ~arrival_s:0.0 (); req ~id:1 ~deadline_s:1.0 ~arrival_s:0.1 () ]
   in
-  let cfg =
-    { Server.default_config with Server.workers = 1; max_batch = 1 }
-  in
-  let r = Server.run cfg ~executor:(const_executor ~service:10.0 calls) ~arrivals () in
+  let capacity = { Node.default_capacity with Node.workers = 1; max_batch = 1 } in
+  let r = run_server ~capacity ~executor:(const_executor ~service:10.0 calls) arrivals in
   Alcotest.(check int) "one executed batch" 1 !calls;
   Alcotest.(check int) "one completed" 1 (count "completed" r);
   (match (find_response r 1).Response.outcome with
@@ -100,11 +104,11 @@ let test_retry_then_succeed () =
   let attempts_seen = ref 0 in
   let executor ~now_s:_ _b =
     incr attempts_seen;
-    if !attempts_seen = 1 then raise (Server.Transient "injected hiccup");
+    if !attempts_seen = 1 then raise (Node.Transient "injected hiccup");
     2.0
   in
-  let cfg = { Server.default_config with Server.workers = 1; max_attempts = 3 } in
-  let r = Server.run cfg ~executor ~arrivals:[ req ~id:0 ~arrival_s:0.0 () ] () in
+  let capacity = { Node.default_capacity with Node.workers = 1; max_attempts = 3 } in
+  let r = run_server ~capacity ~executor [ req ~id:0 ~arrival_s:0.0 () ] in
   Alcotest.(check int) "two attempts" 2 !attempts_seen;
   (match (find_response r 0).Response.outcome with
   | Response.Completed { attempts; _ } -> Alcotest.(check int) "attempts recorded" 2 attempts
@@ -113,9 +117,9 @@ let test_retry_then_succeed () =
   Alcotest.(check int) "one retry counted" 1 rp.Slo.rp_retries
 
 let test_retries_exhausted () =
-  let executor ~now_s:_ _b = raise (Server.Transient "always down") in
-  let cfg = { Server.default_config with Server.workers = 1; max_attempts = 3 } in
-  let r = Server.run cfg ~executor ~arrivals:[ req ~id:0 ~arrival_s:0.0 () ] () in
+  let executor ~now_s:_ _b = raise (Node.Transient "always down") in
+  let capacity = { Node.default_capacity with Node.workers = 1; max_attempts = 3 } in
+  let r = run_server ~capacity ~executor [ req ~id:0 ~arrival_s:0.0 () ] in
   match (find_response r 0).Response.outcome with
   | Response.Failed { attempts; reason; _ } ->
     Alcotest.(check int) "all attempts burned" 3 attempts;
@@ -128,8 +132,8 @@ let test_nontransient_fails_immediately () =
     incr calls;
     failwith "compile exploded"
   in
-  let cfg = { Server.default_config with Server.workers = 1; max_attempts = 5 } in
-  let r = Server.run cfg ~executor ~arrivals:[ req ~id:0 ~arrival_s:0.0 () ] () in
+  let capacity = { Node.default_capacity with Node.workers = 1; max_attempts = 5 } in
+  let r = run_server ~capacity ~executor [ req ~id:0 ~arrival_s:0.0 () ] in
   Alcotest.(check int) "no retry on permanent error" 1 !calls;
   match (find_response r 0).Response.outcome with
   | Response.Failed { attempts; reason; _ } ->
@@ -145,10 +149,10 @@ let test_batching_amortizes () =
      first: the remaining five form one batch -> two executor calls *)
   let calls = ref 0 in
   let arrivals = List.init 6 (fun id -> req ~id ~arrival_s:(0.01 *. Float.of_int id) ()) in
-  let cfg =
-    { Server.default_config with Server.workers = 1; max_batch = 8; queue_capacity = 16 }
+  let capacity =
+    { Node.default_capacity with Node.workers = 1; max_batch = 8; queue_capacity = 16 }
   in
-  let r = Server.run cfg ~executor:(const_executor calls) ~arrivals () in
+  let r = run_server ~capacity ~executor:(const_executor calls) arrivals in
   Alcotest.(check int) "all complete" 6 (count "completed" r);
   Alcotest.(check int) "two batches" 2 !calls;
   match (find_response r 5).Response.outcome with
@@ -161,8 +165,8 @@ let test_batch_respects_slot_cap () =
   let config = { (CC.paper ()) with CC.log_n = 2 } in
   let calls = ref 0 in
   let arrivals = List.init 4 (fun id -> req ~config ~id ~arrival_s:0.0 ()) in
-  let cfg = { Server.default_config with Server.workers = 1; max_batch = 8 } in
-  let r = Server.run cfg ~executor:(const_executor calls) ~arrivals () in
+  let capacity = { Node.default_capacity with Node.workers = 1; max_batch = 8 } in
+  let r = run_server ~capacity ~executor:(const_executor calls) arrivals in
   Alcotest.(check int) "two slot-capped batches" 2 !calls;
   List.iter
     (fun (resp : Response.t) ->
@@ -182,10 +186,37 @@ let test_incompatible_requests_split_batches () =
     [ req ~config:cfg_a ~id:0 ~arrival_s:0.0 (); req ~config:cfg_b ~id:1 ~arrival_s:0.0 ();
       req ~config:cfg_a ~id:2 ~arrival_s:0.0 () ]
   in
-  let cfg = { Server.default_config with Server.workers = 3; max_batch = 8 } in
-  let r = Server.run cfg ~executor:(const_executor calls) ~arrivals () in
+  let capacity = { Node.default_capacity with Node.workers = 3; max_batch = 8 } in
+  let r = run_server ~capacity ~executor:(const_executor calls) arrivals in
   Alcotest.(check int) "all complete" 3 (count "completed" r);
   Alcotest.(check int) "configs never share a batch" 2 !calls
+
+let test_compat_key_is_structural () =
+  (* pin: the batcher's config digest is the structural Cache_key
+     rendering, not a Marshal image — cross-check against config_sig *)
+  let config = CC.paper () in
+  let r = req ~config ~id:0 ~arrival_s:0.0 () in
+  let expected =
+    Printf.sprintf "bootstrap|cinnamon-4|%s"
+      (Digest.to_hex (Digest.string (Cinnamon_exec.Cache_key.config_sig config)))
+  in
+  Alcotest.(check string) "compat key = bench|system|md5(config_sig)" expected
+    (Batcher.compat_key r);
+  (* every behavioural field must move the key *)
+  let variants =
+    [
+      { config with CC.dnum = config.CC.dnum + 1 };
+      { config with CC.alpha = config.CC.alpha + 1 };
+      { config with CC.chips = config.CC.chips + 1 };
+      { config with CC.rf_bytes = config.CC.rf_bytes + 1 };
+    ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "field change changes compat key" false
+        (String.equal (Batcher.compat_key r)
+           (Batcher.compat_key (req ~config:c ~id:1 ~arrival_s:0.0 ()))))
+    variants
 
 let test_priority_orders_queue () =
   (* while the worker is busy, a later-arriving High beats queued
@@ -201,8 +232,8 @@ let test_priority_orders_queue () =
     [ req ~id:0 ~arrival_s:0.0 (); req ~id:1 ~arrival_s:0.01 ();
       req ~priority:Request.High ~id:2 ~arrival_s:0.02 () ]
   in
-  let cfg = { Server.default_config with Server.workers = 1; max_batch = 1 } in
-  ignore (Server.run cfg ~executor ~arrivals ());
+  let capacity = { Node.default_capacity with Node.workers = 1; max_batch = 1 } in
+  ignore (run_server ~capacity ~executor arrivals);
   Alcotest.(check (list int)) "high jumps the queue" [ 0; 2; 1 ] (List.rev !order)
 
 (* --- drain ------------------------------------------------------------ *)
@@ -214,10 +245,10 @@ let test_drain_completes_admitted () =
   let arrivals =
     [ req ~id:0 ~arrival_s:0.0 (); req ~id:1 ~arrival_s:0.01 (); req ~id:2 ~arrival_s:1.0 () ]
   in
-  let cfg =
-    { Server.default_config with Server.workers = 1; max_batch = 1; drain_after_s = Some 0.05 }
+  let capacity =
+    { Node.default_capacity with Node.workers = 1; max_batch = 1; drain_after_s = Some 0.05 }
   in
-  let r = Server.run cfg ~executor:(const_executor calls) ~arrivals () in
+  let r = run_server ~capacity ~executor:(const_executor calls) arrivals in
   Alcotest.(check int) "every request has a response" 3 (List.length r.Server.responses);
   Alcotest.(check int) "admitted requests complete" 2 (count "completed" r);
   match (find_response r 2).Response.outcome with
@@ -235,7 +266,7 @@ let test_loadgen_deterministic_and_amortized () =
   let a = run_quick_loadgen () in
   let b = run_quick_loadgen () in
   let ra = a.Loadgen.lr_report and rb = b.Loadgen.lr_report in
-  Alcotest.(check (float 1e-12)) "p99 reproducible" ra.Slo.rp_p99_ms rb.Slo.rp_p99_ms;
+  Alcotest.check opt_ms "p99 reproducible" ra.Slo.rp_p99_ms rb.Slo.rp_p99_ms;
   Alcotest.(check int) "completions reproducible" ra.Slo.rp_completed rb.Slo.rp_completed;
   Alcotest.(check int) "batches reproducible" ra.Slo.rp_batches rb.Slo.rp_batches;
   (* the acceptance criterion: batching amortizes compiles *)
@@ -247,14 +278,14 @@ let test_loadgen_deterministic_and_amortized () =
 let test_every_offered_request_accounted () =
   let calls = ref 0 in
   let arrivals = List.init 20 (fun id -> req ~id ~arrival_s:(0.3 *. Float.of_int id) ()) in
-  let cfg = { Server.default_config with Server.workers = 2; queue_capacity = 3 } in
-  let r = Server.run cfg ~executor:(const_executor ~service:2.0 calls) ~arrivals () in
+  let capacity = { Node.default_capacity with Node.workers = 2; queue_capacity = 3 } in
+  let r = run_server ~capacity ~executor:(const_executor ~service:2.0 calls) arrivals in
   Alcotest.(check int) "20 responses for 20 requests" 20 (List.length r.Server.responses);
   let rp = Slo.report r.Server.slo ~duration_s:r.Server.makespan_s ~compiles:0 ~cache_hits:0 in
   Alcotest.(check int) "offered = terminal outcomes"
     rp.Slo.rp_offered
     (rp.Slo.rp_completed + rp.Slo.rp_shed + rp.Slo.rp_failed + rp.Slo.rp_rejected_full
-   + rp.Slo.rp_rejected_expired + rp.Slo.rp_rejected_closed)
+   + rp.Slo.rp_rejected_expired + rp.Slo.rp_rejected_closed + rp.Slo.rp_rejected_fleet)
 
 let test_slo_report_json_shape () =
   let slo = Slo.create () in
@@ -268,22 +299,57 @@ let test_slo_report_json_shape () =
       Alcotest.(check bool) ("json has " ^ needle) true (contains ~needle j))
     [ "\"p50_ms\""; "\"p95_ms\""; "\"p99_ms\""; "\"goodput_rps\""; "\"shed_rate\""; "\"compiles\"" ];
   (* singleton histogram: all percentiles equal the one sample *)
-  Alcotest.(check (float 1e-9)) "p50 = sample" 250.0 rp.Slo.rp_p50_ms;
-  Alcotest.(check (float 1e-9)) "p99 = sample" 250.0 rp.Slo.rp_p99_ms
+  Alcotest.check opt_ms "p50 = sample" (Some 250.0) rp.Slo.rp_p50_ms;
+  Alcotest.check opt_ms "p99 = sample" (Some 250.0) rp.Slo.rp_p99_ms
 
-let test_server_config_validation () =
-  let arrivals = [ req ~id:0 ~arrival_s:0.0 () ] in
-  let bad cfg =
-    match Server.run cfg ~executor:(const_executor (ref 0)) ~arrivals () with
+let test_slo_zero_completion_serializes () =
+  (* nothing completed: percentile fields must be None and serialize as
+     JSON null, never a bare nan token *)
+  let slo = Slo.create () in
+  Slo.observe_offered slo;
+  Slo.observe_rejected slo (Admission.Queue_full { capacity = 1 });
+  let rp = Slo.report slo ~duration_s:1.0 ~compiles:0 ~cache_hits:0 in
+  Alcotest.check opt_ms "p50 absent" None rp.Slo.rp_p50_ms;
+  Alcotest.check opt_ms "p99 absent" None rp.Slo.rp_p99_ms;
+  Alcotest.check opt_ms "mean absent" None rp.Slo.rp_mean_ms;
+  Alcotest.check opt_ms "max absent" None rp.Slo.rp_max_ms;
+  let j = Cinnamon_util.Json.to_string (Slo.report_json rp) in
+  Alcotest.(check bool) "serializes null percentiles" true (contains ~needle:"null" j);
+  Alcotest.(check bool) "no nan token" false (contains ~needle:"nan" j);
+  Alcotest.(check bool) "rendered report prints dashes" true
+    (contains ~needle:"p99 -" (Slo.to_string rp))
+
+let test_slo_merge_adds () =
+  let a = Slo.create () and b = Slo.create () in
+  Slo.observe_offered a;
+  Slo.observe_admitted a;
+  Slo.observe_completed a ~latency_s:0.1 ~met:true;
+  Slo.observe_queue_depth a 3;
+  Slo.observe_offered b;
+  Slo.observe_rejected b (Admission.Fleet_full { nodes = 2 });
+  Slo.observe_queue_depth b 5;
+  let m = Slo.merge [ a; b ] in
+  let rp = Slo.report m ~duration_s:1.0 ~compiles:0 ~cache_hits:0 in
+  Alcotest.(check int) "offered adds" 2 rp.Slo.rp_offered;
+  Alcotest.(check int) "completed adds" 1 rp.Slo.rp_completed;
+  Alcotest.(check int) "fleet-full rejection counted" 1 rp.Slo.rp_rejected_fleet;
+  Alcotest.(check int) "depth max pools" 5 rp.Slo.rp_queue_depth_max;
+  Alcotest.check opt_ms "latency histogram merges" (Some 100.0) rp.Slo.rp_p50_ms
+
+let test_node_capacity_validation () =
+  let execute ~now_s:_ _b = 1.0 in
+  let bad capacity =
+    match Node.make ~capacity ~execute () with
     | _ -> Alcotest.fail "expected a typed invalid-input error"
     | exception Cinnamon_util.Error.Error e ->
       Alcotest.(check int)
         "invalid-input exit code" 2
         (Cinnamon_util.Error.exit_code e.Cinnamon_util.Error.kind)
   in
-  bad { Server.default_config with Server.workers = 0 };
-  bad { Server.default_config with Server.max_batch = 0 };
-  bad { Server.default_config with Server.max_attempts = 0 }
+  bad { Node.default_capacity with Node.workers = 0 };
+  bad { Node.default_capacity with Node.max_batch = 0 };
+  bad { Node.default_capacity with Node.max_attempts = 0 };
+  bad { Node.default_capacity with Node.queue_capacity = 0 }
 
 let suite =
   ( "serve",
@@ -300,6 +366,7 @@ let suite =
       Alcotest.test_case "batch respects slot cap" `Quick test_batch_respects_slot_cap;
       Alcotest.test_case "incompatible configs split batches" `Quick
         test_incompatible_requests_split_batches;
+      Alcotest.test_case "compat key is structural" `Quick test_compat_key_is_structural;
       Alcotest.test_case "priority orders the queue" `Quick test_priority_orders_queue;
       Alcotest.test_case "drain completes admitted work" `Quick test_drain_completes_admitted;
       Alcotest.test_case "loadgen deterministic and amortized" `Quick
@@ -307,5 +374,8 @@ let suite =
       Alcotest.test_case "every offered request accounted" `Quick
         test_every_offered_request_accounted;
       Alcotest.test_case "slo report json shape" `Quick test_slo_report_json_shape;
-      Alcotest.test_case "server config validation" `Quick test_server_config_validation;
+      Alcotest.test_case "slo zero-completion serializes" `Quick
+        test_slo_zero_completion_serializes;
+      Alcotest.test_case "slo merge adds accumulators" `Quick test_slo_merge_adds;
+      Alcotest.test_case "node capacity validation" `Quick test_node_capacity_validation;
     ] )
