@@ -1,22 +1,41 @@
 (* Numeric kernel-performance regression gate.
 
    Reads BENCH_cinnamon.json (as produced by [bench/main.exe -- kernels])
-   and fails — exit code 1 — if the [ntt_forward] microbenchmark is
-   slower than a checked-in budget for its ring size.  The budgets are
+   and fails — exit code 1 — if a budgeted microbenchmark is slower
+   than its checked-in (kernel, N) budget.  The budgets are
    deliberately generous (4-5x headroom over measured steady-state on
-   the reference machine, and still well below the pre-Bigarray
-   int-array kernels) so the gate trips on structural regressions
-   (boxing in the butterfly loop, lost inlining, accidental copies),
-   not on shared-runner noise.
+   the reference machine) so the gate trips on structural regressions
+   (boxing in a hot loop, lost inlining, accidental copies, a fusion
+   falling back to the naive dataflow), not on shared-runner noise.
+
+   The gate requires at least one [ntt_forward] and one [keyswitch]
+   entry to match a budget — a silently missing headline kernel is
+   itself a failure.
 
    Usage: check_kernels [BENCH_cinnamon.json] *)
 
 module Json = Cinnamon_util.Json
 
-(* us/op budget for ntt_forward, keyed by ring size N.  For reference,
-   steady-state on the dev machine: N=2^12 ~86us, N=2^16 ~1800us; the
-   old int-array kernels: N=2^12 ~490us, N=2^16 ~10390us. *)
-let budgets = [ (4096, 400.0); (65536, 3465.0) ]
+(* us/op budgets keyed by (kernel, N).  Reference steady-state on the
+   dev machine:
+     ntt_forward          N=2^12 ~86us,   N=2^16 ~1800us
+     pointwise_mul_into   N=2^12 ~50us,   N=2^16 ~1670us   (3 / 6 limbs)
+     keyswitch (fused)    N=2^10 ~2200us, N=2^12 ~18.4ms, N=2^16 ~302ms
+   The N=2^10 keyswitch budget is the PR acceptance bound (>=5x over
+   the 56170us pre-fusion baseline); the rest carry ~4x headroom. *)
+let budgets =
+  [
+    (("ntt_forward", 4096), 400.0);
+    (("ntt_forward", 65536), 3465.0);
+    (("pointwise_mul_into", 4096), 250.0);
+    (("pointwise_mul_into", 65536), 7000.0);
+    (("keyswitch", 1024), 11300.0);
+    (("keyswitch", 4096), 75000.0);
+    (("keyswitch", 65536), 1_250_000.0);
+  ]
+
+(* Kernels that must contribute at least one checked entry. *)
+let required = [ "ntt_forward"; "keyswitch" ]
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_kernels: " ^ s); exit 1) fmt
 
@@ -39,22 +58,24 @@ let () =
     | Some v -> v
     | None -> fail "%s: microbench entry missing %S" path name
   in
-  let checked = ref 0 in
+  let checked = Hashtbl.create 8 in
   List.iter
     (fun e ->
-      if field "kernel" Json.to_str e = "ntt_forward" then begin
-        let n = field "n" Json.to_int e in
-        let us = field "us_per_op" Json.to_float e in
-        match List.assoc_opt n budgets with
-        | None -> Printf.printf "check_kernels: ntt_forward N=%d %.1f us/op (no budget, skipped)\n" n us
-        | Some budget ->
-            incr checked;
-            if us > budget then
-              fail "ntt_forward N=%d took %.1f us/op, budget %.1f us/op" n us budget
-            else
-              Printf.printf "check_kernels: ntt_forward N=%d %.1f us/op within budget %.1f us/op\n"
-                n us budget
-      end)
+      let kernel = field "kernel" Json.to_str e in
+      let n = field "n" Json.to_int e in
+      match List.assoc_opt (kernel, n) budgets with
+      | None -> ()
+      | Some budget ->
+          let us = field "us_per_op" Json.to_float e in
+          Hashtbl.replace checked kernel ();
+          if us > budget then fail "%s N=%d took %.1f us/op, budget %.1f us/op" kernel n us budget
+          else
+            Printf.printf "check_kernels: %s N=%d %.1f us/op within budget %.1f us/op\n" kernel n
+              us budget)
     entries;
-  if !checked = 0 then fail "%s: no ntt_forward entry with a known ring size" path;
+  List.iter
+    (fun kernel ->
+      if not (Hashtbl.mem checked kernel) then
+        fail "%s: no %s entry with a budgeted ring size" path kernel)
+    required;
   print_endline "check_kernels: ok"

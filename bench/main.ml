@@ -771,18 +771,82 @@ let kernels () =
     (coeff_us /. eval_us);
   if not (Rns_poly.equal (Rns_poly.automorphism x ~k) (oracle ())) then
     failwith "kernel microbench: Eval-domain automorphism diverged from the Coeff oracle";
-  (* keyswitch at the functional CKKS point (Params.small) *)
-  let params = Lazy.force Cinnamon_ckks.Params.small in
-  let krng = Cinnamon_util.Rng.create ~seed:8 in
-  let sk = Cinnamon_ckks.Keys.gen_secret_key params krng in
-  let relin = Cinnamon_ckks.Keys.gen_relin_key params sk krng in
-  let c =
-    Rns_poly.random ~n:params.Cinnamon_ckks.Params.n ~basis:params.Cinnamon_ckks.Params.q_basis
-      ~domain:Rns_poly.Eval krng
+  (* keyswitch: the fused streaming engine (Keyswitch_fused) against
+     the sequential oracle it must match bitwise — the run FAILS on any
+     divergence, so this doubles as an end-to-end numeric gate.  The
+     Params.small entry keeps the historical name and shape
+     ("keyswitch", N=1024, limbs=9) for check_kernels and the
+     cross-commit trajectory; a second entry exercises the sweep ring
+     (N=2^12 quick / N=2^16 full) at a registered parameter point. *)
+  let bench_keyswitch tag params =
+    let open Cinnamon_ckks in
+    let nn = params.Params.n in
+    let krng = Cinnamon_util.Rng.create ~seed:8 in
+    let sk = Keys.gen_secret_key params krng in
+    let relin = Keys.gen_relin_key params sk krng in
+    let c = Rns_poly.random ~n:nn ~basis:params.Params.q_basis ~domain:Rns_poly.Eval krng in
+    let k0f, k1f = Keyswitch_fused.keyswitch ?pool params relin c in
+    let k0o, k1o = Keyswitch.keyswitch params relin c in
+    if not (Rns_poly.equal k0f k0o && Rns_poly.equal k1f k1o) then
+      failwith "kernel microbench: fused keyswitch diverged from the sequential oracle";
+    let tq = Basis.size params.Params.q_basis in
+    let alpha = params.Params.alpha and dnum = params.Params.dnum in
+    let t = tq + alpha in
+    (* coarse streamed-words model of the fused dataflow: decompose
+       (tq limbs in+out), conversion columns ((dnum*t - tq) columns,
+       each reading ~alpha scaled limbs), the MAC streams (per target
+       limb: dnum ext + 2*dnum key reads + 2 accumulator writes), and
+       the fused mod-down (2 accumulators) *)
+    let words =
+      (2 * tq)
+      + (((dnum * t) - tq) * (alpha + 1))
+      + (t * ((3 * dnum) + 2))
+      + (2 * ((2 * alpha) + (tq * (alpha + 3))))
+    in
+    let ks_reps = if nn >= 65536 then 3 else 5 in
+    let fused_us =
+      1e6 *. time_it ~reps:ks_reps (fun () -> Keyswitch_fused.keyswitch ?pool params relin c)
+    in
+    let oracle_us = 1e6 *. time_it ~reps:ks_reps (fun () -> Keyswitch.keyswitch params relin c) in
+    record_micro ~kernel:tag ~n:nn ~limbs:tq ~bytes:(8 * nn * words) fused_us;
+    record_micro ~kernel:(tag ^ "_oracle") ~n:nn ~limbs:tq oracle_us;
+    record_micro ~kernel:(tag ^ "_speedup_x") ~n:nn ~limbs:tq (oracle_us /. fused_us)
   in
-  record_micro ~kernel:"keyswitch" ~n:params.Cinnamon_ckks.Params.n
-    ~limbs:(Basis.size params.Cinnamon_ckks.Params.q_basis)
-    (1e6 *. time_it ~reps:5 (fun () -> Cinnamon_ckks.Keyswitch.keyswitch params relin c));
+  bench_keyswitch "keyswitch" (Lazy.force Cinnamon_ckks.Params.small);
+  bench_keyswitch "keyswitch"
+    (Lazy.force (if !quick then Cinnamon_ckks.Params.medium else Cinnamon_ckks.Params.large));
+  (* hoisted rotations: k rotations from ONE shared decomposition
+     (Halevi-Shoup through the fused engine: per rotation a permuted
+     MAC + mod-down) vs k independent Eval.rotate keyswitches *)
+  let open Cinnamon_ckks in
+  let hparams = Lazy.force Params.small in
+  let hrng = Cinnamon_util.Rng.create ~seed:9 in
+  let hsk = Keys.gen_secret_key hparams hrng in
+  let rots = [ 1; 2; 3; 4 ] in
+  let hek = Keys.gen_eval_key hparams hsk ~rotations:rots ~conjugation:false hrng in
+  let hn = hparams.Params.n in
+  let hct =
+    Ciphertext.make
+      ~c0:(Rns_poly.random ~n:hn ~basis:hparams.Params.q_basis ~domain:Rns_poly.Eval hrng)
+      ~c1:(Rns_poly.random ~n:hn ~basis:hparams.Params.q_basis ~domain:Rns_poly.Eval hrng)
+      ~scale:hparams.Params.scale ~slots:hparams.Params.slots
+  in
+  let hctx = Eval.context ?pool hparams hek in
+  let nrot = List.length rots in
+  let hoisted_us =
+    1e6 *. time_it ~reps:5 (fun () -> ignore (Hoisting.rotate_many ?pool hparams hek hct rots))
+  in
+  let plain_us =
+    1e6 *. time_it ~reps:5 (fun () -> List.iter (fun r -> ignore (Eval.rotate hctx hct r)) rots)
+  in
+  record_micro ~kernel:"hoisted_rotate4" ~n:hn ~limbs:(Basis.size hparams.Params.q_basis)
+    hoisted_us;
+  record_micro ~kernel:"rotate4_unhoisted" ~n:hn ~limbs:(Basis.size hparams.Params.q_basis)
+    plain_us;
+  record_micro ~kernel:"hoisted_speedup_x" ~n:hn ~limbs:(Basis.size hparams.Params.q_basis)
+    (plain_us /. hoisted_us);
+  Printf.printf "  hoisted: %d rotations in %.0f us vs %.0f us unhoisted (%.2fx)\n%!" nrot
+    hoisted_us plain_us (plain_us /. hoisted_us);
   Option.iter Exec.Pool.shutdown pool
 
 (* ------------------------------------------------------- serving layer *)

@@ -11,9 +11,11 @@ module C = Ciphertext
 type context = {
   params : Params.t;
   ek : Keys.eval_key;
+  pool : Cinnamon_pool.Pool.t option;
+      (* threaded into the fused keyswitch; None = sequential *)
 }
 
-let context params ek = { params; ek }
+let context ?pool params ek = { params; ek; pool }
 
 (* --- level/scale alignment ------------------------------------------- *)
 
@@ -170,7 +172,7 @@ let mul ctx a b =
   let d0 = Rns_poly.mul a.C.c0 b.C.c0 in
   let d1 = Rns_poly.add (Rns_poly.mul a.C.c0 b.C.c1) (Rns_poly.mul a.C.c1 b.C.c0) in
   let d2 = Rns_poly.mul a.C.c1 b.C.c1 in
-  let k0, k1 = Keyswitch.keyswitch ctx.params ctx.ek.Keys.relin d2 in
+  let k0, k1 = Keyswitch_fused.keyswitch ?pool:ctx.pool ctx.params ctx.ek.Keys.relin d2 in
   let raw =
     C.make ~c0:(Rns_poly.add d0 k0) ~c1:(Rns_poly.add d1 k1)
       ~scale:(a.C.scale *. b.C.scale) ~slots:a.C.slots
@@ -194,7 +196,7 @@ let rotate ctx a r =
     let swk = Keys.find_rotation_key ctx.ek (Keys.canonical_rotation ~n r) in
     let c0r = Rns_poly.automorphism a.C.c0 ~k in
     let c1r = Rns_poly.automorphism a.C.c1 ~k in
-    let k0, k1 = Keyswitch.keyswitch ctx.params swk c1r in
+    let k0, k1 = Keyswitch_fused.keyswitch ?pool:ctx.pool ctx.params swk c1r in
     C.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:a.C.scale ~slots:a.C.slots
   end
 
@@ -205,7 +207,7 @@ let conjugate ctx a =
     let k = Keys.galois_conjugate ~n:ctx.params.Params.n in
     let c0r = Rns_poly.automorphism a.C.c0 ~k in
     let c1r = Rns_poly.automorphism a.C.c1 ~k in
-    let k0, k1 = Keyswitch.keyswitch ctx.params swk c1r in
+    let k0, k1 = Keyswitch_fused.keyswitch ?pool:ctx.pool ctx.params swk c1r in
     C.make ~c0:(Rns_poly.add c0r k0) ~c1:k1 ~scale:a.C.scale ~slots:a.C.slots
 
 (* Rotations needed by callers must exist in the eval key, stored under

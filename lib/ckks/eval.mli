@@ -3,9 +3,16 @@
 
 open Cinnamon_rns
 
-type context = { params : Params.t; ek : Keys.eval_key }
+type context = {
+  params : Params.t;
+  ek : Keys.eval_key;
+  pool : Cinnamon_pool.Pool.t option;  (** threaded into the fused keyswitch *)
+}
 
-val context : Params.t -> Keys.eval_key -> context
+(** With [pool], keyswitching inside [mul]/[rotate]/[conjugate] fans
+    out across output limbs (bit-identical for any job count).  Only
+    use the context from the domain that owns the pool. *)
+val context : ?pool:Cinnamon_pool.Pool.t -> Params.t -> Keys.eval_key -> context
 
 (** Bring operands to a common level (no scale requirement). *)
 val align_levels : Ciphertext.t -> Ciphertext.t -> Ciphertext.t * Ciphertext.t

@@ -1,7 +1,14 @@
 (** Hoisted rotations (Halevi–Shoup): rotate one ciphertext by many
     amounts while computing its digit decomposition only once — the
     single-chip ancestor of the paper's batched input-broadcast
-    keyswitching, and the reference for its tests. *)
+    keyswitching, and the reference for its tests.
+
+    The fast path rides {!Keyswitch_fused}: one shared decomposition,
+    one lazy permuted multiply-accumulate per rotation (the
+    automorphism is a gather inside the key multiply), and for
+    rotate-and-sum a single mod-down for the whole batch.  The [_ref]
+    functions retain the original whole-polynomial formulation as the
+    bitwise oracle. *)
 
 open Cinnamon_rns
 
@@ -9,13 +16,49 @@ type precomputed
 
 (** Decompose and extend the c1 component once (the shared part of all
     subsequent rotations). *)
-val precompute : Params.t -> Rns_poly.t -> precomputed
+val precompute : ?pool:Cinnamon_pool.Pool.t -> Params.t -> Rns_poly.t -> precomputed
 
 (** One rotation from the shared decomposition. *)
 val rotate_hoisted :
-  Params.t -> precomputed -> Keys.switch_key -> Ciphertext.t -> rot:int -> Ciphertext.t
+  ?pool:Cinnamon_pool.Pool.t ->
+  Params.t ->
+  precomputed ->
+  Keys.switch_key ->
+  Ciphertext.t ->
+  rot:int ->
+  Ciphertext.t
 
 (** Rotate by every amount in the list, sharing one decomposition;
     returns (amount, rotated) pairs. *)
 val rotate_many :
-  Params.t -> Keys.eval_key -> Ciphertext.t -> int list -> (int * Ciphertext.t) list
+  ?pool:Cinnamon_pool.Pool.t ->
+  Params.t ->
+  Keys.eval_key ->
+  Ciphertext.t ->
+  int list ->
+  (int * Ciphertext.t) list
+
+(** Sum of the rotations of one ciphertext with a single mod-down:
+    every rotation's inner product accumulates over Q_l ∪ P and the
+    division by P happens once.  Approximately (not bitwise) equal to
+    summing individual rotations — the batch shares one conversion
+    rounding.  [rot = 0] entries contribute the ciphertext itself. *)
+val rotate_sum :
+  ?pool:Cinnamon_pool.Pool.t ->
+  Params.t ->
+  Keys.eval_key ->
+  Ciphertext.t ->
+  int list ->
+  Ciphertext.t
+
+(** {2 Reference implementations (test oracles)}
+
+    The original per-digit, whole-polynomial hoisting; the fused path
+    above must match these bitwise. *)
+
+type precomputed_ref
+
+val precompute_ref : Params.t -> Rns_poly.t -> precomputed_ref
+
+val rotate_hoisted_ref :
+  Params.t -> precomputed_ref -> Keys.switch_key -> Ciphertext.t -> rot:int -> Ciphertext.t

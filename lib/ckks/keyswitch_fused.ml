@@ -1,0 +1,369 @@
+(* Fused hybrid keyswitching — the streaming, limb-major engine.
+
+   Same mathematics as Keyswitch.keyswitch (the retained oracle), but
+   the dataflow is reorganized around OUTPUT limbs so every
+   intermediate either stays in a cache-sized scratch tile or is never
+   materialized at all:
+
+     phase 1 (decompose)   one INTT per input limb, with base
+                           conversion's stage-1 q̂^-1 factor fused into
+                           the transform's N^-1 epilogue
+                           (Ntt.inverse_scaled_into) — the oracle's
+                           separate scaling pass disappears.
+     phase 2 (extend+MAC)  per output limb k of Q_l ∪ P: for each
+                           digit, either reuse the ciphertext's own
+                           Eval limb (digit-resident limbs skip the
+                           oracle's INTT∘NTT round trip entirely) or
+                           produce one base-conversion column and NTT
+                           it; then multiply-accumulate against the
+                           (b, a) key pair LAZILY across all dnum
+                           digits — raw 63-bit products, reduced once
+                           at tile exit (Fused_mac).
+     phase 3 (mod-down)    only the alpha P-limbs are INTT'd (scaled
+                           by the P-basis q̂^-1); each output limb gets
+                           one conversion column, one NTT, and a fused
+                           (acc - conv)·P^-1 Shoup pass.  The oracle
+                           instead INTTs all t limbs of each
+                           accumulator and re-NTTs the results.
+
+   At Params.small (l=9, alpha=3, dnum=3) this is 60 NTT-sized
+   transforms against the oracle's 87, plus the eliminated key
+   restricts, per-digit polynomial allocations, and two-pass
+   mul+add inner product.
+
+   Bitwise identity with the oracle holds because every fusion
+   preserves canonical end values: NTT∘INTT of a canonical limb is the
+   identity; a fused-scale INTT equals INTT followed by a canonical
+   scalar multiply; the lazy MAC reduces the same integer sum mod q
+   that the oracle's canonical mul/add chain computes; and the
+   Eval-domain mod-down commutes with the (linear, exact) NTT.  The
+   digit conversion tables are the same memoized Base_conv tables the
+   oracle uses, so column arithmetic is literally shared.  DESIGN.md
+   ("Fused keyswitch pipeline") carries the overflow-bound arithmetic.
+
+   Parallelism: phases fan out across limbs (never within one limb)
+   with disjoint write ranges, so each item's scalar sequence is
+   independent of scheduling and results are bit-identical for any
+   --jobs count. *)
+
+open Cinnamon_rns
+module Pool = Cinnamon_pool.Pool
+module Tel = Cinnamon_telemetry.Telemetry
+
+type digit_plan = {
+  d_lo : int; (* first Q_l limb of the digit *)
+  d_hi : int; (* one past the last *)
+  d_key : int; (* index into swk_b / swk_a *)
+  d_tbl : Base_conv.table; (* digit basis -> complement-of-digit *)
+  d_scale : int array; (* stage-1 q̂^-1 per digit limb (index j - d_lo) *)
+  d_col : int array; (* target limb -> conversion column, -1 = digit-resident *)
+}
+
+type plan = {
+  pl_n : int;
+  pl_q : Basis.t; (* Q_l *)
+  pl_target : Basis.t; (* Q_l ∪ P *)
+  pl_tq : int; (* limbs of Q_l *)
+  pl_t : int; (* limbs of Q_l ∪ P *)
+  pl_alpha : int;
+  pl_digits : digit_plan array;
+  pl_limb_digit : int array; (* Q_l limb -> owning digit index *)
+  pl_key_idx : int array; (* target limb -> limb index in the key's Q_L ∪ P basis *)
+  pl_ntt : Ntt.plan array; (* per target limb *)
+  pl_down_tbl : Base_conv.table; (* P -> Q_l *)
+  pl_down_scale : int array; (* P-basis q̂^-1 per P limb *)
+  pl_p_inv : int array; (* P^-1 mod q_k, k over Q_l *)
+  pl_p_inv_sh : int array; (* Shoup constants of the above *)
+}
+
+(* Plans are pure functions of (n, chain, level, digit layout); one per
+   level in practice, cached like the NTT/base-conversion tables. *)
+let plans : (int * int list * int list * int * int * int, plan) Cinnamon_util.Memo.t =
+  Cinnamon_util.Memo.create ~size:64 ()
+
+let build_plan params ~q_l =
+  let n = params.Params.n in
+  let tq = Basis.size q_l in
+  let target = Basis.union q_l params.Params.p_basis in
+  let t = Basis.size target in
+  let alpha = params.Params.alpha in
+  let qp = Params.qp_basis params in
+  let ranges =
+    Params.digit_ranges params
+    |> List.filter_map (fun (lo, hi) ->
+           let hi = min hi tq in
+           if hi <= lo then None else Some (lo, hi))
+  in
+  let digits =
+    ranges
+    |> List.map (fun (lo, hi) ->
+           let digit_basis = Basis.prefix_range q_l lo hi in
+           let complement_idx =
+             List.filteri (fun _ q -> not (Basis.mem digit_basis q)) (Basis.to_list target)
+             |> List.map (fun q -> Basis.index target q)
+           in
+           let complement = Basis.sub target complement_idx in
+           let tbl = Base_conv.table ~src:digit_basis ~dst:complement in
+           {
+             d_lo = lo;
+             d_hi = hi;
+             d_key = lo / alpha;
+             d_tbl = tbl;
+             d_scale = Array.init (hi - lo) (fun j -> Base_conv.qhat_inv tbl j);
+             d_col =
+               Array.init t (fun k ->
+                   if k >= lo && k < hi then -1 else if k < lo then k else k - (hi - lo));
+           })
+    |> Array.of_list
+  in
+  let limb_digit = Array.make tq 0 in
+  Array.iteri
+    (fun d dp ->
+      for j = dp.d_lo to dp.d_hi - 1 do
+        limb_digit.(j) <- d
+      done)
+    digits;
+  let down_tbl = Base_conv.table ~src:params.Params.p_basis ~dst:q_l in
+  let p_inv = Mod_updown.p_inv_scalars ~target:q_l ~ext:params.Params.p_basis in
+  {
+    pl_n = n;
+    pl_q = q_l;
+    pl_target = target;
+    pl_tq = tq;
+    pl_t = t;
+    pl_alpha = alpha;
+    pl_digits = digits;
+    pl_limb_digit = limb_digit;
+    pl_key_idx = Array.init t (fun k -> Basis.index qp (Basis.value target k));
+    pl_ntt = Array.init t (fun k -> Ntt.plan ~q:(Basis.value target k) ~n);
+    pl_down_tbl = down_tbl;
+    pl_down_scale = Array.init alpha (fun j -> Base_conv.qhat_inv down_tbl j);
+    pl_p_inv = p_inv;
+    pl_p_inv_sh = Array.init tq (fun k -> Modarith.shoup (Basis.modulus q_l k) p_inv.(k));
+  }
+
+let plan_for params ~q_l =
+  let tq = Basis.size q_l in
+  if not (Basis.equal q_l (Basis.prefix params.Params.q_basis tq)) then
+    invalid_arg "Keyswitch_fused: ciphertext basis is not a prefix of the modulus chain";
+  let key =
+    ( params.Params.n,
+      Basis.to_list params.Params.q_basis,
+      Basis.to_list params.Params.p_basis,
+      tq,
+      params.Params.dnum,
+      params.Params.alpha )
+  in
+  Cinnamon_util.Memo.get plans key (fun () -> build_plan params ~q_l)
+
+(* Fan [count] independent items across the pool (or run them inline).
+   Items only ever write disjoint limb ranges. *)
+let run_items pool count f =
+  match pool with
+  | Some pl when Pool.jobs pl > 1 && count > 1 -> Pool.iter pl f (List.init count Fun.id)
+  | _ ->
+      for i = 0 to count - 1 do
+        f i
+      done
+
+(* Lazy dual MAC of one output limb across all digits, tiled so the
+   accumulator tile stays cache-resident for the whole digit loop.
+   Accumulators hold canonical values on entry (zero or a previous
+   rotation's partial sum) and on exit.  Between reductions at most
+   terms_per_reduction - 1 raw products ride on top of one canonical
+   term: q-1 + (B-1)(q-1)^2 <= B(q-1)^2 <= max_int (DESIGN.md). *)
+let mac_limb ~q ~perm ~(ext : Limb_buf.t array) ~(kb : Limb_buf.t array)
+    ~(ka : Limb_buf.t array) ~acc0 ~acc1 ~n =
+  let ndig = Array.length ext in
+  let batch = Fused_mac.terms_per_reduction ~q in
+  let tile = Scratch.tile_len ~streams:6 ~n () in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + tile) in
+    let live = ref 1 in
+    for d = 0 to ndig - 1 do
+      if !live >= batch then begin
+        Fused_mac.reduce2_range ~q ~acc0 ~acc1 ~lo:!lo ~hi;
+        live := 1
+      end;
+      (match perm with
+      | None -> Fused_mac.mac2_range ~x:ext.(d) ~b:kb.(d) ~a:ka.(d) ~acc0 ~acc1 ~lo:!lo ~hi
+      | Some p ->
+          Fused_mac.mac2_perm_range ~perm:p ~x:ext.(d) ~b:kb.(d) ~a:ka.(d) ~acc0 ~acc1 ~lo:!lo
+            ~hi);
+      incr live
+    done;
+    Fused_mac.reduce2_range ~q ~acc0 ~acc1 ~lo:!lo ~hi;
+    lo := hi
+  done
+
+(* Phase 1: INTT every Q_l limb of [c] into [scaled], folding the
+   owning digit's q̂^-1 factor into the transform epilogue. *)
+let decompose_scaled pool pl c ~(scaled : Limb_buf.t array) =
+  run_items pool pl.pl_tq (fun j ->
+      let dp = pl.pl_digits.(pl.pl_limb_digit.(j)) in
+      Ntt.inverse_scaled_into pl.pl_ntt.(j)
+        ~scale:dp.d_scale.(j - dp.d_lo)
+        ~src:(Rns_poly.unsafe_limb_view c j) ~dst:scaled.(j))
+
+let key_views pl (part : Rns_poly.t array) k =
+  let kk = pl.pl_key_idx.(k) in
+  Array.map (fun dp -> Rns_poly.unsafe_limb_view part.(dp.d_key) kk) pl.pl_digits
+
+let key_views_b pl (swk : Keys.switch_key) k = key_views pl swk.Keys.swk_b k
+let key_views_a pl (swk : Keys.switch_key) k = key_views pl swk.Keys.swk_a k
+
+(* Phase 3: fused mod-down of both accumulators (Eval in, Eval out). *)
+let mod_down2_plan pool pl acc0 acc1 =
+  let n = pl.pl_n in
+  let tq = pl.pl_tq and alpha = pl.pl_alpha in
+  let out0 = Rns_poly.create ~n ~basis:pl.pl_q ~domain:Rns_poly.Eval in
+  let out1 = Rns_poly.create ~n ~basis:pl.pl_q ~domain:Rns_poly.Eval in
+  Scratch.with_bufs ~n ~count:(2 * alpha) (fun sc ->
+      run_items pool (2 * alpha) (fun i ->
+          let acc = if i < alpha then acc0 else acc1 in
+          let j = i mod alpha in
+          let k = tq + j in
+          Ntt.inverse_scaled_into pl.pl_ntt.(k) ~scale:pl.pl_down_scale.(j)
+            ~src:(Rns_poly.unsafe_limb_view acc k) ~dst:sc.(i));
+      let sc0 = Array.sub sc 0 alpha and sc1 = Array.sub sc alpha alpha in
+      run_items pool (2 * tq) (fun i ->
+          let k = i mod tq in
+          let acc, scl, out = if i < tq then (acc0, sc0, out0) else (acc1, sc1, out1) in
+          let md = Basis.modulus pl.pl_q k in
+          Scratch.with_buf ~n (fun col ->
+              Base_conv.accumulate_column_into pl.pl_down_tbl ~scaled:scl ~dst:col ~k;
+              Ntt.forward_into pl.pl_ntt.(k) ~src:col ~dst:col;
+              Fused_mac.sub_mul_shoup_range ~q:(Modarith.q md) ~w:pl.pl_p_inv.(k)
+                ~w_sh:pl.pl_p_inv_sh.(k)
+                ~x:(Rns_poly.unsafe_limb_view acc k)
+                ~y:col
+                ~dst:(Rns_poly.unsafe_limb_view out k)
+                ~lo:0 ~hi:n)));
+  (out0, out1)
+
+let check_input name pl c =
+  if Rns_poly.domain c <> Rns_poly.Eval then invalid_arg (name ^ ": Eval-domain input required");
+  if Rns_poly.n c <> pl.pl_n then invalid_arg (name ^ ": ring dimension mismatch")
+
+(* The fused keyswitch: bitwise equal to Keyswitch.keyswitch for every
+   level prefix, digit layout, and job count. *)
+let keyswitch ?pool params (swk : Keys.switch_key) c =
+  let q_l = Rns_poly.basis c in
+  let pl = plan_for params ~q_l in
+  check_input "Keyswitch_fused.keyswitch" pl c;
+  let n = pl.pl_n in
+  Tel.Span.with_ ~cat:"ks_fused" "ks_fused.keyswitch" (fun () ->
+      let acc0 = Rns_poly.create ~n ~basis:pl.pl_target ~domain:Rns_poly.Eval in
+      let acc1 = Rns_poly.create ~n ~basis:pl.pl_target ~domain:Rns_poly.Eval in
+      Scratch.with_bufs ~n ~count:pl.pl_tq (fun scaled ->
+          Tel.Span.with_ ~cat:"ks_fused" "ks_fused.decompose" (fun () ->
+              decompose_scaled pool pl c ~scaled);
+          let digit_scaled =
+            Array.map (fun dp -> Array.sub scaled dp.d_lo (dp.d_hi - dp.d_lo)) pl.pl_digits
+          in
+          Tel.Span.with_ ~cat:"ks_fused" "ks_fused.extend_mac" (fun () ->
+              run_items pool pl.pl_t (fun k ->
+                  let ndig = Array.length pl.pl_digits in
+                  let q = Basis.value pl.pl_target k in
+                  Scratch.with_bufs ~n ~count:ndig (fun cols ->
+                      let ext = Array.make ndig cols.(0) in
+                      for d = 0 to ndig - 1 do
+                        let dp = pl.pl_digits.(d) in
+                        let col = dp.d_col.(k) in
+                        if col < 0 then ext.(d) <- Rns_poly.unsafe_limb_view c k
+                        else begin
+                          Base_conv.accumulate_column_into dp.d_tbl ~scaled:digit_scaled.(d)
+                            ~dst:cols.(d) ~k:col;
+                          Ntt.forward_into pl.pl_ntt.(k) ~src:cols.(d) ~dst:cols.(d);
+                          ext.(d) <- cols.(d)
+                        end
+                      done;
+                      mac_limb ~q ~perm:None ~ext ~kb:(key_views_b pl swk k)
+                        ~ka:(key_views_a pl swk k)
+                        ~acc0:(Rns_poly.unsafe_limb_view acc0 k)
+                        ~acc1:(Rns_poly.unsafe_limb_view acc1 k)
+                        ~n))));
+      Tel.Span.with_ ~cat:"ks_fused" "ks_fused.mod_down" (fun () ->
+          mod_down2_plan pool pl acc0 acc1))
+
+(* --- shared decomposition (hoisting support) -------------------------- *)
+
+(* A decomposition materializes what phase 2 normally streams: the
+   extended digits of c1 in Eval domain over Q_l ∪ P, computed once and
+   reused by every rotation.  Bitwise equal to the oracle's
+   Keyswitch.extend_digit outputs (digit-resident limbs are the
+   ciphertext's own Eval limbs; conversion columns share the oracle's
+   tables). *)
+type decomposition = {
+  dec_plan : plan;
+  dec_ext : Rns_poly.t array; (* per digit, over Q_l ∪ P, Eval *)
+}
+
+let decompose ?pool params c1 =
+  let q_l = Rns_poly.basis c1 in
+  let pl = plan_for params ~q_l in
+  check_input "Keyswitch_fused.decompose" pl c1;
+  let n = pl.pl_n in
+  let ndig = Array.length pl.pl_digits in
+  Tel.Span.with_ ~cat:"ks_fused" "ks_fused.decompose_shared" (fun () ->
+      let ext =
+        Array.init ndig (fun _ -> Rns_poly.create ~n ~basis:pl.pl_target ~domain:Rns_poly.Eval)
+      in
+      Scratch.with_bufs ~n ~count:pl.pl_tq (fun scaled ->
+          decompose_scaled pool pl c1 ~scaled;
+          let digit_scaled =
+            Array.map (fun dp -> Array.sub scaled dp.d_lo (dp.d_hi - dp.d_lo)) pl.pl_digits
+          in
+          run_items pool (ndig * pl.pl_t) (fun i ->
+              let d = i / pl.pl_t and k = i mod pl.pl_t in
+              let dp = pl.pl_digits.(d) in
+              let dst = Rns_poly.unsafe_limb_view ext.(d) k in
+              let col = dp.d_col.(k) in
+              if col < 0 then Limb_buf.blit ~src:(Rns_poly.unsafe_limb_view c1 k) ~dst
+              else begin
+                Base_conv.accumulate_column_into dp.d_tbl ~scaled:digit_scaled.(d) ~dst ~k:col;
+                Ntt.forward_into pl.pl_ntt.(k) ~src:dst ~dst
+              end));
+      { dec_plan = pl; dec_ext = ext })
+
+let target_basis dec = dec.dec_plan.pl_target
+let level_basis dec = dec.dec_plan.pl_q
+
+let check_acc name pl acc =
+  if not (Basis.equal (Rns_poly.basis acc) pl.pl_target) || Rns_poly.domain acc <> Rns_poly.Eval
+  then invalid_arg (name ^ ": accumulator must be Eval over the decomposition's Q_l ∪ P basis")
+
+(* Inner product of the shared decomposition with [swk], optionally
+   reading the extended digits through a Galois slot permutation (the
+   hoisted automorphism), accumulated lazily into caller-owned
+   Eval-domain accumulators over Q_l ∪ P.  Canonical in, canonical
+   out, so calls chain across rotations (rotate-and-sum). *)
+let accumulate ?pool dec (swk : Keys.switch_key) ?perm ~acc0 ~acc1 () =
+  let pl = dec.dec_plan in
+  check_acc "Keyswitch_fused.accumulate" pl acc0;
+  check_acc "Keyswitch_fused.accumulate" pl acc1;
+  let perm = Option.map Ntt.perm_array perm in
+  Tel.Span.with_ ~cat:"ks_fused" "ks_fused.hoisted_mac" (fun () ->
+      run_items pool pl.pl_t (fun k ->
+          let q = Basis.value pl.pl_target k in
+          let ext = Array.map (fun e -> Rns_poly.unsafe_limb_view e k) dec.dec_ext in
+          mac_limb ~q ~perm ~ext ~kb:(key_views_b pl swk k) ~ka:(key_views_a pl swk k)
+            ~acc0:(Rns_poly.unsafe_limb_view acc0 k)
+            ~acc1:(Rns_poly.unsafe_limb_view acc1 k)
+            ~n:pl.pl_n))
+
+let mod_down2 ?pool dec acc0 acc1 =
+  let pl = dec.dec_plan in
+  check_acc "Keyswitch_fused.mod_down2" pl acc0;
+  check_acc "Keyswitch_fused.mod_down2" pl acc1;
+  Tel.Span.with_ ~cat:"ks_fused" "ks_fused.mod_down" (fun () -> mod_down2_plan pool pl acc0 acc1)
+
+(* One full keyswitch from a shared decomposition. *)
+let apply ?pool dec swk ?perm () =
+  let pl = dec.dec_plan in
+  let n = pl.pl_n in
+  let acc0 = Rns_poly.create ~n ~basis:pl.pl_target ~domain:Rns_poly.Eval in
+  let acc1 = Rns_poly.create ~n ~basis:pl.pl_target ~domain:Rns_poly.Eval in
+  accumulate ?pool dec swk ?perm ~acc0 ~acc1 ();
+  mod_down2 ?pool dec acc0 acc1

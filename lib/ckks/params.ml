@@ -104,6 +104,12 @@ let tiny = lazy (make ~log_n:6 ~levels:4 ~dnum:2 ~slots:8 ())
 let small = lazy (make ~log_n:10 ~levels:8 ~dnum:3 ~slots:64 ())
 let medium = lazy (make ~log_n:12 ~levels:14 ~dnum:3 ~slots:512 ())
 
+(* Full-ring preset at the paper's N = 2^16: the largest chain the
+   30-bit functional datapath supports at this ring dimension (primes
+   ≡ 1 mod 2N get scarce below 27 bits), used by the full microbench
+   tier to measure kernels at architectural scale. *)
+let large = lazy (make ~log_n:16 ~levels:12 ~dnum:3 ~slots:1024 ())
+
 (* Bootstrapping preset: sparse secret (bounds the ModRaise overflow
    count K), deep chain, few slots, q0 sized like the scale so EvalMod's
    division by q0 rescales back to the working scale (see DESIGN.md —

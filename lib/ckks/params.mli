@@ -52,12 +52,15 @@ val digit_ranges : t -> (int * int) list
 
 (** Functional presets (lazily constructed; prime search is cheap but
     not free). [tiny]: N=64. [small]: N=1024, 64 slots, 8 levels.
-    [medium]: N=4096. [boot]: the bootstrapping profile — deep chain,
-    sparse secret, q0 ≈ scale. *)
+    [medium]: N=4096. [large]: the paper's ring dimension N=65536 with
+    the deepest 30-bit functional chain (full-tier microbenches).
+    [boot]: the bootstrapping profile — deep chain, sparse secret,
+    q0 ≈ scale. *)
 val tiny : t lazy_t
 
 val small : t lazy_t
 val medium : t lazy_t
+val large : t lazy_t
 val boot : t lazy_t
 
 (** The paper's architectural configuration (symbolic). *)

@@ -214,7 +214,7 @@ type key_material =
 
 let run params ~algorithm ~chips ~key c cnt =
   match (algorithm, key) with
-  | Cinnamon_ir.Poly_ir.Seq, Standard swk -> Keyswitch.keyswitch params swk c
+  | Cinnamon_ir.Poly_ir.Seq, Standard swk -> Keyswitch_fused.keyswitch params swk c
   | Cinnamon_ir.Poly_ir.Cifher_broadcast, Standard swk -> run_cifher params swk c ~chips cnt
   | Cinnamon_ir.Poly_ir.Input_broadcast, Standard swk -> run_input_broadcast params swk c ~chips cnt
   | Cinnamon_ir.Poly_ir.Output_aggregation, Round_robin swk ->

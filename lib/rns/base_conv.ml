@@ -110,29 +110,68 @@ let scale_limb tbl x ~j ~(buf : Limb_buf.t) =
    limb into output column k.  Source residues can exceed the
    destination modulus (e.g. 30-bit special primes feeding 26-bit
    scale primes) — those get one pre-reduction so every term respects
-   the batch bound computed in [make_table]. *)
-let accumulate_column tbl ~(scaled : Limb_buf.t array) ~out ~k =
-  let n = Rns_poly.n out in
+   the batch bound computed in [make_table].
+
+   The view form is the fused-keyswitch entry point: the caller hands
+   the destination limb directly, so a single column can be produced
+   into a cache-resident scratch tile without materializing the whole
+   destination polynomial.  The coefficient loop is unrolled by two
+   (ring dimensions are powers of two >= 2); both lanes follow the
+   same reduction trajectory, so the result is bitwise the scalar
+   sequence's. *)
+let accumulate_column_into tbl ~(scaled : Limb_buf.t array) ~(dst : Limb_buf.t) ~k =
+  let n = Limb_buf.length dst in
   let l = Array.length scaled in
   let qk = Basis.value tbl.dst k in
-  let olimb = Rns_poly.unsafe_limb_view out k in
   let factors = tbl.qhat_mod_p.(k) in
   let reduce_src = tbl.reduce_src.(k) in
   let batch = tbl.batch.(k) in
-  for i = 0 to n - 1 do
+  let i = ref 0 in
+  while !i < n - 1 do
+    let i0 = !i in
+    let acc0 = ref 0 and acc1 = ref 0 and cnt = ref 0 in
+    for j = 0 to l - 1 do
+      let src = Array.unsafe_get scaled j in
+      let f = Array.unsafe_get factors j in
+      let v0 = bget src i0 and v1 = bget src (i0 + 1) in
+      let v0, v1 =
+        if Array.unsafe_get reduce_src j then (v0 mod qk, v1 mod qk) else (v0, v1)
+      in
+      acc0 := !acc0 + (v0 * f);
+      acc1 := !acc1 + (v1 * f);
+      incr cnt;
+      if !cnt >= batch then begin
+        acc0 := !acc0 mod qk;
+        acc1 := !acc1 mod qk;
+        cnt := 1 (* the reduced sum counts as one live term *)
+      end
+    done;
+    bset dst i0 (!acc0 mod qk);
+    bset dst (i0 + 1) (!acc1 mod qk);
+    i := i0 + 2
+  done;
+  if !i < n then begin
+    let i0 = !i in
     let acc = ref 0 and cnt = ref 0 in
     for j = 0 to l - 1 do
-      let v0 = bget (Array.unsafe_get scaled j) i in
+      let v0 = bget (Array.unsafe_get scaled j) i0 in
       let v = if Array.unsafe_get reduce_src j then v0 mod qk else v0 in
       acc := !acc + (v * Array.unsafe_get factors j);
       incr cnt;
       if !cnt >= batch then begin
         acc := !acc mod qk;
-        cnt := 1 (* the reduced sum counts as one live term *)
+        cnt := 1
       end
     done;
-    bset olimb i (!acc mod qk)
-  done
+    bset dst i0 (!acc mod qk)
+  end
+
+let accumulate_column tbl ~(scaled : Limb_buf.t array) ~out ~k =
+  accumulate_column_into tbl ~scaled ~dst:(Rns_poly.unsafe_limb_view out k) ~k
+
+(* Stage-1 scale factor (Q/q_j)^-1 mod q_j, for callers that fuse the
+   scaling elsewhere (the fused keyswitch folds it into the INTT). *)
+let qhat_inv tbl j = tbl.qhat_inv.(j)
 
 let idx p = List.init p (fun i -> i)
 

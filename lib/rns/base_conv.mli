@@ -7,6 +7,32 @@
     are independent columns, though — with [pool] they fan out across
     domains, bit-identically for any job count. *)
 
+(** {2 Table / column layer}
+
+    The fused keyswitch pipeline drives conversion column-by-column on
+    raw {!Limb_buf} views instead of whole polynomials: it fetches the
+    memoized conversion table once, folds the stage-1 q̂{^-1} scaling
+    into its INTTs ({!Ntt.inverse_scaled_into}), and produces exactly
+    the destination columns it is about to consume into cache-resident
+    scratch tiles. *)
+
+type table
+
+(** Get (or build and cache) the conversion table from basis [src] to
+    basis [dst]; memoized per prime-value pair, shared with
+    {!convert}. *)
+val table : src:Basis.t -> dst:Basis.t -> table
+
+(** Stage-1 scale factor (Q/q{_j}){^-1} mod q{_j} of source limb [j]. *)
+val qhat_inv : table -> int -> int
+
+(** Accumulate destination column [k] from the stage-1-scaled source
+    limbs into [dst] (length = ring dimension).  [scaled.(j)] must hold
+    the canonical residues of limb [j] already multiplied by
+    {!qhat_inv}[ j].  Lazy-reduction batched and unrolled; bitwise the
+    column {!convert} computes. *)
+val accumulate_column_into : table -> scaled:Limb_buf.t array -> dst:Limb_buf.t -> k:int -> unit
+
 (** [convert x ~dst] base-converts [x] (which must be in coefficient
     domain) to basis [dst]. The result represents [x + e·Q] for some
     integer [0 <= e < level x] (standard approximate conversion; the

@@ -1,0 +1,115 @@
+(* Limb-level kernels of the fused keyswitch pipeline.
+
+   The hybrid-keyswitch inner product accumulates, per output limb,
+   sum over digits d of  ext_d * key_d  for two keys (b, a) at once.
+   The classic formulation reduces every product canonically and adds
+   with a conditional subtract — three reduced passes per digit per
+   key.  These kernels instead carry the accumulation LAZILY across
+   all dnum digits: each term is a raw product of canonical residues
+   (< (q-1)^2 < 2^60 at the 30-bit cap), several of which fit in
+   OCaml's 63-bit native int, so each accumulator limb is reduced once
+   at kernel exit (or every [terms_per_reduction] digits when dnum
+   exceeds the headroom — see the bound arithmetic in DESIGN.md,
+   "Fused keyswitch pipeline").
+
+   All kernels take an explicit [lo, hi) coefficient range so the
+   caller can tile the digit loop: with the accumulator tile resident
+   in cache, dnum digits of MAC touch DRAM once per accumulator
+   element instead of once per digit.
+
+   Like the other hot modules, local bget/bset twins inline under the
+   dev profile's -opaque. *)
+
+let[@inline always] bget (a : Limb_buf.t) i = Int64.to_int (Bigarray.Array1.unsafe_get a i)
+let[@inline always] bset (a : Limb_buf.t) i v = Bigarray.Array1.unsafe_set a i (Int64.of_int v)
+
+(* How many raw products of canonical residues mod q fit in a native
+   int on top of one already-reduced live term: the running sum right
+   before a reduction is at most q - 1 + k*(q-1)^2 <= (k+1)*(q-1)^2,
+   so k+1 = max_int / (q-1)^2 terms are safe between reductions.  At
+   the 30-bit modulus cap this is 4; at the paper's 28-bit datapath,
+   64 — every preset's dnum fits without interior reductions. *)
+let terms_per_reduction ~q =
+  let bound = (q - 1) * (q - 1) in
+  max 1 (max_int / max 1 bound)
+
+(* acc0 += x*b, acc1 += x*a over [lo, hi): one pass over x feeds both
+   accumulators (the (k0, k1) pair of the keyswitch inner product).
+   No reduction — caller tracks the live-term count. *)
+let mac2_range ~(x : Limb_buf.t) ~(b : Limb_buf.t) ~(a : Limb_buf.t) ~(acc0 : Limb_buf.t)
+    ~(acc1 : Limb_buf.t) ~lo ~hi =
+  let j = ref lo in
+  while !j < hi - 1 do
+    let j0 = !j in
+    let x0 = bget x j0 and x1 = bget x (j0 + 1) in
+    bset acc0 j0 (bget acc0 j0 + (x0 * bget b j0));
+    bset acc0 (j0 + 1) (bget acc0 (j0 + 1) + (x1 * bget b (j0 + 1)));
+    bset acc1 j0 (bget acc1 j0 + (x0 * bget a j0));
+    bset acc1 (j0 + 1) (bget acc1 (j0 + 1) + (x1 * bget a (j0 + 1)));
+    j := j0 + 2
+  done;
+  if !j < hi then begin
+    let j0 = !j in
+    let x0 = bget x j0 in
+    bset acc0 j0 (bget acc0 j0 + (x0 * bget b j0));
+    bset acc1 j0 (bget acc1 j0 + (x0 * bget a j0))
+  end
+
+(* Same MAC, reading x through a slot permutation: the hoisted-rotation
+   path applies the Galois automorphism and the key multiply in one
+   pass instead of materializing the permuted limb. *)
+let mac2_perm_range ~(perm : int array) ~(x : Limb_buf.t) ~(b : Limb_buf.t) ~(a : Limb_buf.t)
+    ~(acc0 : Limb_buf.t) ~(acc1 : Limb_buf.t) ~lo ~hi =
+  for j0 = lo to hi - 1 do
+    let x0 = bget x (Array.unsafe_get perm j0) in
+    bset acc0 j0 (bget acc0 j0 + (x0 * bget b j0));
+    bset acc1 j0 (bget acc1 j0 + (x0 * bget a j0))
+  done
+
+(* Reduce both lazy accumulators to canonical residues over [lo, hi).
+   Machine `mod` rather than Barrett: the sums reach ~2^62, past the
+   Barrett pre-condition at 30-bit moduli, and the division amortizes
+   over the whole digit loop. *)
+let reduce2_range ~q ~(acc0 : Limb_buf.t) ~(acc1 : Limb_buf.t) ~lo ~hi =
+  let j = ref lo in
+  while !j < hi - 1 do
+    let j0 = !j in
+    bset acc0 j0 (bget acc0 j0 mod q);
+    bset acc0 (j0 + 1) (bget acc0 (j0 + 1) mod q);
+    bset acc1 j0 (bget acc1 j0 mod q);
+    bset acc1 (j0 + 1) (bget acc1 (j0 + 1) mod q);
+    j := j0 + 2
+  done;
+  if !j < hi then begin
+    bset acc0 !j (bget acc0 !j mod q);
+    bset acc1 !j (bget acc1 !j mod q)
+  end
+
+(* dst = (x - y) * w mod q over [lo, hi), canonical in and out — the
+   mod-down epilogue (subtract the converted P-part, scale by P^-1)
+   fused into one pass.  [w] is fixed per limb, so it gets the Shoup
+   treatment: w_sh = (w << 31) / q, product lands in [0, 2q), one
+   branchless correction.  dst may alias x. *)
+let sub_mul_shoup_range ~q ~w ~w_sh ~(x : Limb_buf.t) ~(y : Limb_buf.t) ~(dst : Limb_buf.t) ~lo
+    ~hi =
+  let sh = Modarith.shoup_shift in
+  let j = ref lo in
+  while !j < hi - 1 do
+    let j0 = !j in
+    let d0 = let d = bget x j0 - bget y j0 in d + (q land (d asr 62)) in
+    let d1 = let d = bget x (j0 + 1) - bget y (j0 + 1) in d + (q land (d asr 62)) in
+    let v0 = (d0 * w) - (((d0 * w_sh) lsr sh) * q) in
+    let v1 = (d1 * w) - (((d1 * w_sh) lsr sh) * q) in
+    let v0 = let r = v0 - q in r + (q land (r asr 62)) in
+    let v1 = let r = v1 - q in r + (q land (r asr 62)) in
+    bset dst j0 v0;
+    bset dst (j0 + 1) v1;
+    j := j0 + 2
+  done;
+  if !j < hi then begin
+    let j0 = !j in
+    let d0 = let d = bget x j0 - bget y j0 in d + (q land (d asr 62)) in
+    let v0 = (d0 * w) - (((d0 * w_sh) lsr sh) * q) in
+    let v0 = let r = v0 - q in r + (q land (r asr 62)) in
+    bset dst j0 v0
+  end

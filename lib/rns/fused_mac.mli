@@ -1,0 +1,63 @@
+(** Limb-level kernels of the fused keyswitch pipeline.
+
+    The keyswitch inner product, per output limb, is
+    sum{_d} ext{_d}·key{_d} for the two key components at once.  These
+    kernels carry that accumulation {e lazily} across digits — raw
+    products of canonical residues summed in the 63-bit native int,
+    reduced once at exit (or every {!terms_per_reduction} digits) —
+    and fuse the mod-down epilogue into a single pass.  All take an
+    explicit [lo, hi) coefficient range so callers can tile the digit
+    loop through cache-resident accumulator tiles
+    ({!Scratch.tile_len}). *)
+
+(** Safe number of raw (q-1){^2} products accumulated on top of one
+    reduced live term before the next reduction:
+    [max_int / (q-1)^2], at least 1 (4 at the 30-bit modulus cap, 64
+    at the paper's 28-bit datapath). *)
+val terms_per_reduction : q:int -> int
+
+(** [acc0 += x·b], [acc1 += x·a] elementwise over [lo, hi), without
+    reduction.  Caller must bound live terms by
+    {!terms_per_reduction}. *)
+val mac2_range :
+  x:Limb_buf.t ->
+  b:Limb_buf.t ->
+  a:Limb_buf.t ->
+  acc0:Limb_buf.t ->
+  acc1:Limb_buf.t ->
+  lo:int ->
+  hi:int ->
+  unit
+
+(** Same MAC reading [x] through a Galois slot permutation
+    ({!Ntt.perm_array}): [acc0.(j) += x.(perm.(j))·b.(j)] — the
+    hoisted-rotation path's automorphism and key multiply in one
+    pass. *)
+val mac2_perm_range :
+  perm:int array ->
+  x:Limb_buf.t ->
+  b:Limb_buf.t ->
+  a:Limb_buf.t ->
+  acc0:Limb_buf.t ->
+  acc1:Limb_buf.t ->
+  lo:int ->
+  hi:int ->
+  unit
+
+(** Reduce both lazy accumulators to canonical [0, q) residues in
+    place over [lo, hi). *)
+val reduce2_range : q:int -> acc0:Limb_buf.t -> acc1:Limb_buf.t -> lo:int -> hi:int -> unit
+
+(** [dst = (x - y)·w mod q] over [lo, hi), canonical in and out, with
+    [w_sh] the Shoup constant of [w] — the fused mod-down epilogue.
+    [dst] may alias [x]. *)
+val sub_mul_shoup_range :
+  q:int ->
+  w:int ->
+  w_sh:int ->
+  x:Limb_buf.t ->
+  y:Limb_buf.t ->
+  dst:Limb_buf.t ->
+  lo:int ->
+  hi:int ->
+  unit

@@ -12,3 +12,8 @@ val mod_up : ?pool:Cinnamon_pool.Pool.t -> Rns_poly.t -> ext:Basis.t -> Rns_poly
     rounding: x over target ∪ ext becomes round(x / prod ext) over
     [target]. Preserves the input's representation domain. *)
 val mod_down : ?pool:Cinnamon_pool.Pool.t -> Rns_poly.t -> target:Basis.t -> ext:Basis.t -> Rns_poly.t
+
+(** [(prod ext)]{^-1} mod each prime of [target] (memoized) — the
+    per-limb scale factor of the mod-down epilogue, exposed so fused
+    pipelines can fold it into their own final pass. *)
+val p_inv_scalars : target:Basis.t -> ext:Basis.t -> int array

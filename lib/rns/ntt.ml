@@ -325,29 +325,127 @@ let inv_range plan (a : Limb_buf.t) ~h ~t ~b0 ~b1 =
       done
   done
 
-(* Final N^-1 scaling of the inverse; reduces < 2q values to [0, q). *)
-let inv_scale_range plan (a : Limb_buf.t) ~lo ~hi =
+(* Final scaling of the inverse by an arbitrary canonical scalar
+   (N^-1, or N^-1 fused with a caller factor); reduces < 2q values to
+   [0, q).  Unrolled by two — n is a power of two >= 2 everywhere this
+   runs, so there is never a tail. *)
+let inv_scale_range_with plan (a : Limb_buf.t) ~ninv ~ninv_sh ~lo ~hi =
   let q = Modarith.q plan.md in
   let sh = Modarith.shoup_shift in
-  let ninv = plan.n_inv and ninv' = plan.n_inv_sh in
-  for j = lo to hi - 1 do
-    let x = bget a j in
-    let v = (x * ninv) - (((x * ninv') lsr sh) * q) in
+  let j = ref lo in
+  while !j < hi - 1 do
+    let j0 = !j in
+    let x = bget a j0 in
+    let v = (x * ninv) - (((x * ninv_sh) lsr sh) * q) in
     let v = let r = v - q in r + (q land (r asr 62)) in
-    bset a j v
-  done
+    bset a j0 v;
+    let x = bget a (j0 + 1) in
+    let v = (x * ninv) - (((x * ninv_sh) lsr sh) * q) in
+    let v = let r = v - q in r + (q land (r asr 62)) in
+    bset a (j0 + 1) v;
+    j := j0 + 2
+  done;
+  if !j < hi then begin
+    let x = bget a !j in
+    let v = (x * ninv) - (((x * ninv_sh) lsr sh) * q) in
+    let v = let r = v - q in r + (q land (r asr 62)) in
+    bset a !j v
+  end
 
-let inverse_seq plan (a : Limb_buf.t) =
+(* Specialized sequential inverse stages, mirroring the treatment the
+   forward pass gets: the t = 1 stage iterates stride-2 pairs directly
+   (unrolled across blocks), larger strides unroll the in-block loop by
+   two (t is a power of two >= 2, so no tail).  Each butterfly computes
+   exactly the scalar operations of [inv_range] — the generic range
+   kernel stays as the parallel-split form and the two are
+   bit-identical. *)
+let inv_stage_seq plan (a : Limb_buf.t) ~h ~t =
+  let q = Modarith.q plan.md in
+  let q2 = q * 2 in
+  let sh = Modarith.shoup_shift in
+  let ipsi = plan.inv_psi_br and ipsh = plan.inv_psi_sh in
+  let lazy4 = plan.lazy4 in
+  if t = 1 then
+    for i = 0 to h - 1 do
+      let s = Array.unsafe_get ipsi (h + i) in
+      let s' = Array.unsafe_get ipsh (h + i) in
+      let j = 2 * i in
+      let u = bget a j in
+      let v = bget a (j + 1) in
+      let su = u + v in
+      let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+      bset a j su;
+      let d = u - v + q2 in
+      let d = if lazy4 then d else (let r = d - q2 in r + (q2 land (r asr 62))) in
+      let x = (d * s) - (((d * s') lsr sh) * q) in
+      bset a (j + 1) x
+    done
+  else
+    for i = 0 to h - 1 do
+      let s = Array.unsafe_get ipsi (h + i) in
+      let s' = Array.unsafe_get ipsh (h + i) in
+      let j1 = 2 * i * t in
+      let stop = j1 + t in
+      let j = ref j1 in
+      if lazy4 then
+        while !j < stop do
+          let j0 = !j in
+          let u = bget a j0 in
+          let v = bget a (j0 + t) in
+          let su = u + v in
+          let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+          bset a j0 su;
+          let d = u - v + q2 in
+          let x = (d * s) - (((d * s') lsr sh) * q) in
+          bset a (j0 + t) x;
+          let u = bget a (j0 + 1) in
+          let v = bget a (j0 + 1 + t) in
+          let su = u + v in
+          let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+          bset a (j0 + 1) su;
+          let d = u - v + q2 in
+          let x = (d * s) - (((d * s') lsr sh) * q) in
+          bset a (j0 + 1 + t) x;
+          j := j0 + 2
+        done
+      else
+        while !j < stop do
+          let j0 = !j in
+          let u = bget a j0 in
+          let v = bget a (j0 + t) in
+          let su = u + v in
+          let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+          bset a j0 su;
+          let d = u - v + q2 in
+          let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+          let x = (d * s) - (((d * s') lsr sh) * q) in
+          bset a (j0 + t) x;
+          let u = bget a (j0 + 1) in
+          let v = bget a (j0 + 1 + t) in
+          let su = u + v in
+          let su = let r = su - q2 in r + (q2 land (r asr 62)) in
+          bset a (j0 + 1) su;
+          let d = u - v + q2 in
+          let d = let r = d - q2 in r + (q2 land (r asr 62)) in
+          let x = (d * s) - (((d * s') lsr sh) * q) in
+          bset a (j0 + 1 + t) x;
+          j := j0 + 2
+        done
+    done
+
+let inverse_seq_scaled plan (a : Limb_buf.t) ~ninv ~ninv_sh =
   let n = plan.n in
-  let half = n / 2 in
   let m = ref n and t = ref 1 in
   while !m > 1 do
     let h = !m / 2 in
-    inv_range plan a ~h ~t:!t ~b0:0 ~b1:half;
+    inv_stage_seq plan a ~h ~t:!t;
     t := !t * 2;
     m := h
   done;
-  inv_scale_range plan a ~lo:0 ~hi:n
+  inv_scale_range_with plan a ~ninv ~ninv_sh ~lo:0 ~hi:n
+
+let inverse_seq plan (a : Limb_buf.t) =
+  inverse_seq_scaled plan a ~ninv:plan.n_inv ~ninv_sh:plan.n_inv_sh
 
 (* ------------------------------------------------------------------ *)
 (* Parallel drivers (see the decomposition note at the top). *)
@@ -398,7 +496,9 @@ let forward_par plan pl (a : Limb_buf.t) ~p =
       done)
     (idx p)
 
-let inverse_par plan pl (a : Limb_buf.t) ~p =
+let inverse_par ?ninv ?ninv_sh plan pl (a : Limb_buf.t) ~p =
+  let ninv = Option.value ninv ~default:plan.n_inv in
+  let ninv_sh = Option.value ninv_sh ~default:plan.n_inv_sh in
   let n = plan.n in
   let chunk = n / 2 / p in
   (* stages with h >= p blocks: region-local, one barrier *)
@@ -425,7 +525,9 @@ let inverse_par plan pl (a : Limb_buf.t) ~p =
     m := h
   done;
   let sc = n / p in
-  Pool.iter pl (fun c -> inv_scale_range plan a ~lo:(c * sc) ~hi:((c + 1) * sc)) (idx p)
+  Pool.iter pl
+    (fun c -> inv_scale_range_with plan a ~ninv ~ninv_sh ~lo:(c * sc) ~hi:((c + 1) * sc))
+    (idx p)
 
 (* ------------------------------------------------------------------ *)
 
@@ -446,6 +548,24 @@ let inverse_into ?pool plan ~src ~dst =
   match split_width pool plan.n with
   | Some (pl, p) -> inverse_par plan pl dst ~p
   | None -> inverse_seq plan dst
+
+(* Inverse transform whose final pass multiplies by N^-1 * scale in one
+   Shoup product — the INTT -> scale-by-constant fusion the fused
+   keyswitch pipeline uses to fold base conversion's stage-1 qhat^-1
+   factor into the transform epilogue.  Output is bitwise what
+   [inverse_into] followed by a canonical multiply by [scale] would
+   produce: both are the canonical residue of x * N^-1 * scale. *)
+let inverse_scaled_into ?pool plan ~scale ~src ~dst =
+  check_into "Ntt.inverse_scaled_into" plan ~src ~dst;
+  let md = plan.md in
+  if scale < 0 || scale >= Modarith.q md then
+    invalid_arg "Ntt.inverse_scaled_into: scale not a canonical residue";
+  let ninv = Modarith.mul md plan.n_inv scale in
+  let ninv_sh = Modarith.shoup md ninv in
+  Limb_buf.blit ~src ~dst;
+  match split_width pool plan.n with
+  | Some (pl, p) -> inverse_par ~ninv ~ninv_sh plan pl dst ~p
+  | None -> inverse_seq_scaled plan dst ~ninv ~ninv_sh
 
 (* Eval-domain Galois permutation for the automorphism tau_k : X -> X^k
    (k odd, taken mod 2N).
@@ -482,6 +602,11 @@ let galois_perm ~n ~k : perm =
           Cinnamon_util.Bitops.bit_reverse ((e' - 1) / 2) ~bits))
 
 let perm_nth (p : perm) j = p.(j)
+
+(* The permutation as its raw index array, for kernels that read
+   through it in hot loops (cross-module [perm_nth] calls are not
+   inlined in the dev profile).  Callers must not mutate it. *)
+let perm_array (p : perm) : int array = p
 
 let apply_perm_into (p : perm) ~src ~dst =
   let n = Array.length p in

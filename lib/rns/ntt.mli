@@ -35,6 +35,15 @@ val forward_into : ?pool:Cinnamon_pool.Pool.t -> plan -> src:Limb_buf.t -> dst:L
     pool contract as {!forward_into}. *)
 val inverse_into : ?pool:Cinnamon_pool.Pool.t -> plan -> src:Limb_buf.t -> dst:Limb_buf.t -> unit
 
+(** Inverse transform whose final pass multiplies by N{^-1}·[scale] in
+    one fused Shoup product ([scale] a canonical residue) — bitwise
+    equal to {!inverse_into} followed by a canonical multiply by
+    [scale].  The fused keyswitch pipeline uses it to fold base
+    conversion's stage-1 q̂{^-1} factor into the transform epilogue,
+    saving one full pass over the limb. *)
+val inverse_scaled_into :
+  ?pool:Cinnamon_pool.Pool.t -> plan -> scale:int -> src:Limb_buf.t -> dst:Limb_buf.t -> unit
+
 (** Eval-domain slot permutation for the Galois automorphism
     X ↦ X{^k} ([k] odd, taken mod 2N): [out.(j) = in.(nth perm j)]
     applied to every Eval-domain limb equals the Coeff-domain
@@ -46,6 +55,10 @@ val galois_perm : n:int -> k:int -> perm
 
 (** Source slot feeding output slot [j]. *)
 val perm_nth : perm -> int -> int
+
+(** The permutation as its raw index array, for kernels that read
+    through it inside hot loops.  Callers must not mutate it. *)
+val perm_array : perm -> int array
 
 (** [dst.(j) <- src.(nth perm j)] for all [j]; [src] and [dst] must
     not overlap. *)

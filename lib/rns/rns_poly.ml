@@ -115,6 +115,13 @@ let sub_into ~dst a b =
     done
   done
 
+(* Hot kernel (the keyswitch inner products and every ct-ct multiply
+   stream through here): unrolled by two with branchless Barrett
+   corrections — the two conditional subtracts of the scalar form
+   become r + (q land ((r - q) asr 62)) twice, bit-identical, and the
+   pair of independent lanes hides the multiply latency.  n is a power
+   of two >= 2, so there is never a tail (the guard keeps odd n safe
+   anyway). *)
 let mul_into ~dst a b =
   if a.domain <> Eval || b.domain <> Eval then
     invalid_arg "Rns_poly.mul_into: pointwise product requires Eval domain";
@@ -125,12 +132,28 @@ let mul_into ~dst a b =
     let q, mu, shift = Modarith.barrett (Basis.modulus a.basis i) in
     let sh1 = (shift / 2) - 1 and sh2 = (shift / 2) + 1 in
     let la = a.limbs.(i) and lb = b.limbs.(i) and ld = dst.limbs.(i) in
-    for j = 0 to n - 1 do
-      let x = bget la j * bget lb j in
+    let j = ref 0 in
+    while !j < n - 1 do
+      let j0 = !j in
+      let x0 = bget la j0 * bget lb j0 in
+      let x1 = bget la (j0 + 1) * bget lb (j0 + 1) in
+      let r0 = x0 - (((x0 lsr sh1) * mu) lsr sh2) * q in
+      let r1 = x1 - (((x1 lsr sh1) * mu) lsr sh2) * q in
+      let r0 = let t = r0 - q in t + (q land (t asr 62)) in
+      let r1 = let t = r1 - q in t + (q land (t asr 62)) in
+      let r0 = let t = r0 - q in t + (q land (t asr 62)) in
+      let r1 = let t = r1 - q in t + (q land (t asr 62)) in
+      bset ld j0 r0;
+      bset ld (j0 + 1) r1;
+      j := j0 + 2
+    done;
+    if !j < n then begin
+      let j0 = !j in
+      let x = bget la j0 * bget lb j0 in
       let r = x - (((x lsr sh1) * mu) lsr sh2) * q in
       let r = if r >= q then r - q else r in
-      bset ld j (if r >= q then r - q else r)
-    done
+      bset ld j0 (if r >= q then r - q else r)
+    end
   done
 
 let add a b =

@@ -84,6 +84,53 @@ let test_base_conv_matches_oracle =
           Limb_buf.equal (Rns_poly.unsafe_limb_view fast k) (Rns_poly.unsafe_limb_view naive k))
         (List.init m Fun.id))
 
+(* --- pointwise multiply vs scalar oracle ---------------------------------- *)
+
+(* The unroll-2 / branchless-Barrett rewrite of Rns_poly.mul_into must
+   compute exactly the per-element Modarith.mul sequence, limb by limb
+   — including when the destination aliases an operand. *)
+let test_mul_into_matches_scalar_oracle =
+  qtest ~count:40 "mul_into = Modarith.mul oracle (bitwise)"
+    QCheck2.Gen.(quad (int_range 2 9) (int_range 1 4) (int_range 26 30) (int_bound 10000))
+    (fun (logn, limbs, bits, seed) ->
+      let n = 1 lsl logn in
+      let basis = Basis.of_primes (Prime_gen.gen_primes ~bits ~n ~count:limbs ()) in
+      let rng = Rng.create ~seed in
+      let x = Rns_poly.random ~n ~basis ~domain:Rns_poly.Eval rng in
+      let y = Rns_poly.random ~n ~basis ~domain:Rns_poly.Eval rng in
+      let dst = Rns_poly.create_like x in
+      Rns_poly.mul_into ~dst x y;
+      let aliased = Rns_poly.copy x in
+      Rns_poly.mul_into ~dst:aliased aliased y;
+      List.for_all
+        (fun k ->
+          let md = Basis.modulus basis k in
+          let xv = Rns_poly.unsafe_limb_view x k and yv = Rns_poly.unsafe_limb_view y k in
+          let dv = Rns_poly.unsafe_limb_view dst k and av = Rns_poly.unsafe_limb_view aliased k in
+          List.for_all
+            (fun i ->
+              let expect = Modarith.mul md (Limb_buf.get xv i) (Limb_buf.get yv i) in
+              Limb_buf.get dv i = expect && Limb_buf.get av i = expect)
+            (List.init n Fun.id))
+        (List.init limbs Fun.id))
+
+(* inverse_scaled_into fuses a canonical scalar into the INTT's final
+   pass; it must equal inverse_into followed by a Modarith multiply. *)
+let test_inverse_scaled_matches_unfused =
+  qtest ~count:30 "inverse_scaled_into = inverse + scalar mul (bitwise)"
+    QCheck2.Gen.(quad (int_range 3 11) (int_range 26 30) (int_bound 10000) (int_bound 1000000))
+    (fun (logn, bits, seed, sseed) ->
+      let n = 1 lsl logn in
+      let q = List.hd (Prime_gen.gen_primes ~bits ~n ~count:1 ()) in
+      let plan = Ntt.plan ~q ~n in
+      let md = Ntt.plan_modulus plan in
+      let a = random_arr (Rng.create ~seed) n q in
+      let scale = 1 + (sseed mod (q - 1)) in
+      let fused = Limb_buf.create n in
+      Ntt.inverse_scaled_into plan ~scale ~src:(Limb_buf.of_int_array a) ~dst:fused;
+      let unfused = Array.map (fun v -> Modarith.mul md v scale) (run_inv plan a) in
+      Limb_buf.to_int_array fused = unfused)
+
 (* --- jobs=1 vs jobs=4 determinism ---------------------------------------- *)
 
 (* The parallel split engages for n >= 4096 (NTT butterflies) or
@@ -175,6 +222,18 @@ let test_scratch_shapes () =
           Alcotest.(check int) "inner len" 100 (Limb_buf.length b);
           Alcotest.(check int) "outer len" 7 (Limb_buf.length a)))
 
+let test_scratch_tiles () =
+  (* tile_len: power of two, fits the byte budget, clamped to [64, n] *)
+  let len = Scratch.tile_len ~budget_bytes:(512 * 1024) ~streams:6 ~n:65536 () in
+  Alcotest.(check bool) "pow2" true (len land (len - 1) = 0);
+  Alcotest.(check bool) "fits budget" true (6 * len * 8 <= 512 * 1024);
+  Alcotest.(check bool) "at least 64" true (len >= 64);
+  (* a small ring never tiles: the whole limb is one tile *)
+  Alcotest.(check int) "small ring is one tile" 1024 (Scratch.tile_len ~streams:6 ~n:1024 ());
+  Scratch.with_tiles ~streams:6 ~n:65536 ~count:2 (fun ~tile bufs ->
+      Alcotest.(check int) "tile param matches views" tile (Limb_buf.length bufs.(0));
+      Alcotest.(check int) "count" 2 (Array.length bufs))
+
 let suite =
   ( "kernels",
     [
@@ -182,10 +241,13 @@ let suite =
       test_ntt_inverse_matches_oracle;
       test_ntt_roundtrip_shapes;
       test_base_conv_matches_oracle;
+      test_mul_into_matches_scalar_oracle;
+      test_inverse_scaled_matches_unfused;
       Alcotest.test_case "ntt parallel deterministic" `Quick test_ntt_parallel_deterministic;
       Alcotest.test_case "base_conv parallel deterministic" `Quick
         test_base_conv_parallel_deterministic;
       Alcotest.test_case "to_eval/to_coeff parallel deterministic" `Quick
         test_domain_transform_parallel_deterministic;
       Alcotest.test_case "scratch arena shapes" `Quick test_scratch_shapes;
+      Alcotest.test_case "scratch cache tiles" `Quick test_scratch_tiles;
     ] )

@@ -1,0 +1,202 @@
+(* Differential tests for the fused keyswitch engine.
+
+   Keyswitch_fused streams the hybrid-keyswitch dataflow limb-major
+   with fused scaling, skipped round-trip transforms, and lazy
+   cross-digit accumulation — every one of those rewrites claims
+   BITWISE equality with the plain formulation, so these tests pin:
+
+     - fused keyswitch = Keyswitch.keyswitch (the oracle) across every
+       level prefix of the modulus chain and across dnum = 1..4 digit
+       layouts (partial last digits included);
+     - fused hoisted rotation = the retained reference hoisting path
+       (extend_digit + automorphism + canonical inner product +
+       Mod_updown.mod_down), bitwise;
+     - jobs=1 vs jobs=4 bit-identity for both;
+     - rotate_sum (one mod-down for the whole batch) decrypts to the
+       sum of individual rotations within CKKS noise. *)
+
+open Cinnamon_ckks
+open Cinnamon_rns
+module Rng = Cinnamon_util.Rng
+module Pool = Cinnamon_pool.Pool
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let env =
+  lazy
+    (let params = Lazy.force Params.small in
+     let rng = Rng.create ~seed:909 in
+     let sk = Keys.gen_secret_key params rng in
+     let pk = Keys.gen_public_key params sk rng in
+     let ek = Keys.gen_eval_key params sk ~rotations:[ 1; 2; 3; 5; 8; 13 ] ~conjugation:false rng in
+     (params, sk, pk, ek))
+
+let random_eval ?(seed = 11) params ~level =
+  let rng = Rng.create ~seed in
+  Rns_poly.random ~n:params.Params.n
+    ~basis:(Params.basis_at_level params level)
+    ~domain:Rns_poly.Eval rng
+
+let pair_equal (a0, a1) (b0, b1) = Rns_poly.equal a0 b0 && Rns_poly.equal a1 b1
+
+(* --- fused vs oracle, every level prefix --------------------------------- *)
+
+let test_fused_matches_oracle_all_levels () =
+  let params, _, _, ek = Lazy.force env in
+  let relin = ek.Keys.relin in
+  for level = 0 to params.Params.levels do
+    let c = random_eval ~seed:(100 + level) params ~level in
+    let oracle = Keyswitch.keyswitch params relin c in
+    let fused = Keyswitch_fused.keyswitch params relin c in
+    Alcotest.(check bool)
+      (Printf.sprintf "level %d bitwise" level)
+      true (pair_equal oracle fused)
+  done
+
+(* --- fused vs oracle across digit layouts -------------------------------- *)
+
+(* dnum from 1 (one digit, no interior split) to 4 (partial last digit:
+   levels+1 = 6 limbs over 4 digits of alpha = 2) at a small ring, plus
+   level prefixes that clip digits mid-range. *)
+let test_fused_matches_oracle_dnum_sweep () =
+  List.iter
+    (fun dnum ->
+      let params = Params.make ~log_n:6 ~levels:5 ~dnum ~slots:8 () in
+      let rng = Rng.create ~seed:(600 + dnum) in
+      let sk = Keys.gen_secret_key params rng in
+      let relin = Keys.gen_relin_key params sk rng in
+      List.iter
+        (fun level ->
+          let c = random_eval ~seed:(40 + dnum + level) params ~level in
+          let oracle = Keyswitch.keyswitch params relin c in
+          let fused = Keyswitch_fused.keyswitch params relin c in
+          Alcotest.(check bool)
+            (Printf.sprintf "dnum=%d level=%d bitwise" dnum level)
+            true (pair_equal oracle fused))
+        [ 0; 2; 3; 5 ])
+    [ 1; 2; 3; 4 ]
+
+(* --- jobs determinism ----------------------------------------------------- *)
+
+let test_fused_parallel_deterministic () =
+  let params, _, _, ek = Lazy.force env in
+  let relin = ek.Keys.relin in
+  let c = random_eval ~seed:77 params ~level:params.Params.levels in
+  let seq = Keyswitch_fused.keyswitch params relin c in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let par = Keyswitch_fused.keyswitch ~pool params relin c in
+          Alcotest.(check bool) (Printf.sprintf "jobs=%d bitwise" jobs) true (pair_equal seq par)))
+    [ 2; 4 ]
+
+(* --- hoisted rotations: fused vs reference, bitwise ----------------------- *)
+
+let encrypt_test_vector ?(seed = 21) (params : Params.t) pk =
+  let rng = Rng.create ~seed in
+  let xs = Array.init params.Params.slots (fun i -> sin (0.1 *. Float.of_int i)) in
+  (xs, Encrypt.encrypt_real params pk xs rng)
+
+let test_hoisted_fused_matches_reference () =
+  let params, _, pk, ek = Lazy.force env in
+  let _, ct = encrypt_test_vector params pk in
+  let pre = Hoisting.precompute params ct.Ciphertext.c1 in
+  let pre_ref = Hoisting.precompute_ref params ct.Ciphertext.c1 in
+  List.iter
+    (fun rot ->
+      let swk = Keys.find_rotation_key ek (Keys.canonical_rotation ~n:(Ciphertext.n ct) rot) in
+      let fused = Hoisting.rotate_hoisted params pre swk ct ~rot in
+      let refr = Hoisting.rotate_hoisted_ref params pre_ref swk ct ~rot in
+      Alcotest.(check bool)
+        (Printf.sprintf "rot %d bitwise" rot)
+        true
+        (Rns_poly.equal fused.Ciphertext.c0 refr.Ciphertext.c0
+        && Rns_poly.equal fused.Ciphertext.c1 refr.Ciphertext.c1))
+    [ 1; 3; 8; 13 ]
+
+let test_hoisted_parallel_deterministic () =
+  let params, _, pk, ek = Lazy.force env in
+  let _, ct = encrypt_test_vector ~seed:22 params pk in
+  let swk = Keys.find_rotation_key ek 5 in
+  let pre = Hoisting.precompute params ct.Ciphertext.c1 in
+  let seq = Hoisting.rotate_hoisted params pre swk ct ~rot:5 in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let pre_p = Hoisting.precompute ~pool params ct.Ciphertext.c1 in
+          let par = Hoisting.rotate_hoisted ~pool params pre_p swk ct ~rot:5 in
+          Alcotest.(check bool)
+            (Printf.sprintf "hoisted jobs=%d bitwise" jobs)
+            true
+            (Rns_poly.equal seq.Ciphertext.c0 par.Ciphertext.c0
+            && Rns_poly.equal seq.Ciphertext.c1 par.Ciphertext.c1)))
+    [ 2; 4 ]
+
+(* --- rotate_sum ----------------------------------------------------------- *)
+
+let test_rotate_sum_matches_individual_rotations () =
+  let params, sk, pk, ek = Lazy.force env in
+  let xs, ct = encrypt_test_vector ~seed:23 params pk in
+  let slots = params.Params.slots in
+  let rots = [ 0; 1; 3; 8 ] in
+  let summed = Hoisting.rotate_sum params ek ct rots in
+  let got = Encrypt.decrypt_real params sk summed in
+  let expect =
+    Array.init slots (fun i ->
+        List.fold_left (fun acc r -> acc +. xs.((i + r) mod slots)) 0.0 rots)
+  in
+  Alcotest.(check bool)
+    "rotate_sum ~ sum of rotations" true
+    (Cinnamon_util.Stats.max_abs_error ~expected:expect ~actual:got < 1e-3)
+
+(* The accumulate-then-mod-down path must itself be schedule-free. *)
+let test_rotate_sum_parallel_deterministic () =
+  let params, _, pk, ek = Lazy.force env in
+  let _, ct = encrypt_test_vector ~seed:24 params pk in
+  let rots = [ 1; 5; 13 ] in
+  let seq = Hoisting.rotate_sum params ek ct rots in
+  with_pool 4 (fun pool ->
+      let par = Hoisting.rotate_sum ~pool params ek ct rots in
+      Alcotest.(check bool)
+        "rotate_sum jobs=4 bitwise" true
+        (Rns_poly.equal seq.Ciphertext.c0 par.Ciphertext.c0
+        && Rns_poly.equal seq.Ciphertext.c1 par.Ciphertext.c1))
+
+(* --- end-to-end through Eval ---------------------------------------------- *)
+
+(* Eval.mul and Eval.rotate now ride the fused engine; a quick
+   decrypt-level sanity check guards the rewiring. *)
+let test_eval_rides_fused () =
+  let params, sk, pk, ek = Lazy.force env in
+  let ctx = Eval.context params ek in
+  let xs, ct = encrypt_test_vector ~seed:25 params pk in
+  let slots = params.Params.slots in
+  let sq = Encrypt.decrypt_real params sk (Eval.mul ctx ct ct) in
+  let expect_sq = Array.map (fun x -> x *. x) xs in
+  Alcotest.(check bool)
+    "mul (relin fused)" true
+    (Cinnamon_util.Stats.max_abs_error ~expected:expect_sq ~actual:sq < 1e-3);
+  let rot = Encrypt.decrypt_real params sk (Eval.rotate ctx ct 3) in
+  let expect_rot = Array.init slots (fun i -> xs.((i + 3) mod slots)) in
+  Alcotest.(check bool)
+    "rotate fused" true
+    (Cinnamon_util.Stats.max_abs_error ~expected:expect_rot ~actual:rot < 1e-3)
+
+let suite =
+  ( "keyswitch_fused",
+    [
+      Alcotest.test_case "fused = oracle at every level" `Quick test_fused_matches_oracle_all_levels;
+      Alcotest.test_case "fused = oracle, dnum 1..4" `Quick test_fused_matches_oracle_dnum_sweep;
+      Alcotest.test_case "fused parallel deterministic" `Quick test_fused_parallel_deterministic;
+      Alcotest.test_case "hoisted fused = reference (bitwise)" `Quick
+        test_hoisted_fused_matches_reference;
+      Alcotest.test_case "hoisted parallel deterministic" `Quick
+        test_hoisted_parallel_deterministic;
+      Alcotest.test_case "rotate_sum ~ individual rotations" `Quick
+        test_rotate_sum_matches_individual_rotations;
+      Alcotest.test_case "rotate_sum parallel deterministic" `Quick
+        test_rotate_sum_parallel_deterministic;
+      Alcotest.test_case "eval rides the fused engine" `Quick test_eval_rides_fused;
+    ] )

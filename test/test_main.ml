@@ -11,6 +11,7 @@ let () =
       Test_ir.suite;
       Test_compiler.suite;
       Test_keyswitch_alg.suite;
+      Test_keyswitch_fused.suite;
       Test_emulator.suite;
       Test_sim.suite;
       Test_arch.suite;
