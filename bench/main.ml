@@ -600,6 +600,73 @@ let energy () =
     [ (Runner.cinnamon_1, SC.cinnamon_1); (Runner.cinnamon_4, SC.cinnamon_4) ];
   T.print t
 
+(* ---------------------------------------------- graph front-end (lib/nn) *)
+
+type nn_entry = {
+  ne_workload : string;
+  ne_compile_ms : float; (* plan + lower wall time *)
+  ne_rot_planned : int;
+  ne_ks_planned : int;
+  ne_rot_naive : int option; (* all-column packing; None where not pow2-legal *)
+  ne_cycles : int; (* simulated on Cinnamon-4 *)
+}
+
+let nn_entries : nn_entry list ref = ref []
+
+(* The packing optimizer against naive column packing, per graph
+   workload: planned rotations/keyswitches, compile (plan+lower) time,
+   and simulated Cinnamon-4 cycles.  The bert-encoder advantage is a
+   hard gate — the section fails if the cost model stops beating the
+   naive baseline there. *)
+let nn () =
+  section_header "Graph front-end: packing optimizer vs naive column packing (Cinnamon-4)";
+  let open Cinnamon_nn in
+  let t =
+    T.create ~title:"Graph workloads"
+      ~header:[ "Workload"; "Compile"; "Rotations"; "Keyswitches"; "Naive rot"; "Cycles" ]
+      ~aligns:(T.Left :: List.init 5 (fun _ -> T.Right)) ()
+  in
+  List.iter
+    (fun (name, k) ->
+      let g = match k with Specs.K_graph g -> g | _ -> assert false in
+      let t0 = Unix.gettimeofday () in
+      let plan = Plan.make g in
+      let prog = Lower.lower ~plan g in
+      let compile_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+      ignore prog;
+      let naive =
+        match Plan.make ~policy:Plan.Naive_column g with
+        | p -> Some p.Plan.pl_rotations
+        | exception Invalid_argument _ -> None (* non-pow2 layer: column illegal *)
+      in
+      let res = Runner.simulate_kernel Runner.cinnamon_4 k in
+      (match (name, naive) with
+      | "bert-encoder", Some n when plan.Plan.pl_rotations >= n ->
+        failwith
+          (Printf.sprintf
+             "nn section: planner no longer beats naive column packing on %s (%d >= %d rotations)"
+             name plan.Plan.pl_rotations n)
+      | "bert-encoder", None -> failwith "nn section: bert-encoder lost its naive baseline"
+      | _ -> ());
+      T.add_row t
+        [ name; Printf.sprintf "%.1f ms" compile_ms;
+          string_of_int plan.Plan.pl_rotations;
+          string_of_int (Plan.keyswitches plan);
+          (match naive with Some n -> string_of_int n | None -> "-");
+          string_of_int res.Sim.cycles ];
+      nn_entries :=
+        {
+          ne_workload = name;
+          ne_compile_ms = compile_ms;
+          ne_rot_planned = plan.Plan.pl_rotations;
+          ne_ks_planned = Plan.keyswitches plan;
+          ne_rot_naive = naive;
+          ne_cycles = res.Sim.cycles;
+        }
+        :: !nn_entries)
+    Specs.graph_kernels;
+  T.print t
+
 (* --------------------------------------------------------- microbenchmarks *)
 
 (* Plain wall-clock microbenchmarks plus a Bechamel pass on the NTT.
@@ -918,6 +985,7 @@ let fleet () =
    as an artifact) to track the perf trajectory across commits. *)
 let write_bench_json file ~wall_seconds =
   if !sweep_state = None && !micro_entries = [] && !serve_results = [] && !fleet_result = None
+     && !nn_entries = []
   then ()
     (* no sweep, kernel microbench or serving section ran; nothing to record *)
   else begin
@@ -988,6 +1056,24 @@ let write_bench_json file ~wall_seconds =
                      if e.me_bytes = 0 then []
                      else [ ("gbps", Json.Float (gbps_of ~bytes:e.me_bytes e.me_us)) ]))
                  !micro_entries) );
+          (* graph front-end (nn section): packing-optimizer results *)
+          ( "nn_frontend",
+            Json.List
+              (List.rev_map
+                 (fun e ->
+                   Json.Obj
+                     ([
+                        ("workload", Json.Str e.ne_workload);
+                        ("compile_ms", Json.Float e.ne_compile_ms);
+                        ("rotations_planned", Json.Int e.ne_rot_planned);
+                        ("keyswitches_planned", Json.Int e.ne_ks_planned);
+                        ("cycles", Json.Int e.ne_cycles);
+                      ]
+                     @
+                     match e.ne_rot_naive with
+                     | Some n -> [ ("rotations_naive_column", Json.Int n) ]
+                     | None -> []))
+                 !nn_entries) );
           (* serving-layer SLOs (serve section), keyed by client model *)
           ( "serve_loadtest",
             Json.Obj
@@ -1021,7 +1107,7 @@ let sections =
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("fig16", fig16); ("sec43", sec43); ("sec74", sec74);
     ("ablation", ablation); ("characterize", characterize); ("energy", energy);
-    ("micro", micro); ("kernels", kernels); ("serve", serve); ("fleet", fleet);
+    ("micro", micro); ("kernels", kernels); ("nn", nn); ("serve", serve); ("fleet", fleet);
   ]
 
 let () =
@@ -1072,7 +1158,8 @@ let () =
   in
   let requested, trace, metrics = parse_args [] None false (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    if requested = [] && !quick then [ "table2"; "kernels"; "serve"; "fleet" ] else requested
+    if requested = [] && !quick then [ "table2"; "kernels"; "nn"; "serve"; "fleet" ]
+    else requested
   in
   if trace <> None || metrics then Tel.enable ();
   let to_run =

@@ -424,8 +424,16 @@ let lower (cfg : Compile_config.t) (p : P.t) : L.t * Keyswitch_pass.report =
         rescale st o (get a);
         Hashtbl.add st.values n.P.id o
       | P.PBootPlaceholder a ->
-        (* kernel boundary: composed at simulation time *)
-        Hashtbl.add st.values n.P.id (get a)
+        (* kernel boundary: the bootstrap itself is composed at
+           simulation time, and its output arrives as a fresh
+           ciphertext — materialize it like an input load, since the
+           refreshed value carries more limbs than the exhausted one *)
+        ignore (get a);
+        let o = out () in
+        per_limb st o (fun i chip ->
+            L.push st.b chip (L.Load o.limbs.(i));
+            ignore i);
+        Hashtbl.add st.values n.P.id o
       | P.POutput (a, _) ->
         let v = get a in
         per_limb st v (fun i chip -> L.push st.b chip (L.Store v.limbs.(i)));

@@ -80,8 +80,14 @@ let sum_slots a ~n =
    "multiple rotations of one ciphertext" (input-broadcast batch), the
    giant steps are "rotations followed by aggregation"
    (output-aggregation batch). *)
-let bsgs_matvec v ~diagonals ~name =
-  let g = max 1 (int_of_float (Float.round (sqrt (Float.of_int diagonals)))) in
+let bsgs_matvec ?g v ~diagonals ~name =
+  let g =
+    match g with
+    | Some g ->
+      if g < 1 || g > diagonals then invalid_arg "Dsl.bsgs_matvec: g out of range";
+      g
+    | None -> max 1 (int_of_float (Float.round (sqrt (Float.of_int diagonals))))
+  in
   let n_giant = Cinnamon_util.Bitops.cdiv diagonals g in
   let babies = Array.init g (fun j -> rotate v j) in
   let acc = ref None in

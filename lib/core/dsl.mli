@@ -76,8 +76,10 @@ val sum_slots : ct -> n:int -> ct
 
 (** BSGS diagonal matrix-vector product with [diagonals] diagonals
     named ["name.diagI"].  Baby rotations form an input-broadcast
-    batch; giant steps an output-aggregation batch. *)
-val bsgs_matvec : ct -> diagonals:int -> name:string -> ct
+    batch; giant steps an output-aggregation batch.  [g] overrides the
+    baby-step count (default: round(sqrt diagonals)) — the packing
+    optimizer (Cinnamon_nn.Plan) picks it from a cost model. *)
+val bsgs_matvec : ?g:int -> ct -> diagonals:int -> name:string -> ct
 
 (** Degree-[deg] Paterson–Stockmeyer polynomial with coefficients named
     ["name.cI"] — the structural shape of EvalMod / GELU / sigmoid. *)

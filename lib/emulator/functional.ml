@@ -108,6 +108,22 @@ let plaintext env name slots =
   | Some z -> z
   | None -> Array.make slots (Cplx.make 1.0 0.0) (* structural runs: default operand *)
 
+(* Additions tolerate ~2% relative scale drift (Eval.align); deep
+   circuits — the graph front-end's 30+-level models — accumulate more,
+   since ct-ct products double the drift per level.  When operands have
+   drifted past the slack, spend one level re-aligning the drifted one
+   exactly (Eval.adjust_scale, the EVA/Lattigo scale-management move);
+   below the slack this is the identity, so shallow programs execute
+   exactly as before. *)
+let align_drifted ctx a b =
+  let sa = Ciphertext.scale a and sb = Ciphertext.scale b in
+  if Float.abs (sa -. sb) <= 0.02 *. sa then (a, b)
+  else begin
+    let target_level = min (Ciphertext.level a) (Ciphertext.level b) - 1 in
+    if sa > sb then (Eval.adjust_scale ctx a ~target_level ~target_scale:sb, b)
+    else (a, Eval.adjust_scale ctx b ~target_level ~target_scale:sa)
+  end
+
 (* Execute a ct-IR program; returns the named outputs. *)
 let rec run env (prog : Ct_ir.t) : (string * Ciphertext.t) list =
   let ctx = Eval.context env.params env.keys.ek in
@@ -124,8 +140,12 @@ let rec run env (prog : Ct_ir.t) : (string * Ciphertext.t) list =
       let set c = Hashtbl.replace values n.Ct_ir.id c in
       match n.Ct_ir.op with
       | Ct_ir.Input name -> set (Hashtbl.find env.inputs name)
-      | Ct_ir.Add (a, b) -> set (Eval.add (v a) (v b))
-      | Ct_ir.Sub (a, b) -> set (Eval.sub (v a) (v b))
+      | Ct_ir.Add (a, b) ->
+        let a, b = align_drifted ctx (v a) (v b) in
+        set (Eval.add a b)
+      | Ct_ir.Sub (a, b) ->
+        let a, b = align_drifted ctx (v a) (v b) in
+        set (Eval.sub a b)
       | Ct_ir.Mul (a, b) ->
         set (emulate_mul env ctx ~algorithm:(algorithm_for n.Ct_ir.id) (v a) (v b))
       | Ct_ir.Square a ->

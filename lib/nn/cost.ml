@@ -1,0 +1,114 @@
+(* Packing cost model (see cost.mli).
+
+   Units are keyswitch-equivalents: one full rotation keyswitch = 1.0.
+   The default ratios come from the PR-8 kernel microbenches
+   (hoisted_rotate4 vs rotate4_unhoisted gives the hoisted marginal
+   cost, pointwise_mul_into vs keyswitch the plaintext-mult cost);
+   [calibrate] re-derives them from a BENCH_cinnamon.json on disk so
+   the model tracks the machine it runs on. *)
+
+type weights = {
+  w_rotate : float;
+  w_rotate_hoisted : float;
+  w_keyswitch : float;
+  w_pmult : float;
+  w_add : float;
+  w_level : float;
+}
+
+let default =
+  {
+    w_rotate = 1.0;
+    w_rotate_hoisted = 0.35;
+    w_keyswitch = 1.0;
+    w_pmult = 0.08;
+    w_add = 0.01;
+    w_level = 0.05;
+  }
+
+(* --- calibration ------------------------------------------------------- *)
+
+module Json = Cinnamon_util.Json
+
+(* Mean us_per_op over all (n, limbs) points of one microbench kernel:
+   a scale-free way to form ratios from whatever sizes the bench ran. *)
+let mean_us entries kernel =
+  let vals =
+    List.filter_map
+      (fun e ->
+        match (Json.member "kernel" e, Json.member "us_per_op" e) with
+        | Some k, Some v when Json.to_str k = Some kernel -> Json.to_float v
+        | _ -> None)
+      entries
+  in
+  match vals with
+  | [] -> None
+  | _ -> Some (List.fold_left ( +. ) 0.0 vals /. Float.of_int (List.length vals))
+
+let calibrate ?(path = "BENCH_cinnamon.json") () =
+  let parsed =
+    try
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match Json.of_string s with Ok j -> Some j | Error _ -> None
+    with Sys_error _ | End_of_file -> None
+  in
+  match Option.bind parsed (fun j -> Option.bind (Json.member "kernel_microbench" j) Json.to_list) with
+  | None -> default
+  | Some entries ->
+    let ks = mean_us entries "keyswitch" in
+    let ratio num den fallback =
+      match (num, den) with
+      | Some n, Some d when d > 0.0 && n > 0.0 -> n /. d
+      | _ -> fallback
+    in
+    {
+      default with
+      (* hoisted_rotate4/rotate4_unhoisted both time a 4-batch, so the
+         batch-time ratio is the per-rotation ratio *)
+      w_rotate_hoisted =
+        ratio (mean_us entries "hoisted_rotate4") (mean_us entries "rotate4_unhoisted")
+          default.w_rotate_hoisted;
+      w_pmult = ratio (mean_us entries "pointwise_mul_into") ks default.w_pmult;
+    }
+
+(* --- per-packing costs -------------------------------------------------- *)
+
+type split = { n1 : int; n2 : int }
+
+let cdiv = Cinnamon_util.Bitops.cdiv
+
+(* A hoisted batch of k rotations: the first pays the full keyswitch
+   (including the decomposition every target then shares), each
+   further target only the key-MAC + mod-down share. *)
+let hoisted_batch w k =
+  if k <= 0 then 0.0 else w.w_rotate +. (Float.of_int (k - 1) *. w.w_rotate_hoisted)
+
+let bsgs_units w ~diagonals ~n1 =
+  if n1 < 1 || n1 > diagonals then invalid_arg "Cost.bsgs_units: n1 out of range";
+  let n2 = cdiv diagonals n1 in
+  hoisted_batch w (n1 - 1) (* babies: rotate v by 1..n1-1, one decomposition *)
+  +. (Float.of_int (n2 - 1) *. w.w_rotate) (* giants: distinct group sums, full rate *)
+  +. (Float.of_int diagonals *. w.w_pmult) (* raw diagonal mults *)
+  +. (Float.of_int (diagonals - 1) *. w.w_add)
+  +. w.w_level
+
+let column_units w ~rows ~cols =
+  let log2c = Cinnamon_util.Bitops.ceil_log2 cols in
+  Float.of_int (rows * log2c) *. w.w_rotate (* per-row rotate-and-sum, unhoistable *)
+  +. (Float.of_int (2 * rows) *. w.w_pmult) (* row mult + slot mask per row *)
+  +. (Float.of_int (rows - 1) *. w.w_add)
+  +. (2.0 *. w.w_level)
+
+let best_split w ~diagonals =
+  let best = ref 1 and best_u = ref (bsgs_units w ~diagonals ~n1:1) in
+  for n1 = 2 to diagonals do
+    let u = bsgs_units w ~diagonals ~n1 in
+    if u < !best_u then begin
+      best := n1;
+      best_u := u
+    end
+  done;
+  { n1 = !best; n2 = cdiv diagonals !best }

@@ -1,0 +1,48 @@
+(** Packing cost model: relative costs of the FHE operations a lowered
+    layer spends, in keyswitch-equivalent units (one full rotation
+    keyswitch = 1.0).
+
+    The asymmetry that drives the BSGS split choice: the baby rotations
+    of a diagonal matvec all rotate {e one} ciphertext, so they share a
+    single decomposition (PR-8 hoisting, [Hoisting.rotate_many]) and
+    each extra baby costs only the key-MAC + mod-down share, while each
+    giant step rotates a {e different} group sum and pays a full
+    keyswitch.  The optimal split therefore leans n1 > sqrt(D).
+
+    Weights default to ratios measured by the kernel microbench suite
+    and can be re-calibrated from a [BENCH_cinnamon.json] on disk. *)
+
+type weights = {
+  w_rotate : float;  (** full rotation keyswitch (= 1.0 by definition) *)
+  w_rotate_hoisted : float;
+      (** marginal rotation inside a hoisted batch (shared decomposition) *)
+  w_keyswitch : float;  (** relinearization keyswitch (ct-ct mul/square) *)
+  w_pmult : float;  (** plaintext multiplication (raw or rescaling) *)
+  w_add : float;  (** ciphertext addition *)
+  w_level : float;  (** pressure per multiplicative level consumed *)
+}
+
+val default : weights
+
+(** Re-derive the hoisted/full/pmult ratios from the
+    [kernel_microbench] section of a bench artifact (falls back to
+    {!default} per field when the file or an entry is missing). *)
+val calibrate : ?path:string -> unit -> weights
+
+type split = { n1 : int; n2 : int  (** n1 babies x n2 giants, n1*n2 >= diagonals *) }
+
+(** Cost of a hoisted batch of [k] rotations of one ciphertext: the
+    first pays a full keyswitch, the rest the marginal hoisted rate. *)
+val hoisted_batch : weights -> int -> float
+
+(** Cost of a diagonal-packed BSGS matvec with [diagonals] extended
+    diagonals split as [n1] babies. *)
+val bsgs_units : weights -> diagonals:int -> n1:int -> float
+
+(** Cost of the naive column packing of an [rows x cols] matmul: one
+    masked rotate-and-sum inner product per output row (no hoisting,
+    two levels). *)
+val column_units : weights -> rows:int -> cols:int -> float
+
+(** Argmin of {!bsgs_units} over n1 (ties to the smaller n1). *)
+val best_split : weights -> diagonals:int -> split

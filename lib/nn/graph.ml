@@ -1,0 +1,163 @@
+(* Typed dataflow graph IR (see graph.mli for the packing discipline).
+
+   Shape inference happens in the builder: every constructor checks its
+   operands' replication periods, so a finished graph is
+   well-dimensioned by construction.  Nodes are stored in emission
+   order, which is a topological order (constructors can only reference
+   existing ids) — the lowering and the reference evaluator both walk
+   the array front to back. *)
+
+type node_id = int
+
+type op =
+  | Input of { name : string }
+  | Matmul of { src : node_id; w : string; rows : int; cols : int }
+  | Conv2d of { src : node_id; w : string; height : int; width : int; fold : int }
+  | Act of { src : node_id; label : string; coeffs : float array }
+  | Layernorm of { src : node_id; gamma : string; eps : float; iters : int }
+  | Softmax of { src : node_id; label : string; exp_coeffs : float array; iters : int }
+  | Mul of node_id * node_id
+  | Add of node_id * node_id
+  | Reshape of { src : node_id; dim : int }
+  | Output of { src : node_id; name : string }
+
+type node = { id : node_id; op : op; dim : int }
+type t = { name : string; nodes : node array }
+
+type builder = { gname : string; mutable rev : node list; mutable next : node_id }
+
+let create ~name = { gname = name; rev = []; next = 0 }
+
+let push b op dim =
+  let id = b.next in
+  b.next <- id + 1;
+  b.rev <- { id; op; dim } :: b.rev;
+  id
+
+let dim_of b id =
+  match List.find_opt (fun n -> n.id = id) b.rev with
+  | Some n -> n.dim
+  | None -> invalid_arg "Graph: unknown node id"
+
+let is_pow2 = Cinnamon_util.Bitops.is_pow2
+
+let check_dim what d =
+  if d < 1 then invalid_arg (Printf.sprintf "Graph.%s: dimension must be >= 1" what)
+
+let input b ~name ~dim =
+  check_dim "input" dim;
+  push b (Input { name }) dim
+
+let matmul b ~w ~rows ~cols src =
+  check_dim "matmul" rows;
+  check_dim "matmul" cols;
+  if dim_of b src <> cols then
+    invalid_arg
+      (Printf.sprintf "Graph.matmul %s: input period %d, want cols = %d" w (dim_of b src) cols);
+  push b (Matmul { src; w; rows; cols }) rows
+
+let conv2d b ~w ~height ~width ?(fold = 1) src =
+  let hw = height * width in
+  check_dim "conv2d" hw;
+  if fold < 1 || not (is_pow2 fold) then
+    invalid_arg "Graph.conv2d: fold must be a power of two >= 1";
+  if dim_of b src <> hw then
+    invalid_arg
+      (Printf.sprintf "Graph.conv2d %s: input period %d, want %dx%d = %d" w (dim_of b src) height
+         width hw);
+  push b (Conv2d { src; w; height; width; fold }) hw
+
+let act b ~label ~coeffs src =
+  let deg = Array.length coeffs - 1 in
+  if deg < 1 || deg > 3 then invalid_arg "Graph.act: degree must be 1..3 (power basis)";
+  push b (Act { src; label; coeffs }) (dim_of b src)
+
+let layernorm b ~gamma ?(eps = 0.5) ?(iters = 2) src =
+  let d = dim_of b src in
+  if not (is_pow2 d) then invalid_arg "Graph.layernorm: period must be a power of two";
+  if iters < 1 then invalid_arg "Graph.layernorm: iters must be >= 1";
+  push b (Layernorm { src; gamma; eps; iters }) d
+
+(* Default exp approximation: 1 + x + x^2/2 around 0 — the functional
+   regime keeps scores small, and the reference evaluator mirrors the
+   same polynomial, so the choice only affects value ranges. *)
+let default_exp = [| 1.0; 1.0; 0.5 |]
+
+let softmax b ~label ?(exp_coeffs = default_exp) ?(iters = 2) src =
+  let d = dim_of b src in
+  if not (is_pow2 d) then invalid_arg "Graph.softmax: period must be a power of two";
+  let deg = Array.length exp_coeffs - 1 in
+  if deg < 1 || deg > 3 then invalid_arg "Graph.softmax: exp degree must be 1..3";
+  if iters < 1 then invalid_arg "Graph.softmax: iters must be >= 1";
+  push b (Softmax { src; label; exp_coeffs; iters }) d
+
+let binop b what mk a c =
+  let da = dim_of b a and dc = dim_of b c in
+  if da <> dc then
+    invalid_arg (Printf.sprintf "Graph.%s: period mismatch (%d vs %d)" what da dc);
+  push b (mk a c) da
+
+let mul b a c = binop b "mul" (fun a c -> Mul (a, c)) a c
+let add b a c = binop b "add" (fun a c -> Add (a, c)) a c
+
+let reshape b ~dim src =
+  let d = dim_of b src in
+  if dim mod d <> 0 then
+    invalid_arg (Printf.sprintf "Graph.reshape: %d does not widen period %d" dim d);
+  push b (Reshape { src; dim }) dim
+
+let output b ~name src = ignore (push b (Output { src; name }) (dim_of b src))
+
+let finish b =
+  let nodes = Array.of_list (List.rev b.rev) in
+  let ins = ref [] and outs = ref [] and weights = ref [] in
+  let seen what lst n =
+    if List.mem n !lst then invalid_arg (Printf.sprintf "Graph: duplicate %s name %S" what n);
+    lst := n :: !lst
+  in
+  Array.iter
+    (fun n ->
+      match n.op with
+      | Input { name } -> seen "input" ins name
+      | Output { name; _ } -> seen "output" outs name
+      | Matmul { w; _ } | Conv2d { w; _ } -> seen "weight" weights w
+      | Layernorm { gamma; _ } -> seen "weight" weights gamma
+      | _ -> ())
+    nodes;
+  if !ins = [] then invalid_arg "Graph.finish: no inputs";
+  if !outs = [] then invalid_arg "Graph.finish: no outputs";
+  { name = b.gname; nodes }
+
+let node g id =
+  if id < 0 || id >= Array.length g.nodes then invalid_arg "Graph.node: bad id";
+  g.nodes.(id)
+
+let dim g id = (node g id).dim
+
+let inputs g =
+  Array.to_list g.nodes
+  |> List.filter_map (fun n -> match n.op with Input { name } -> Some (name, n.dim) | _ -> None)
+
+let outputs g =
+  Array.to_list g.nodes
+  |> List.filter_map (fun n ->
+         match n.op with Output { src; name } -> Some (name, src) | _ -> None)
+
+let pp_op fmt = function
+  | Input { name } -> Format.fprintf fmt "input %S" name
+  | Matmul { src; w; rows; cols } -> Format.fprintf fmt "matmul %s [%dx%d] %%%d" w rows cols src
+  | Conv2d { src; w; height; width; fold } ->
+    Format.fprintf fmt "conv2d %s [%dx%d fold %d] %%%d" w height width fold src
+  | Act { src; label; coeffs } ->
+    Format.fprintf fmt "act %s deg %d %%%d" label (Array.length coeffs - 1) src
+  | Layernorm { src; gamma; iters; _ } ->
+    Format.fprintf fmt "layernorm %s iters %d %%%d" gamma iters src
+  | Softmax { src; label; iters; _ } -> Format.fprintf fmt "softmax %s iters %d %%%d" label iters src
+  | Mul (a, b) -> Format.fprintf fmt "mul %%%d %%%d" a b
+  | Add (a, b) -> Format.fprintf fmt "add %%%d %%%d" a b
+  | Reshape { src; dim } -> Format.fprintf fmt "reshape %d %%%d" dim src
+  | Output { src; name } -> Format.fprintf fmt "output %S %%%d" name src
+
+let pp fmt g =
+  Format.fprintf fmt "graph %s (%d nodes)@." g.name (Array.length g.nodes);
+  Array.iter (fun n -> Format.fprintf fmt "  %%%d : %d = %a@." n.id n.dim pp_op n.op) g.nodes

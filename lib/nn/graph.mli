@@ -1,0 +1,85 @@
+(** Typed dataflow graph IR for DNN workloads (ROADMAP item 3, after
+    Orion arXiv:2311.03470): a small layer-level IR that the packing
+    optimizer ({!Plan}) and the lowering pass ({!Lower}) compile to
+    {!Cinnamon_ir.Ct_ir} programs automatically.
+
+    {2 Packing discipline}
+
+    Every value is a slot vector in {e replication packing}: a logical
+    vector of dimension [d] occupies all [slots] slots replicated with
+    period [d] (so [d] must divide the slot count when the graph is
+    run functionally).  An [r x c] matmul consumes a period-[c] vector
+    and produces a period-[r] vector — layers compose without explicit
+    repacking, and a {!reshape} node widens the period for free (a
+    period-[d] vector is also a period-[kd] vector).
+
+    Graphs are pure data (no closures): they can be put in
+    [Specs.kernel] values and marshalled by the result cache. *)
+
+type node_id = int
+
+type op =
+  | Input of { name : string }
+  | Matmul of { src : node_id; w : string; rows : int; cols : int }
+      (** dense [rows x cols] weight matrix named [w] *)
+  | Conv2d of { src : node_id; w : string; height : int; width : int; fold : int }
+      (** 3x3 convolution over a [height x width] plane packed row-major
+          (Lee et al.'21), with a rotate-and-sum fold over [fold]
+          channel partials; taps are named [w.w0] .. [w.w8] *)
+  | Act of { src : node_id; label : string; coeffs : float array }
+      (** pointwise polynomial activation, power basis
+          [c0 + c1 x + ... + cd x^d], degree <= 3 *)
+  | Layernorm of { src : node_id; gamma : string; eps : float; iters : int }
+      (** mean/variance over the node's period, Newton-Raphson inverse
+          square root with [iters] iterations, scale by plaintext
+          [gamma] *)
+  | Softmax of { src : node_id; label : string; exp_coeffs : float array; iters : int }
+      (** exp polynomial, sum over the period, Newton-Raphson
+          reciprocal of the mean — the circuit form used by the hand
+          BERT kernel (see DESIGN.md for its exact semantics) *)
+  | Mul of node_id * node_id  (** pointwise ciphertext product *)
+  | Add of node_id * node_id
+  | Reshape of { src : node_id; dim : int }
+      (** widen the replication period to [dim] (free: a period-[d]
+          vector already has any period [d | dim]) *)
+  | Output of { src : node_id; name : string }
+
+type node = { id : node_id; op : op; dim : int  (** replication period *) }
+type t = { name : string; nodes : node array }
+
+(** {1 Builder with shape inference}
+
+    Constructors check operand dimensions eagerly and raise
+    [Invalid_argument] on mismatch (sum-based nodes additionally
+    require a power-of-two period for the rotate-and-sum tree). *)
+
+type builder
+
+val create : name:string -> builder
+val input : builder -> name:string -> dim:int -> node_id
+val matmul : builder -> w:string -> rows:int -> cols:int -> node_id -> node_id
+val conv2d : builder -> w:string -> height:int -> width:int -> ?fold:int -> node_id -> node_id
+val act : builder -> label:string -> coeffs:float array -> node_id -> node_id
+val layernorm : builder -> gamma:string -> ?eps:float -> ?iters:int -> node_id -> node_id
+val softmax : builder -> label:string -> ?exp_coeffs:float array -> ?iters:int -> node_id -> node_id
+val mul : builder -> node_id -> node_id -> node_id
+val add : builder -> node_id -> node_id -> node_id
+val reshape : builder -> dim:int -> node_id -> node_id
+val output : builder -> name:string -> node_id -> unit
+
+(** Finish the graph; checks it has at least one input and one output
+    and that weight/input/output names are unique. *)
+val finish : builder -> t
+
+(** {1 Accessors} *)
+
+val node : t -> node_id -> node
+val dim : t -> node_id -> int
+
+(** Input [(name, dim)] pairs, in declaration order. *)
+val inputs : t -> (string * int) list
+
+(** Output [(name, src)] pairs, in declaration order. *)
+val outputs : t -> (string * node_id) list
+
+val pp : Format.formatter -> t -> unit

@@ -103,11 +103,18 @@ let bootstrap_program ?(shape = boot_shape_13) ?(parallel = 1) ?(streams = 1) ?(
 (* --- linear algebra kernels ---------------------------------------------- *)
 
 (* One BSGS matrix-vector product (used standalone for Fig. 13-style
-   keyswitch studies and inside the model layers). *)
+   keyswitch studies and inside the model layers).  Routed through the
+   graph front-end's lowering with the legacy sqrt split, so there is
+   one matvec-IR construction in the tree; the Sqrt_split policy keeps
+   the emitted program — and Table 2's cycle counts — bit-identical to
+   the historical hand-rolled version (pinned by test). *)
 let matvec_program ~diagonals () =
-  Dsl.program (fun p ->
-      let v = Dsl.input p "v" in
-      Dsl.output (Dsl.bsgs_matvec v ~diagonals ~name:"m") "out")
+  let open Cinnamon_nn in
+  let g = Zoo.matvec ~dim:diagonals () in
+  (* boot_level 13 (the Dsl default) rather than Lower's graph default:
+     a matvec never bootstraps, and this keeps the emitted program
+     byte-identical to the historical hand-rolled kernel *)
+  Lower.lower ~boot_level:13 ~plan:(Plan.make ~policy:Plan.Sqrt_split g) g
 
 (* --- model layer kernels --------------------------------------------------- *)
 

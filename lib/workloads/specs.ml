@@ -27,6 +27,9 @@ type kernel =
   | K_attention
   | K_gelu
   | K_layernorm
+  | K_graph of Cinnamon_nn.Graph.t
+      (* a graph-front-end workload, lowered through the packing
+         optimizer (lib/nn); the graph's name is the kernel name *)
 
 type segment = {
   kernel : kernel;
@@ -144,6 +147,24 @@ let bert =
 
 let all = [ bootstrap_13; resnet20; helr; bert ]
 
+(* --- graph-front-end workloads (lib/nn): lowered through the packing
+   optimizer instead of hand-written IR.  Registered both as kernels
+   (CLI compile/simulate, --verify) and as single-segment benchmarks
+   (bench sweeps, serving and fleet load classes). --- *)
+
+let graph_kernels =
+  [
+    ("mlp3", K_graph (Cinnamon_nn.Zoo.mlp3 ()));
+    ("resnet-block", K_graph (Cinnamon_nn.Zoo.resnet_block ()));
+    ("bert-encoder", K_graph (Cinnamon_nn.Zoo.bert_encoder ()));
+  ]
+
+let graph_benchmarks =
+  List.map
+    (fun (name, k) ->
+      (name, { bench_name = name; segments = [ seg k ]; paper_times = [] }))
+    graph_kernels
+
 (* Build the ct-IR program of one kernel instance. *)
 let kernel_program = function
   | K_bootstrap shape -> Kernels.bootstrap_program ~shape ()
@@ -172,6 +193,7 @@ let kernel_program = function
     Cinnamon.Dsl.program (fun p ->
         let v = Cinnamon.Dsl.input p "x" in
         Cinnamon.Dsl.output (Kernels.layernorm_block p ~tag:"ln" v) "out")
+  | K_graph g -> Cinnamon_nn.Lower.lower g
 
 let kernel_name = function
   | K_bootstrap s -> if s.Kernels.evalmod_degree > 63 then "bootstrap-21" else "bootstrap-13"
@@ -182,6 +204,7 @@ let kernel_name = function
   | K_attention -> "attention"
   | K_gelu -> "gelu"
   | K_layernorm -> "layernorm"
+  | K_graph g -> g.Cinnamon_nn.Graph.name
 
 (* ------------------------------------------------------------ registries
 
@@ -195,7 +218,7 @@ module Registry = Cinnamon_util.Registry
 
 let kernel_registry =
   Registry.make ~what:"kernel" ~extra:[ "matvec-<n>" ]
-    [
+    ([
       ("bootstrap-13", K_bootstrap Kernels.boot_shape_13);
       ("bootstrap-21", K_bootstrap Kernels.boot_shape_21);
       ("attention", K_attention);
@@ -206,6 +229,7 @@ let kernel_registry =
       ("helr-iter", K_helr_iter);
       ("matvec-10", K_matvec 10);
     ]
+    @ graph_kernels)
 
 let kernels = Registry.entries kernel_registry
 
@@ -220,13 +244,14 @@ let find_kernel name =
 
 let benchmark_registry =
   Registry.make ~what:"benchmark"
-    [
+    ([
       ("bootstrap", bootstrap_13);
       ("bootstrap-21", bootstrap_21);
       ("resnet", resnet20);
       ("helr", helr);
       ("bert", bert);
     ]
+    @ graph_benchmarks)
 
 let benchmarks = Registry.entries benchmark_registry
 let find_benchmark name = Registry.find benchmark_registry name

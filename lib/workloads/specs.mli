@@ -13,6 +13,9 @@ type kernel =
   | K_attention
   | K_gelu
   | K_layernorm
+  | K_graph of Cinnamon_nn.Graph.t
+      (** a graph-front-end workload (lib/nn), lowered through the
+          packing optimizer; the graph's name is the kernel name *)
 
 type segment = { kernel : kernel; instances : int; repeats : int }
 
@@ -31,6 +34,13 @@ val bert : benchmark
 
 (** Table 2's four benchmarks. *)
 val all : benchmark list
+
+(** The graph-front-end workloads (MLP-3, ResNet basic block, BERT
+    encoder layer) as kernels, and as single-segment benchmarks; both
+    are also folded into the registries below. *)
+val graph_kernels : (string * kernel) list
+
+val graph_benchmarks : (string * benchmark) list
 
 (** Build one kernel instance as ciphertext IR. *)
 val kernel_program : kernel -> Cinnamon_ir.Ct_ir.t

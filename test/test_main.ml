@@ -16,6 +16,7 @@ let () =
       Test_sim.suite;
       Test_arch.suite;
       Test_workloads.suite;
+      Test_nn.suite;
       Test_exec.suite;
       Test_serve.suite;
       Test_fleet.suite;
