@@ -890,7 +890,7 @@ let kernels () =
   let hrng = Cinnamon_util.Rng.create ~seed:9 in
   let hsk = Keys.gen_secret_key hparams hrng in
   let rots = [ 1; 2; 3; 4 ] in
-  let hek = Keys.gen_eval_key hparams hsk ~rotations:rots ~conjugation:false hrng in
+  let hek = Keys.provision hparams hsk ~rotations:rots ~conjugation:false hrng in
   let hn = hparams.Params.n in
   let hct =
     Ciphertext.make

@@ -441,6 +441,7 @@ let do_serve_sim quick mode requests overload clients think seed deadline worker
    routing policy (lib/fleet) and merge the scaling-efficiency curves
    into the perf artifact. *)
 module Fleet_bench = Cinnamon_fleet.Fleet_bench
+module Tenant_bench = Cinnamon_fleet.Tenant_bench
 module Router = Cinnamon_fleet.Router
 
 let fleet_quick_arg =
@@ -497,11 +498,60 @@ let key_load_arg =
 let no_autoscale_arg =
   Arg.(value & flag & info [ "no-autoscale" ] ~doc:"Skip the autoscaler demo runs.")
 
+let tenants_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 64) (some int) None
+    & info [ "tenants" ] ~docv:"N"
+        ~doc:"Run the multi-tenant serving benchmark instead of the size sweep: $(docv) \
+              tenants (default 64) behind a zipf popularity curve, per-tenant key epochs \
+              rotating mid-trace, residency-aware routing and a transciphering ingress. \
+              Merges the $(b,tenant_serving) section into the perf artifact.")
+
+let tenant_skew_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tenant-skew" ] ~docv:"S"
+        ~doc:"Zipf exponent of the tenant popularity curve (default: preset; 0 = uniform).")
+
+let do_serve_tenants quick tenants nodes requests overload seed deadline key_load skew jobs
+    bench_json =
+  let base = if quick then Tenant_bench.quick else Tenant_bench.full in
+  let opt v dflt = Option.value v ~default:dflt in
+  let cfg =
+    {
+      base with
+      Tenant_bench.tb_tenants = tenants;
+      tb_nodes =
+        (match nodes with
+        | Some ns -> List.fold_left max 1 ns
+        | None -> base.Tenant_bench.tb_nodes);
+      tb_requests = opt requests base.Tenant_bench.tb_requests;
+      tb_seed = opt seed base.Tenant_bench.tb_seed;
+      tb_overload = opt overload base.Tenant_bench.tb_overload;
+      tb_deadline_factor = opt deadline base.Tenant_bench.tb_deadline_factor;
+      tb_key_load_factor = opt key_load base.Tenant_bench.tb_key_load_factor;
+      tb_tenant_skew = opt skew base.Tenant_bench.tb_tenant_skew;
+      tb_jobs = resolve_jobs jobs;
+    }
+  in
+  let r = Tenant_bench.run cfg in
+  Tenant_bench.print_result r;
+  Tenant_bench.write_section ~file:bench_json r;
+  Printf.printf "\ntenant_serving: merged section into %s\n" bench_json;
+  0
+
 let do_serve_fleet quick nodes policy trace_shape requests overload seed deadline key_slots
-    key_load no_autoscale jobs cache_dir bench_json trace metrics =
+    key_load no_autoscale tenants tenant_skew jobs cache_dir bench_json trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   Cinnamon_exec.Result_cache.set_dir cache_dir;
   guarded @@ fun () ->
+  match tenants with
+  | Some n ->
+    do_serve_tenants quick n nodes requests overload seed deadline key_load tenant_skew jobs
+      bench_json
+  | None ->
   let base = if quick then Fleet_bench.quick else Fleet_bench.full in
   let opt v dflt = Option.value v ~default:dflt in
   let policies =
@@ -595,7 +645,8 @@ let serve_fleet_cmd =
     Term.(
       const do_serve_fleet $ fleet_quick_arg $ nodes_arg $ policy_arg $ trace_shape_arg
       $ requests_arg $ fleet_overload_arg $ seed_arg $ deadline_arg $ key_slots_arg $ key_load_arg
-      $ no_autoscale_arg $ jobs_arg $ cache_dir_arg $ bench_json_arg $ trace_arg $ metrics_arg)
+      $ no_autoscale_arg $ tenants_arg $ tenant_skew_arg $ jobs_arg $ cache_dir_arg
+      $ bench_json_arg $ trace_arg $ metrics_arg)
 
 let arch_cmd =
   Cmd.v (Cmd.info "arch" ~doc:"Print area and yield models") Term.(const do_arch $ const ())

@@ -25,7 +25,7 @@ let () =
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
   let rots = Bootstrap.required_rotations params ~slots:cfg.Bootstrap.slots in
-  let ek = Keys.gen_eval_key params sk ~rotations:rots ~conjugation:true rng in
+  let ek = Keys.provision params sk ~rotations:rots ~conjugation:true rng in
   let ctx = Eval.context params ek in
   Printf.printf "keys ready (%.1fs); rotation keys: %s\n%!"
     (Unix.gettimeofday () -. t0)

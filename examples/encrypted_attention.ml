@@ -40,7 +40,7 @@ let () =
   let pk = Keys.gen_public_key params sk rng in
   let row_sum_rots = List.init (Cinnamon_util.Bitops.log2_exact d) (fun t -> 1 lsl t) in
   let rots = Matmul.required_rotations ~d @ row_sum_rots in
-  let ek = Keys.gen_eval_key params sk ~rotations:rots ~conjugation:false rng in
+  let ek = Keys.provision params sk ~rotations:rots ~conjugation:false rng in
   let ctx = Eval.context params ek in
 
   (* random Q, K, V with small entries (softmax inputs stay in range) *)

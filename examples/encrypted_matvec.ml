@@ -21,7 +21,7 @@ let () =
   let pk = Keys.gen_public_key params sk rng in
   let _, bsgs_rots = Linear_algebra.bsgs_rotations ~n:slots in
   let ek =
-    Keys.gen_eval_key params sk
+    Keys.provision params sk
       ~rotations:(List.init slots (fun i -> i) @ bsgs_rots)
       ~conjugation:false rng
   in

@@ -38,6 +38,8 @@ let () =
         tr_seed = 7;
         tr_deadline_factor = 6.0;
         tr_compile = compile;
+        tr_tenants = 0;
+        tr_tenant_skew = 1.0;
       }
       ~classes
   in
@@ -57,6 +59,7 @@ let () =
       fc_key_load_s = 0.5 *. mean_service;
       fc_autoscale = Some { Fleet.Autoscaler.default with Fleet.Autoscaler.as_max_nodes = 6 };
       fc_collect_responses = false;
+      fc_tenancy = None;
     }
   in
   let r = Fleet.Fleet.run ~pool cfg ~make_node ~arrivals () in

@@ -43,7 +43,7 @@ let () =
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
   let ek =
-    Keys.gen_eval_key params sk ~rotations:(Linear_algebra.sum_slots_rotations ~n:batch)
+    Keys.provision params sk ~rotations:(Linear_algebra.sum_slots_rotations ~n:batch)
       ~conjugation:false rng
   in
   let ctx = Eval.context params ek in

@@ -14,7 +14,7 @@ let () =
   let rng = Rng.create ~seed:2024 in
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
-  let ek = Keys.gen_eval_key params sk ~rotations:[ 1 ] ~conjugation:false rng in
+  let ek = Keys.provision params sk ~rotations:[ 1 ] ~conjugation:false rng in
   let ctx = Eval.context params ek in
 
   (* 2. Encrypt. *)

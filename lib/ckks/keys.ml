@@ -191,7 +191,14 @@ let gen_conjugation_key params sk rng =
   let s_conj = Rns_poly.automorphism sk.sk_qp ~k in
   gen_switch_key params sk ~s_from:s_conj rng
 
-let gen_eval_key params sk ~rotations ~conjugation rng =
+(* The smart constructor for eval-key sets: generation order is fixed
+   (rotations in canonical order, then relin, then conjugation), so a
+   given (params, rotations, rng seed) always yields the same keys.
+   This is the ONLY way to build an [eval_key] — the record is private
+   in the interface, so callers can read the fields but cannot assemble
+   a set by hand (no half-provisioned key sets, no reaching into the
+   rotations Memo to install keys behind the set's back). *)
+let provision params ?(conjugation = false) ~rotations sk rng =
   let table = Cinnamon_util.Memo.create ~size:16 () in
   List.iter
     (fun r -> Cinnamon_util.Memo.set table r (gen_rotation_key params sk ~rot:r rng))
@@ -201,6 +208,9 @@ let gen_eval_key params sk ~rotations ~conjugation rng =
     rotations = table;
     conjugation = (if conjugation then Some (gen_conjugation_key params sk rng) else None);
   }
+
+let gen_eval_key params sk ~rotations ~conjugation rng =
+  provision params ~conjugation ~rotations sk rng
 
 let find_rotation_key ek r =
   match Cinnamon_util.Memo.find_opt ek.rotations r with

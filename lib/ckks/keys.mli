@@ -20,13 +20,15 @@ type switch_key = {
   swk_a : Rns_poly.t array;
 }
 
-type eval_key = {
+type eval_key = private {
   relin : switch_key;  (** s² → s *)
   rotations : (int, switch_key) Cinnamon_util.Memo.t;
       (** canonical slot amount → key; mutex-guarded for on-demand
           generation from concurrent domains *)
   conjugation : switch_key option;
 }
+(** Private: fields are readable, but sets are built only by
+    {!provision} — no hand-assembled or half-provisioned key sets. *)
 
 (** Small Gaussian error polynomial over [basis], Eval domain. *)
 val sample_error : Params.t -> basis:Basis.t -> Cinnamon_util.Rng.t -> Rns_poly.t
@@ -69,6 +71,18 @@ val canonicalize_rotations : n:int -> int list -> int list
 
 val gen_conjugation_key : Params.t -> secret_key -> Cinnamon_util.Rng.t -> switch_key
 
+(** The eval-key smart constructor: relin key, one key per canonical
+    rotation amount, and optionally (default: no) a conjugation key, in
+    a fixed generation order so a (params, rotations, seed) triple
+    always yields the same set. *)
+val provision :
+  Params.t ->
+  ?conjugation:bool ->
+  rotations:int list ->
+  secret_key ->
+  Cinnamon_util.Rng.t ->
+  eval_key
+
 val gen_eval_key :
   Params.t ->
   secret_key ->
@@ -76,6 +90,7 @@ val gen_eval_key :
   conjugation:bool ->
   Cinnamon_util.Rng.t ->
   eval_key
+[@@ocaml.deprecated "use Keys.provision"]
 
 (** Raises [Invalid_argument] when no key exists for the amount. *)
 val find_rotation_key : eval_key -> int -> switch_key

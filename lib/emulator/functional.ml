@@ -33,7 +33,7 @@ let gen_keys params ~chips ~rotations rng =
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
   let rotations = Keys.canonicalize_rotations ~n:params.Params.n rotations in
-  let ek = Keys.gen_eval_key params sk ~rotations ~conjugation:true rng in
+  let ek = Keys.provision params sk ~rotations ~conjugation:true rng in
   let qp = Params.qp_basis params in
   let s = Keys.sk_over sk qp in
   let rr key_from = Keyswitch_alg.gen_round_robin_key params sk ~s_from:key_from ~chips rng in

@@ -37,14 +37,36 @@ module Response = Cinnamon_serve.Response
 module Admission = Cinnamon_serve.Admission
 module Batcher = Cinnamon_serve.Batcher
 module Slo = Cinnamon_serve.Slo
+module Store = Cinnamon_tenant.Store
+module Key_set = Cinnamon_tenant.Key_set
+module Tenant_id = Cinnamon_tenant.Tenant_id
+module Transcipher = Cinnamon_tenant.Transcipher
+
+(* Multi-tenant serving: the fleet owns one tenant key store (lazily
+   provisioning tenants on their first arrival), stamps each admitted
+   request with the epoch its lease bound, weighs the per-node key
+   caches by modeled key-set bytes, and charges cold dispatches the
+   HBM load of the bytes they stream in.  The transciphering ingress
+   adds [tn_transcipher_s] per request of a dispatched batch — the
+   calibrated cost of the K_transcipher conversion circuit that turns
+   the client's symmetric upload into a CKKS ciphertext — and the
+   upload model records the bytes that ingress saves. *)
+type tenancy = {
+  tn_store : Store.config;
+  tn_key_capacity_bytes : int; (* per-node HBM key budget *)
+  tn_key_load_s_per_gb : float; (* HBM load penalty per GB streamed in *)
+  tn_transcipher_s : float; (* ingress service per request; 0 = disabled *)
+  tn_upload : Transcipher.upload; (* client-upload byte model *)
+}
 
 type config = {
   fc_nodes : int; (* initial fleet size *)
   fc_policy : Router.policy;
-  fc_key_slots : int; (* per-node warm-key cache capacity *)
+  fc_key_slots : int; (* per-node warm-key cache capacity (legacy mode) *)
   fc_key_load_s : float; (* modeled HBM key-load penalty on a cold dispatch *)
   fc_autoscale : Autoscaler.config option;
   fc_collect_responses : bool; (* retain terminal responses (tests; O(requests)) *)
+  fc_tenancy : tenancy option; (* None = single-tenant legacy behaviour *)
 }
 
 let default_config =
@@ -55,7 +77,22 @@ let default_config =
     fc_key_load_s = 0.0;
     fc_autoscale = None;
     fc_collect_responses = false;
+    fc_tenancy = None;
   }
+
+(* Per-run tenant accounting, all accumulated sequentially on the
+   virtual clock (never from pool workers). *)
+type tenant_result = {
+  tr_store : Store.stats;
+  tr_key_penalty_s : float; (* summed modeled HBM key-load seconds *)
+  tr_transcipher_s : float; (* summed ingress seconds *)
+  tr_base_service_s : float; (* summed batch service seconds (no penalties) *)
+  tr_key_bytes_loaded : int; (* HBM key traffic across all nodes *)
+  tr_upload_sym_bytes : float; (* client bytes actually uploaded *)
+  tr_upload_ckks_bytes : float; (* counterfactual direct-CKKS upload *)
+  tr_cold_start_ms : (int * float) list; (* tenant -> first-completion latency *)
+  tr_events : Store.event list; (* rotation starts/completions *)
+}
 
 type result = {
   fr_slo : Slo.t; (* merged: router + every node ever spawned *)
@@ -67,6 +104,7 @@ type result = {
   fr_nodes_peak : int;
   fr_nodes_final : int;
   fr_responses : Response.t list; (* [] unless fc_collect_responses *)
+  fr_tenants : tenant_result option; (* Some iff fc_tenancy *)
 }
 
 let key_hit_rate r =
@@ -91,27 +129,65 @@ let run ?pool config ~make_node ~arrivals () =
     Error.fail Error.Invalid_input "Fleet.run: fc_key_slots must be >= 1";
   if config.fc_key_load_s < 0.0 || Float.is_nan config.fc_key_load_s then
     Error.fail Error.Invalid_input "Fleet.run: fc_key_load_s must be >= 0";
+  Option.iter
+    (fun tn ->
+      if tn.tn_key_capacity_bytes < 1 then
+        Error.fail Error.Invalid_input "Fleet.run: tenancy key capacity must be >= 1 byte";
+      if tn.tn_key_load_s_per_gb < 0.0 || Float.is_nan tn.tn_key_load_s_per_gb then
+        Error.fail Error.Invalid_input "Fleet.run: tenancy key-load rate must be >= 0";
+      if tn.tn_transcipher_s < 0.0 || Float.is_nan tn.tn_transcipher_s then
+        Error.fail Error.Invalid_input "Fleet.run: transcipher service must be >= 0")
+    config.fc_tenancy;
   Option.iter Autoscaler.validate config.fc_autoscale;
   Tel.name_process ~pid:Engine.serve_pid "serve (virtual time)";
+  let store = Option.map (fun tn -> Store.create tn.tn_store) config.fc_tenancy in
+  (* tenant accounting, all mutated sequentially on the virtual clock *)
+  let key_penalty_s = ref 0.0 in
+  let transcipher_s = ref 0.0 in
+  let base_service_s = ref 0.0 in
+  let upload_sym = ref 0.0 in
+  let upload_ckks = ref 0.0 in
+  let cold_start = Hashtbl.create 64 in (* tenant int -> first-completion ms *)
+  let store_events = ref [] in
   let pending = ref (List.stable_sort cmp_arrival arrivals) in
   let insert_pending rs =
     if rs <> [] then pending := List.merge cmp_arrival (List.stable_sort cmp_arrival rs) !pending
   in
   let responses = ref [] in
   let record resp = if config.fc_collect_responses then responses := resp :: !responses in
+  (* every terminal response funnels through here exactly once: drop
+     the request's key lease (its epoch may now finish rotating) and
+     log the tenant's first completion for cold-start percentiles *)
+  let terminal (resp : Response.t) =
+    (match store with
+    | Some st -> (
+      let r = resp.Response.req in
+      match resp.Response.outcome with
+      | Response.Rejected (Admission.Tenant_unavailable _) ->
+        () (* never leased: the store refused at admission *)
+      | _ ->
+        Store.release st r.Request.req_tenant r.Request.req_epoch;
+        (match Response.latency_s resp with
+        | Some l ->
+          let tid = Tenant_id.to_int r.Request.req_tenant in
+          if not (Hashtbl.mem cold_start tid) then Hashtbl.replace cold_start tid (l *. 1e3)
+        | None -> ()))
+    | None -> ());
+    record resp
+  in
   let mk_fnode id =
     let node = make_node id in
     let respond resp =
-      record resp;
+      terminal resp;
       (* closed-loop follow-ups re-enter through the router *)
       insert_pending (node.Node.on_terminal resp)
     in
-    {
-      fn_id = id;
-      fn_engine = Engine.create ~node ~respond;
-      fn_keys = Key_cache.create ~slots:config.fc_key_slots;
-      fn_draining = false;
-    }
+    let keys =
+      match config.fc_tenancy with
+      | None -> Key_cache.create_slots ~slots:config.fc_key_slots
+      | Some tn -> Key_cache.create ~capacity_bytes:tn.tn_key_capacity_bytes
+    in
+    { fn_id = id; fn_engine = Engine.create ~node ~respond; fn_keys = keys; fn_draining = false }
   in
   let next_node_id = ref 0 in
   let spawn () =
@@ -173,8 +249,11 @@ let run ?pool config ~make_node ~arrivals () =
         next_eval := Autoscaler.next_eval_after sc ~now_s:!next_eval
       done
   in
-  let route (r : Request.t) =
-    let key = Batcher.compat_key r in
+  let place (r : Request.t) =
+    (* routes on tenant-key residency: the candidate's [cd_warm] asks
+       the node's cache about this request's (tenant, epoch, program)
+       entry, so the locality policy follows tenants to their keys *)
+    let entry = Key_cache.entry_of_request r in
     let candidates =
       List.map
         (fun fn ->
@@ -182,7 +261,7 @@ let run ?pool config ~make_node ~arrivals () =
             Router.cd_id = fn.fn_id;
             cd_load = Engine.load fn.fn_engine;
             cd_has_room = Engine.has_room fn.fn_engine;
-            cd_warm = Key_cache.mem fn.fn_keys key;
+            cd_warm = Key_cache.mem fn.fn_keys entry;
           })
         (active ())
     in
@@ -196,7 +275,37 @@ let run ?pool config ~make_node ~arrivals () =
       Slo.observe_offered router_slo;
       let err = Admission.Fleet_full { nodes = List.length candidates } in
       Slo.observe_rejected router_slo err;
-      record { Response.req = r; outcome = Response.Rejected err }
+      terminal { Response.req = r; outcome = Response.Rejected err }
+  in
+  let route (r : Request.t) =
+    match store, config.fc_tenancy with
+    | None, _ | _, None -> place r
+    | Some st, Some tn -> (
+      (* tenant admission: provision on first sight, lease the current
+         epoch, stamp the request with it.  In-flight work keeps its
+         stamped epoch through any rotation that starts later. *)
+      let leased =
+        match Store.lease st r.Request.req_tenant with
+        | Error (Store.Unknown_tenant _) -> (
+          match Store.provision st r.Request.req_tenant ~now_s:!now with
+          | Ok _ -> Store.lease st r.Request.req_tenant
+          | Error e -> Error e)
+        | x -> x
+      in
+      match leased with
+      | Error e ->
+        (* typed tenant-level rejection, accounted at the router *)
+        Slo.observe_offered router_slo;
+        let err =
+          Admission.Tenant_unavailable
+            { tenant = r.Request.req_tenant; reason = Store.error_to_string e }
+        in
+        Slo.observe_rejected router_slo err;
+        terminal { Response.req = r; outcome = Response.Rejected err }
+      | Ok ks ->
+        upload_sym := !upload_sym +. Float.of_int tn.tn_upload.Transcipher.up_sym_bytes;
+        upload_ckks := !upload_ckks +. Float.of_int tn.tn_upload.Transcipher.up_ckks_bytes;
+        place (Request.with_epoch r (Key_set.epoch ks)))
   in
   let rec admit_due () =
     match !pending with
@@ -220,12 +329,37 @@ let run ?pool config ~make_node ~arrivals () =
     | pairs ->
       let t_dispatch = !now in
       (* warm-key penalties are decided sequentially, in formation
-         order, BEFORE the parallel fan-out — cache state never races *)
+         order, BEFORE the parallel fan-out — cache state never races.
+         Every request in a batch shares (tenant, epoch, program) by
+         the compat key, so the head request names the batch's entry. *)
       let jobs =
         List.map
           (fun (fn, b) ->
-            let warm = Key_cache.touch fn.fn_keys b.Batcher.batch_key in
-            (fn, b, if warm then 0.0 else config.fc_key_load_s))
+            let head = List.hd b.Batcher.requests in
+            let entry = Key_cache.entry_of_request head in
+            let penalty_s =
+              match (store, config.fc_tenancy) with
+              | Some st, Some tn ->
+                let bytes =
+                  match
+                    Store.key_set_for st head.Request.req_tenant head.Request.req_epoch
+                  with
+                  | Ok ks -> Key_set.bytes ks
+                  | Error _ -> 0 (* unreachable: the lease pins the epoch *)
+                in
+                let warm = Key_cache.touch fn.fn_keys entry ~bytes in
+                let load =
+                  if warm then 0.0 else tn.tn_key_load_s_per_gb *. Float.of_int bytes /. 1e9
+                in
+                let ingress = tn.tn_transcipher_s *. Float.of_int (Batcher.size b) in
+                key_penalty_s := !key_penalty_s +. load;
+                transcipher_s := !transcipher_s +. ingress;
+                load +. ingress
+              | _ ->
+                let warm = Key_cache.touch fn.fn_keys entry ~bytes:1 in
+                if warm then 0.0 else config.fc_key_load_s
+            in
+            (fn, b, penalty_s))
           pairs
       in
       let exec (fn, b, _) = Engine.execute fn.fn_engine ~now_s:t_dispatch b in
@@ -234,6 +368,9 @@ let run ?pool config ~make_node ~arrivals () =
       in
       List.iter2
         (fun (fn, b, penalty_s) res ->
+          (match res with
+          | Ok (service_s, _) -> base_service_s := !base_service_s +. service_s
+          | Error _ -> ());
           Engine.commit fn.fn_engine ~now_s:t_dispatch ~extra_service_s:penalty_s b res)
         jobs results
   in
@@ -246,8 +383,18 @@ let run ?pool config ~make_node ~arrivals () =
       nodes := rest
     end
   in
+  let tick_store () =
+    Option.iter
+      (fun st ->
+        let evs = Store.tick st ~now_s:!now in
+        if evs <> [] then store_events := List.rev_append evs !store_events)
+      store
+  in
   let rec loop () =
     tick_autoscaler ();
+    (* rotations due at-or-before [now] start (or, drained, complete)
+       before this instant's arrivals lease their epochs *)
+    tick_store ();
     admit_due ();
     List.iter (fun fn -> Engine.shed_expired fn.fn_engine ~now_s:!now) !nodes;
     List.iter (fun fn -> Engine.observe_depth fn.fn_engine) (active ());
@@ -288,4 +435,26 @@ let run ?pool config ~make_node ~arrivals () =
     fr_nodes_peak = !nodes_peak;
     fr_nodes_final = List.length (active ());
     fr_responses = List.rev !responses;
+    fr_tenants =
+      Option.map
+        (fun st ->
+          let loaded =
+            List.fold_left (fun acc fn -> acc + Key_cache.loaded_bytes fn.fn_keys) 0 everyone
+          in
+          let cold =
+            Hashtbl.fold (fun tid ms acc -> (tid, ms) :: acc) cold_start []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          {
+            tr_store = Store.stats st;
+            tr_key_penalty_s = !key_penalty_s;
+            tr_transcipher_s = !transcipher_s;
+            tr_base_service_s = !base_service_s;
+            tr_key_bytes_loaded = loaded;
+            tr_upload_sym_bytes = !upload_sym;
+            tr_upload_ckks_bytes = !upload_ckks;
+            tr_cold_start_ms = cold;
+            tr_events = List.rev !store_events;
+          })
+        store;
   }

@@ -11,6 +11,22 @@
     fleet-wide backpressure ([Admission.Fleet_full]) in a router-level
     one, and [fr_slo] is their {!Cinnamon_serve.Slo.merge}. *)
 
+(** Multi-tenant serving mode: the fleet owns one {!Cinnamon_tenant.Store}
+    (tenants provision lazily on first arrival), stamps every admitted
+    request with the epoch its key lease bound, weighs the per-node
+    {!Key_cache}s by modeled key-set bytes, and charges cold dispatches
+    the HBM load of the bytes streamed in.  [tn_transcipher_s] adds the
+    calibrated ingress cost of the [K_transcipher] conversion circuit
+    per request; [tn_upload] records the client-upload bytes that
+    symmetric ingress saves versus direct CKKS upload. *)
+type tenancy = {
+  tn_store : Cinnamon_tenant.Store.config;
+  tn_key_capacity_bytes : int;  (** per-node HBM key budget, >= 1 *)
+  tn_key_load_s_per_gb : float;  (** HBM load penalty per GB streamed in *)
+  tn_transcipher_s : float;  (** ingress service per request; 0 = disabled *)
+  tn_upload : Cinnamon_tenant.Transcipher.upload;
+}
+
 type config = {
   fc_nodes : int;  (** initial fleet size, >= 1 *)
   fc_policy : Router.policy;
@@ -21,11 +37,27 @@ type config = {
   fc_autoscale : Autoscaler.config option;
   fc_collect_responses : bool;
       (** retain terminal responses (tests only; O(requests) memory) *)
+  fc_tenancy : tenancy option;  (** [None] = single-tenant legacy mode *)
 }
 
 (** 4 nodes, least-loaded, 1 key slot, no key penalty, no autoscaler,
-    responses not retained. *)
+    responses not retained, no tenancy. *)
 val default_config : config
+
+(** Per-run tenant accounting, accumulated sequentially on the virtual
+    clock (never from pool workers). *)
+type tenant_result = {
+  tr_store : Cinnamon_tenant.Store.stats;
+  tr_key_penalty_s : float;  (** summed modeled HBM key-load seconds *)
+  tr_transcipher_s : float;  (** summed transciphering ingress seconds *)
+  tr_base_service_s : float;  (** summed batch service seconds, no penalties *)
+  tr_key_bytes_loaded : int;  (** HBM key traffic across all nodes ever *)
+  tr_upload_sym_bytes : float;  (** client bytes actually uploaded *)
+  tr_upload_ckks_bytes : float;  (** counterfactual direct-CKKS upload *)
+  tr_cold_start_ms : (int * float) list;
+      (** tenant id -> its first completion's latency, ms; sorted by id *)
+  tr_events : Cinnamon_tenant.Store.event list;  (** oldest first *)
+}
 
 type result = {
   fr_slo : Cinnamon_serve.Slo.t;  (** merged: router + every node ever *)
@@ -38,6 +70,7 @@ type result = {
   fr_nodes_final : int;  (** active (non-draining) nodes at the end *)
   fr_responses : Cinnamon_serve.Response.t list;
       (** [] unless [fc_collect_responses] *)
+  fr_tenants : tenant_result option;  (** [Some] iff [fc_tenancy] *)
 }
 
 (** Dispatched-batch warm-key hit rate; 0 when nothing dispatched. *)

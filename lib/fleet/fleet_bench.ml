@@ -160,6 +160,8 @@ let run cfg =
       tr_seed = cfg.fb_seed + (1000 * nodes) + shape_idx kind;
       tr_deadline_factor = cfg.fb_deadline_factor;
       tr_compile = cfg.fb_compile;
+      tr_tenants = 0;
+      tr_tenant_skew = 1.0;
     }
   in
   let run_point policy kind nodes =
@@ -172,6 +174,7 @@ let run cfg =
         fc_key_load_s = key_load_s;
         fc_autoscale = None;
         fc_collect_responses = false;
+        fc_tenancy = None;
       }
     in
     let stats0 = Exec.Result_cache.stats () in
@@ -228,6 +231,7 @@ let run cfg =
               fc_autoscale =
                 Some { Autoscaler.default with as_min_nodes = 1; as_max_nodes = max_nodes };
               fc_collect_responses = false;
+              fc_tenancy = None;
             }
           in
           let stats0 = Exec.Result_cache.stats () in

@@ -32,12 +32,17 @@ type config = {
   tr_seed : int;
   tr_deadline_factor : float; (* deadline = arrival + factor * class service *)
   tr_compile : Cinnamon_compiler.Compile_config.t;
+  tr_tenants : int; (* <= 1: single default tenant (legacy traces) *)
+  tr_tenant_skew : float; (* zipf exponent of the tenant popularity curve *)
 }
 
 let validate cfg =
   if cfg.tr_requests < 1 then Error.fail Error.Invalid_input "Trace: requests must be >= 1";
   if cfg.tr_deadline_factor <= 0.0 then
     Error.fail Error.Invalid_input "Trace: deadline_factor must be > 0";
+  if cfg.tr_tenants < 0 then Error.fail Error.Invalid_input "Trace: tenants must be >= 0";
+  if cfg.tr_tenant_skew < 0.0 || Float.is_nan cfg.tr_tenant_skew then
+    Error.fail Error.Invalid_input "Trace: tenant skew must be >= 0";
   match cfg.tr_shape with
   | Poisson { rate_rps } ->
     if rate_rps <= 0.0 then Error.fail Error.Invalid_input "Trace: rate must be > 0"
@@ -81,12 +86,37 @@ let generate cfg ~classes =
       in
       thin
   in
+  (* Tenant popularity: zipf-like weights 1/(i+1)^skew, CDF-sampled.
+     With <= 1 tenant no randomness is drawn at all, so legacy
+     single-tenant traces are byte-identical to pre-tenancy ones. *)
+  let pick_tenant =
+    if cfg.tr_tenants <= 1 then fun () -> Cinnamon_tenant.Tenant_id.default
+    else begin
+      let w =
+        Array.init cfg.tr_tenants (fun i ->
+            1.0 /. Float.pow (Float.of_int (i + 1)) cfg.tr_tenant_skew)
+      in
+      let total = Array.fold_left ( +. ) 0.0 w in
+      fun () ->
+        let u = Rng.float rng *. total in
+        let rec go acc i =
+          if i >= cfg.tr_tenants - 1 then i
+          else if acc +. w.(i) >= u then i
+          else go (acc +. w.(i)) (i + 1)
+        in
+        Cinnamon_tenant.Tenant_id.make (go 0.0 0)
+    end
+  in
   let t = ref 0.0 in
   List.init cfg.tr_requests (fun id ->
       let arrival_s = !t in
       let cls, service_s = pick_class () in
       t := next_arrival !t;
-      Request.make ~config:cfg.tr_compile
-        ~priority:(pick_priority ())
+      (* draw order (class, gap, priority, tenant) is part of the trace
+         contract: the tenant draw comes last so single-tenant traces
+         reproduce the pre-tenancy streams exactly *)
+      let priority = pick_priority () in
+      let tenant = pick_tenant () in
+      Request.make ~config:cfg.tr_compile ~priority
         ~deadline_s:(arrival_s +. (cfg.tr_deadline_factor *. service_s))
-        ~id ~bench:cls.Loadgen.cls_bench ~system:cls.Loadgen.cls_system ~arrival_s ())
+        ~tenant ~id ~bench:cls.Loadgen.cls_bench ~system:cls.Loadgen.cls_system ~arrival_s ())

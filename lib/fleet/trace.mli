@@ -18,6 +18,11 @@ type config = {
   tr_deadline_factor : float;
       (** deadline = arrival + factor x class base service time *)
   tr_compile : Cinnamon_compiler.Compile_config.t;
+  tr_tenants : int;
+      (** population size; [<= 1] = single default tenant, drawing no
+          randomness, so legacy traces are byte-identical *)
+  tr_tenant_skew : float;
+      (** zipf exponent of tenant popularity (0 = uniform) *)
 }
 
 (** Raises a typed [Invalid_input] error on non-positive counts,

@@ -13,6 +13,7 @@ type error =
   | Expired of { deadline_s : float; now_s : float }
   | Closed
   | Fleet_full of { nodes : int }
+  | Tenant_unavailable of { tenant : Cinnamon_tenant.Tenant_id.t; reason : string }
 
 let error_to_string = function
   | Queue_full { capacity } -> Printf.sprintf "queue full (capacity %d)" capacity
@@ -21,6 +22,8 @@ let error_to_string = function
   | Closed -> "server draining: admission closed"
   | Fleet_full { nodes } ->
     Printf.sprintf "fleet backpressure: all %d nodes at capacity" nodes
+  | Tenant_unavailable { tenant; reason } ->
+    Printf.sprintf "tenant %s unavailable: %s" (Cinnamon_tenant.Tenant_id.to_string tenant) reason
 
 type t = {
   capacity : int;

@@ -11,6 +11,10 @@ type error =
   | Fleet_full of { nodes : int }
       (** global backpressure: a fleet router found every node at
           capacity (never produced by a single queue's {!admit}) *)
+  | Tenant_unavailable of { tenant : Cinnamon_tenant.Tenant_id.t; reason : string }
+      (** the tenant key store refused to lease keys for this request
+          (retired tenant, destroyed epoch); produced by the fleet's
+          tenancy layer, never by a single queue's {!admit} *)
 
 val error_to_string : error -> string
 

@@ -28,8 +28,14 @@ let size b = List.length b.requests
 let config_digest (c : Cinnamon_compiler.Compile_config.t) =
   Digest.to_hex (Digest.string (Cinnamon_exec.Cache_key.config_sig c))
 
+(* Tenant and epoch lead the key: requests of different tenants — or of
+   one tenant across a key rotation — run under different key material,
+   so they can never share a packed ciphertext or a dispatch. *)
 let compat_key (r : Request.t) =
-  Printf.sprintf "%s|%s|%s" r.Request.req_bench r.Request.req_system
+  Printf.sprintf "%s|%s|%s|%s|%s"
+    (Cinnamon_tenant.Tenant_id.to_string r.Request.req_tenant)
+    (Cinnamon_tenant.Epoch.to_string r.Request.req_epoch)
+    r.Request.req_bench r.Request.req_system
     (config_digest r.Request.req_config)
 
 let form q ~now_s ~max_batch ~batch_id =

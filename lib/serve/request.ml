@@ -6,6 +6,8 @@
    compiler.  All times are virtual seconds on the serving clock. *)
 
 module CC = Cinnamon_compiler.Compile_config
+module Tenant_id = Cinnamon_tenant.Tenant_id
+module Epoch = Cinnamon_tenant.Epoch
 
 type priority = High | Normal | Low
 
@@ -20,9 +22,12 @@ type t = {
   req_priority : priority;
   req_arrival_s : float; (* virtual arrival time *)
   req_deadline_s : float; (* absolute virtual deadline; infinity = none *)
+  req_tenant : Tenant_id.t; (* whose key material serves this request *)
+  req_epoch : Epoch.t; (* key epoch bound at admission (Fleet stamps it) *)
 }
 
-let make ?config ?(priority = Normal) ?(deadline_s = infinity) ~id ~bench ~system ~arrival_s () =
+let make ?config ?(priority = Normal) ?(deadline_s = infinity) ?(tenant = Tenant_id.default)
+    ?(epoch = Epoch.zero) ~id ~bench ~system ~arrival_s () =
   if arrival_s < 0.0 || Float.is_nan arrival_s then
     invalid_arg "Request.make: arrival time must be >= 0";
   if Float.is_nan deadline_s then invalid_arg "Request.make: deadline must not be nan";
@@ -35,7 +40,14 @@ let make ?config ?(priority = Normal) ?(deadline_s = infinity) ~id ~bench ~syste
     req_priority = priority;
     req_arrival_s = arrival_s;
     req_deadline_s = deadline_s;
+    req_tenant = tenant;
+    req_epoch = epoch;
   }
+
+(* Admission-time epoch binding: the fleet stamps the epoch its key
+   store leased, and the request keeps it for life — a rotation that
+   starts later never rebinds in-flight work. *)
+let with_epoch r epoch = { r with req_epoch = epoch }
 
 (* CKKS slot count of the request's ring: the hard cap on how many
    inferences one ciphertext batch can pack. *)

@@ -17,21 +17,33 @@ type t = {
   req_priority : priority;
   req_arrival_s : float;
   req_deadline_s : float;  (** absolute; [infinity] = no deadline *)
+  req_tenant : Cinnamon_tenant.Tenant_id.t;
+      (** whose key material serves this request *)
+  req_epoch : Cinnamon_tenant.Epoch.t;
+      (** key epoch bound at admission (the fleet stamps it from its
+          tenant key store; single-tenant runs stay at [Epoch.zero]) *)
 }
 
 (** [config] defaults to [Compile_config.paper ()], [priority] to
-    [Normal], [deadline_s] to [infinity].  Raises [Invalid_argument] on
-    a negative or nan arrival time. *)
+    [Normal], [deadline_s] to [infinity], [tenant] to
+    [Tenant_id.default] and [epoch] to [Epoch.zero] (the single-tenant
+    legacy identity).  Raises [Invalid_argument] on a negative or nan
+    arrival time. *)
 val make :
   ?config:Cinnamon_compiler.Compile_config.t ->
   ?priority:priority ->
   ?deadline_s:float ->
+  ?tenant:Cinnamon_tenant.Tenant_id.t ->
+  ?epoch:Cinnamon_tenant.Epoch.t ->
   id:int ->
   bench:string ->
   system:string ->
   arrival_s:float ->
   unit ->
   t
+
+(** Admission-time epoch binding; in-flight work is never rebound. *)
+val with_epoch : t -> Cinnamon_tenant.Epoch.t -> t
 
 (** CKKS slot count of the request's ring ([2^(log_n - 1)]): the hard
     cap on batch size for slot packing. *)

@@ -32,6 +32,7 @@ type t = {
   mutable rejected_expired : int;
   mutable rejected_closed : int;
   mutable rejected_fleet : int;
+  mutable rejected_tenant : int;
   mutable shed : int;
   mutable failed : int;
   mutable completed : int;
@@ -54,6 +55,7 @@ let create () =
     rejected_expired = 0;
     rejected_closed = 0;
     rejected_fleet = 0;
+    rejected_tenant = 0;
     shed = 0;
     failed = 0;
     completed = 0;
@@ -75,6 +77,7 @@ let observe_rejected t (e : Admission.error) =
   | Admission.Expired _ -> t.rejected_expired <- t.rejected_expired + 1
   | Admission.Closed -> t.rejected_closed <- t.rejected_closed + 1
   | Admission.Fleet_full _ -> t.rejected_fleet <- t.rejected_fleet + 1
+  | Admission.Tenant_unavailable _ -> t.rejected_tenant <- t.rejected_tenant + 1
 
 let observe_shed t = t.shed <- t.shed + 1
 let observe_failed t = t.failed <- t.failed + 1
@@ -112,6 +115,7 @@ let merge ts =
       acc.rejected_expired <- acc.rejected_expired + s.rejected_expired;
       acc.rejected_closed <- acc.rejected_closed + s.rejected_closed;
       acc.rejected_fleet <- acc.rejected_fleet + s.rejected_fleet;
+      acc.rejected_tenant <- acc.rejected_tenant + s.rejected_tenant;
       acc.shed <- acc.shed + s.shed;
       acc.failed <- acc.failed + s.failed;
       acc.completed <- acc.completed + s.completed;
@@ -132,6 +136,7 @@ type report = {
   rp_rejected_expired : int;
   rp_rejected_closed : int;
   rp_rejected_fleet : int;
+  rp_rejected_tenant : int;
   rp_shed : int;
   rp_failed : int;
   rp_completed : int;
@@ -167,6 +172,7 @@ let report t ~duration_s ~compiles ~cache_hits =
     rp_rejected_expired = t.rejected_expired;
     rp_rejected_closed = t.rejected_closed;
     rp_rejected_fleet = t.rejected_fleet;
+    rp_rejected_tenant = t.rejected_tenant;
     rp_shed = t.shed;
     rp_failed = t.failed;
     rp_completed = t.completed;
@@ -183,7 +189,10 @@ let report t ~duration_s ~compiles ~cache_hits =
     rp_goodput_rps = Float.of_int t.deadline_met /. dur;
     rp_shed_rate = ratio t.shed t.admitted;
     rp_reject_rate =
-      ratio (t.rejected_full + t.rejected_expired + t.rejected_closed + t.rejected_fleet) t.offered;
+      ratio
+        (t.rejected_full + t.rejected_expired + t.rejected_closed + t.rejected_fleet
+       + t.rejected_tenant)
+        t.offered;
     rp_queue_depth_mean =
       (if t.depth_samples = 0 then 0.0 else ratio t.depth_sum t.depth_samples);
     rp_queue_depth_max = t.depth_max;
@@ -203,6 +212,7 @@ let report_json r =
       ("rejected_expired", Json.Int r.rp_rejected_expired);
       ("rejected_closed", Json.Int r.rp_rejected_closed);
       ("rejected_fleet_full", Json.Int r.rp_rejected_fleet);
+      ("rejected_tenant", Json.Int r.rp_rejected_tenant);
       ("shed", Json.Int r.rp_shed);
       ("failed", Json.Int r.rp_failed);
       ("completed", Json.Int r.rp_completed);
@@ -233,8 +243,11 @@ let to_string r =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   line "requests: offered %d, admitted %d, completed %d (%d met deadline), shed %d, failed %d"
     r.rp_offered r.rp_admitted r.rp_completed r.rp_deadline_met r.rp_shed r.rp_failed;
-  line "rejected: %d queue-full, %d expired-on-arrival, %d during drain, %d fleet-full"
-    r.rp_rejected_full r.rp_rejected_expired r.rp_rejected_closed r.rp_rejected_fleet;
+  line
+    "rejected: %d queue-full, %d expired-on-arrival, %d during drain, %d fleet-full, %d \
+     tenant-unavailable"
+    r.rp_rejected_full r.rp_rejected_expired r.rp_rejected_closed r.rp_rejected_fleet
+    r.rp_rejected_tenant;
   line "latency:  p50 %s, p95 %s, p99 %s, mean %s, max %s" (fmt_ms r.rp_p50_ms)
     (fmt_ms r.rp_p95_ms) (fmt_ms r.rp_p99_ms) (fmt_ms r.rp_mean_ms) (fmt_ms r.rp_max_ms);
   line "rates:    throughput %.2f req/s, goodput %.2f req/s, shed rate %.1f%%, reject rate %.1f%%"

@@ -61,6 +61,7 @@ type report = {
   rp_rejected_expired : int;
   rp_rejected_closed : int;
   rp_rejected_fleet : int;  (** router-level global backpressure *)
+  rp_rejected_tenant : int;  (** tenant key store refused the lease *)
   rp_shed : int;
   rp_failed : int;
   rp_completed : int;

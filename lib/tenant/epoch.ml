@@ -1,0 +1,15 @@
+(* A key epoch: which generation of a tenant's key material a value
+   (request, batch, cache entry) was bound to.  Epochs only move
+   forward — [next] is the sole way to obtain a non-zero epoch — so a
+   stale epoch can be detected by comparison and can never be
+   re-entered once its keys are destroyed. *)
+
+type t = int
+
+let zero = 0
+let next t = t + 1
+let to_int t = t
+let to_string t = Printf.sprintf "e%d" t
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,17 @@
+(** Key epochs: the generation counter of a tenant's key material.
+    Monotonic — [next] is the only constructor besides [zero] — so
+    rotated-out epochs are detectable by comparison and cannot be
+    re-entered. *)
+
+type t
+
+val zero : t
+val next : t -> t
+val to_int : t -> int
+
+(** ["e<n>"] — used in batch compatibility keys and reports. *)
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+(* One epoch's worth of a tenant's server-side key material, as the
+   serving layer models it: not the polynomials themselves (those live
+   in lib/ckks and only exist at functional parameters), but the exact
+   HBM footprint the architectural configuration implies for them.
+
+   A hybrid switch key holds dnum digit pairs (b_i, a_i) over Q_L ∪ P,
+   so one key costs
+
+     dnum * 2 * (top_limbs + alpha) * limb_bytes
+
+   and a tenant's eval-key set is one relin key, one key per rotation
+   amount, and optionally a conjugation key.  At the paper
+   configuration (N = 64K, 52 + 18 limbs, dnum = 3) a single switch key
+   is ~110 MB, so a realistic tenant key set is GBs — which is why
+   residency is a scheduling constraint, not a footnote. *)
+
+module CC = Cinnamon_compiler.Compile_config
+
+type profile = {
+  kp_limbs : int; (* limbs over Q_L ∪ P *)
+  kp_dnum : int;
+  kp_limb_bytes : int; (* bytes of one full limb vector (N words) *)
+}
+
+let profile_of_config (c : CC.t) =
+  { kp_limbs = c.CC.top_limbs + c.CC.alpha; kp_dnum = c.CC.dnum; kp_limb_bytes = CC.limb_bytes c }
+
+let switch_key_bytes p = p.kp_dnum * 2 * p.kp_limbs * p.kp_limb_bytes
+
+type t = {
+  ks_tenant : Tenant_id.t;
+  ks_epoch : Epoch.t;
+  ks_rotations : int list; (* canonical amounts covered by this set *)
+  ks_conjugation : bool;
+  ks_bytes : int; (* modeled HBM footprint of the whole set *)
+}
+
+let make profile ~tenant ~epoch ~rotations ~conjugation =
+  let rotations = List.sort_uniq compare rotations in
+  let keys = 1 (* relin *) + List.length rotations + if conjugation then 1 else 0 in
+  {
+    ks_tenant = tenant;
+    ks_epoch = epoch;
+    ks_rotations = rotations;
+    ks_conjugation = conjugation;
+    ks_bytes = keys * switch_key_bytes profile;
+  }
+
+let bytes t = t.ks_bytes
+let tenant t = t.ks_tenant
+let epoch t = t.ks_epoch

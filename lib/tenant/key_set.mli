@@ -1,0 +1,30 @@
+(** Modeled HBM footprint of one (tenant, epoch) eval-key set.
+
+    A hybrid switch key is dnum digit pairs over Q{_L} ∪ P —
+    [dnum * 2 * limbs * limb_bytes] — and a set holds one relin key,
+    one key per rotation amount, and optionally a conjugation key.
+    At paper parameters one switch key is ~110 MB, a set GBs. *)
+
+type profile = {
+  kp_limbs : int;  (** limbs over Q{_L} ∪ P *)
+  kp_dnum : int;
+  kp_limb_bytes : int;  (** bytes of one full limb vector *)
+}
+
+val profile_of_config : Cinnamon_compiler.Compile_config.t -> profile
+val switch_key_bytes : profile -> int
+
+type t = private {
+  ks_tenant : Tenant_id.t;
+  ks_epoch : Epoch.t;
+  ks_rotations : int list;
+  ks_conjugation : bool;
+  ks_bytes : int;
+}
+
+val make :
+  profile -> tenant:Tenant_id.t -> epoch:Epoch.t -> rotations:int list -> conjugation:bool -> t
+
+val bytes : t -> int
+val tenant : t -> Tenant_id.t
+val epoch : t -> Epoch.t

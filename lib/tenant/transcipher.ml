@@ -1,0 +1,31 @@
+(* The client-upload model behind the transciphering ingress.
+
+   A fresh CKKS ciphertext at the top of the modulus chain is two
+   polynomials over Q_L — tens of MB at paper parameters — which is
+   what a client would upload per inference without transciphering.
+   With the HHEML-style hybrid scheme the client uploads one symmetric
+   keystream-encrypted word per slot (8 bytes each) plus a one-time
+   CKKS encryption of the symmetric key, and the server runs the
+   K_transcipher kernel to homomorphically decrypt: evaluate the
+   keystream from the encrypted key, then subtract it from the encoded
+   symmetric ciphertext.  The kernel's cost is real (compiled and
+   simulated like any workload); this module only accounts the bytes
+   that motivated it. *)
+
+module CC = Cinnamon_compiler.Compile_config
+
+type upload = {
+  up_sym_bytes : int; (* per request, transciphered ingress *)
+  up_ckks_bytes : int; (* per request, direct CKKS upload *)
+}
+
+let upload_of_config (c : CC.t) =
+  {
+    (* one 8-byte symmetric word per slot *)
+    up_sym_bytes = (CC.n c / 2) * 8;
+    (* fresh ciphertext: 2 polys over the full top-of-chain basis *)
+    up_ckks_bytes = 2 * c.CC.top_limbs * CC.limb_bytes c;
+  }
+
+let savings_x u =
+  if u.up_sym_bytes = 0 then 0.0 else Float.of_int u.up_ckks_bytes /. Float.of_int u.up_sym_bytes

@@ -1,0 +1,14 @@
+(** Client-upload byte model of the HHEML-style transciphering ingress:
+    symmetric bytes actually uploaded per request vs the direct CKKS
+    ciphertext upload it replaces.  The compute side is the real
+    [K_transcipher] kernel in lib/workloads. *)
+
+type upload = {
+  up_sym_bytes : int;  (** per request, transciphered ingress *)
+  up_ckks_bytes : int;  (** per request, direct CKKS upload *)
+}
+
+val upload_of_config : Cinnamon_compiler.Compile_config.t -> upload
+
+(** Upload reduction factor [ckks / sym]. *)
+val savings_x : upload -> float

@@ -163,6 +163,36 @@ let attention_block p ~tag v =
 (* BERT GELU on one ciphertext (tanh-form approximation, deg 31). *)
 let gelu_block v ~tag = Dsl.poly_eval v ~deg:31 ~name:(tag ^ ".gelu")
 
+(* --- transciphering ingress (HHEML-style hybrid HE) --------------------- *)
+
+(* Homomorphic decryption of a symmetric ciphertext: the server holds a
+   CKKS encryption of the client's symmetric key and evaluates the
+   keystream from it — HERA-style rounds of an affine diffusion layer
+   (the state plus two slot rotations), a round-constant addition, and
+   a cube S-box (x^3 = x^2 * x: two multiplicative levels per round) —
+   then recovers the CKKS plaintext as  encode(sym_ct) - keystream.
+   Shallow by design (the whole point of transciphering is that the
+   expensive conversion circuit is still far cheaper than shipping
+   fresh CKKS ciphertexts), so the default three rounds cost six
+   levels and never bootstrap. *)
+let transcipher_block _p ~rounds ~tag k =
+  let x = ref k in
+  for r = 0 to rounds - 1 do
+    (* affine diffusion: mix each slot with two neighbours *)
+    let lin = Dsl.add (Dsl.add !x (Dsl.rotate !x 1)) (Dsl.rotate !x 4) in
+    let lin = Dsl.add_plain lin (Printf.sprintf "%s.rc%d" tag r) in
+    (* cube S-box *)
+    x := Dsl.mul (Dsl.square lin) lin
+  done;
+  let keystream = Dsl.add_plain !x (tag ^ ".rc_final") in
+  (* ct = encode(sym_ct) - keystream *)
+  Dsl.add_plain (Dsl.mul_const keystream (-1.0)) (tag ^ ".sym_ct")
+
+let transcipher_program ?(rounds = 3) () =
+  Dsl.program (fun p ->
+      let k = Dsl.input p "sym_key" in
+      Dsl.output (transcipher_block p ~rounds ~tag:"tc" k) "ct")
+
 (* BERT layernorm: mean/variance by rotate-sum, NR inverse sqrt. *)
 let layernorm_block p ~tag v =
   ignore p;

@@ -49,3 +49,14 @@ val gelu_block : Cinnamon.Dsl.ct -> tag:string -> Cinnamon.Dsl.ct
 
 (** Layernorm: moments by rotate-sum + NR inverse sqrt. *)
 val layernorm_block : Cinnamon.Dsl.t -> tag:string -> Cinnamon.Dsl.ct -> Cinnamon.Dsl.ct
+
+(** HHEML-style transciphering ingress: homomorphic symmetric
+    decryption — HERA-style rounds of affine diffusion (two slot
+    rotations), round-constant addition, and a cube S-box (two levels
+    per round) — then [encode(sym_ct) - keystream].  Input is the
+    CKKS-encrypted symmetric key. *)
+val transcipher_block :
+  Cinnamon.Dsl.t -> rounds:int -> tag:string -> Cinnamon.Dsl.ct -> Cinnamon.Dsl.ct
+
+(** Standalone transcipher kernel; default 3 rounds = 6 levels. *)
+val transcipher_program : ?rounds:int -> unit -> Cinnamon_ir.Ct_ir.t

@@ -30,6 +30,10 @@ type kernel =
   | K_graph of Cinnamon_nn.Graph.t
       (* a graph-front-end workload, lowered through the packing
          optimizer (lib/nn); the graph's name is the kernel name *)
+  | K_transcipher of int
+      (* HHEML-style symmetric-to-CKKS conversion circuit with this
+         many HERA-style rounds; runs as the per-tenant ingress ahead
+         of an inference request *)
 
 type segment = {
   kernel : kernel;
@@ -194,6 +198,7 @@ let kernel_program = function
         let v = Cinnamon.Dsl.input p "x" in
         Cinnamon.Dsl.output (Kernels.layernorm_block p ~tag:"ln" v) "out")
   | K_graph g -> Cinnamon_nn.Lower.lower g
+  | K_transcipher rounds -> Kernels.transcipher_program ~rounds ()
 
 let kernel_name = function
   | K_bootstrap s -> if s.Kernels.evalmod_degree > 63 then "bootstrap-21" else "bootstrap-13"
@@ -205,6 +210,7 @@ let kernel_name = function
   | K_gelu -> "gelu"
   | K_layernorm -> "layernorm"
   | K_graph g -> g.Cinnamon_nn.Graph.name
+  | K_transcipher _ -> "transcipher"
 
 (* ------------------------------------------------------------ registries
 
@@ -228,6 +234,7 @@ let kernel_registry =
       ("relu", K_relu);
       ("helr-iter", K_helr_iter);
       ("matvec-10", K_matvec 10);
+      ("transcipher", K_transcipher 3);
     ]
     @ graph_kernels)
 
@@ -242,6 +249,12 @@ let find_kernel name =
     | _ -> Error (Printf.sprintf "bad diagonal count in %S (want matvec-<n>, n > 0)" s))
   | s -> Registry.find kernel_registry s
 
+(* The transciphering ingress as a benchmark: a single-segment entry so
+   the serving layers can calibrate it like any inference class and
+   price it into per-request SLO numbers. *)
+let transcipher_bench =
+  { bench_name = "transcipher"; segments = [ seg (K_transcipher 3) ]; paper_times = [] }
+
 let benchmark_registry =
   Registry.make ~what:"benchmark"
     ([
@@ -250,6 +263,7 @@ let benchmark_registry =
       ("resnet", resnet20);
       ("helr", helr);
       ("bert", bert);
+      ("transcipher", transcipher_bench);
     ]
     @ graph_benchmarks)
 

@@ -16,6 +16,9 @@ type kernel =
   | K_graph of Cinnamon_nn.Graph.t
       (** a graph-front-end workload (lib/nn), lowered through the
           packing optimizer; the graph's name is the kernel name *)
+  | K_transcipher of int
+      (** HHEML-style symmetric-to-CKKS conversion circuit with this
+          many HERA-style rounds (the per-tenant serving ingress) *)
 
 type segment = { kernel : kernel; instances : int; repeats : int }
 
@@ -41,6 +44,11 @@ val all : benchmark list
 val graph_kernels : (string * kernel) list
 
 val graph_benchmarks : (string * benchmark) list
+
+(** The transciphering ingress as a single-segment benchmark
+    (registered as ["transcipher"]), so serving layers can calibrate
+    and price it like any inference class. *)
+val transcipher_bench : benchmark
 
 (** Build one kernel instance as ciphertext IR. *)
 val kernel_program : kernel -> Cinnamon_ir.Ct_ir.t

@@ -16,7 +16,7 @@ let env =
      let sk = Keys.gen_secret_key params rng in
      let pk = Keys.gen_public_key params sk rng in
      let rots = Bootstrap.required_rotations params ~slots:cfg.Bootstrap.slots in
-     let ek = Keys.gen_eval_key params sk ~rotations:rots ~conjugation:true rng in
+     let ek = Keys.provision params sk ~rotations:rots ~conjugation:true rng in
      (params, cfg, sk, pk, Eval.context params ek))
 
 (* --- plaintext checks of the linear maps -------------------------------- *)

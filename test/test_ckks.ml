@@ -18,7 +18,7 @@ let env =
      let pk = Keys.gen_public_key params sk rng in
      let _, bsgs = Linear_algebra.bsgs_rotations ~n:64 in
      let rots = List.init 63 (fun i -> i + 1) @ bsgs @ Linear_algebra.sum_slots_rotations ~n:64 in
-     let ek = Keys.gen_eval_key params sk ~rotations:rots ~conjugation:true rng in
+     let ek = Keys.provision params sk ~rotations:rots ~conjugation:true rng in
      (params, sk, pk, ek, Eval.context params ek))
 
 let rand_vec ?(scale = 1.0) ~slots seed =
@@ -354,7 +354,7 @@ let test_newton_raphson_inverse () =
   let rng = Rng.create ~seed:83 in
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
-  let ek = Keys.gen_eval_key params sk ~rotations:[] ~conjugation:false rng in
+  let ek = Keys.provision params sk ~rotations:[] ~conjugation:false rng in
   let ctx = Eval.context params ek in
   let vs = Array.init 16 (fun i -> 0.5 +. (1.5 *. Float.of_int i /. 15.0)) in
   let cv = Encrypt.encrypt_real params pk vs rng in
@@ -367,7 +367,7 @@ let test_newton_raphson_inv_sqrt () =
   let rng = Rng.create ~seed:84 in
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
-  let ek = Keys.gen_eval_key params sk ~rotations:[] ~conjugation:false rng in
+  let ek = Keys.provision params sk ~rotations:[] ~conjugation:false rng in
   let ctx = Eval.context params ek in
   let vs = Array.init 16 (fun i -> 0.7 +. (0.6 *. Float.of_int i /. 15.0)) in
   let cv = Encrypt.encrypt_real params pk vs rng in

@@ -83,7 +83,7 @@ let test_rotation_key_stress () =
   let rng = Rng.create ~seed:77 in
   let sk = Keys.gen_secret_key params rng in
   let pk = Keys.gen_public_key params sk rng in
-  let ek = Keys.gen_eval_key params sk ~rotations:[] ~conjugation:false rng in
+  let ek = Keys.provision params sk ~rotations:[] ~conjugation:false rng in
   let rots = [ 1; 2; 3 ] in
   (* each rotation amount requested by several workers at once, each
      worker with its own RNG stream *)

@@ -14,7 +14,7 @@ let env =
      let rng = Rng.create ~seed:606 in
      let sk = Keys.gen_secret_key params rng in
      let pk = Keys.gen_public_key params sk rng in
-     let ek = Keys.gen_eval_key params sk ~rotations:[ 1; 2; 3; 5; 8; 13 ] ~conjugation:true rng in
+     let ek = Keys.provision params sk ~rotations:[ 1; 2; 3; 5; 8; 13 ] ~conjugation:true rng in
      (params, sk, pk, ek))
 
 (* --- hoisted rotations ------------------------------------------------- *)
@@ -182,7 +182,7 @@ let matmul_env =
      let sk = Keys.gen_secret_key params rng in
      let pk = Keys.gen_public_key params sk rng in
      let ek =
-       Keys.gen_eval_key params sk ~rotations:(Matmul.required_rotations ~d) ~conjugation:false rng
+       Keys.provision params sk ~rotations:(Matmul.required_rotations ~d) ~conjugation:false rng
      in
      (d, params, sk, pk, Eval.context params ek))
 

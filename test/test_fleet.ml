@@ -20,7 +20,7 @@ let spec bench w =
    routing should shine against round-robin. *)
 let skewed_classes = [ (spec "bootstrap" 0.7, 0.5); (spec "resnet" 0.2, 0.5); (spec "bert" 0.1, 0.5) ]
 
-let trace ?(requests = 200) ?(seed = 42) ~rate () =
+let trace ?(requests = 200) ?(seed = 42) ?(tenants = 0) ?(skew = 1.0) ~rate () =
   Trace.generate
     {
       Trace.tr_shape = Trace.Poisson { rate_rps = rate };
@@ -28,6 +28,8 @@ let trace ?(requests = 200) ?(seed = 42) ~rate () =
       tr_seed = seed;
       tr_deadline_factor = 20.0;
       tr_compile = CC.paper ();
+      tr_tenants = tenants;
+      tr_tenant_skew = skew;
     }
     ~classes:skewed_classes
 
@@ -50,23 +52,36 @@ let report (r : Fleet.result) =
 
 (* --- key cache -------------------------------------------------------- *)
 
+let entry compat =
+  {
+    Key_cache.en_tenant = Cinnamon_tenant.Tenant_id.default;
+    en_epoch = Cinnamon_tenant.Epoch.zero;
+    en_compat = compat;
+  }
+
 let test_key_cache_mru () =
-  Alcotest.check_raises "slots >= 1" (Invalid_argument "Key_cache.create: slots must be >= 1")
-    (fun () -> ignore (Key_cache.create ~slots:0));
-  let c = Key_cache.create ~slots:2 in
-  Alcotest.(check bool) "peek cold" false (Key_cache.mem c "a");
-  Alcotest.(check bool) "first touch misses" false (Key_cache.touch c "a");
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Key_cache.create: capacity_bytes must be >= 1") (fun () ->
+      ignore (Key_cache.create ~capacity_bytes:0));
+  (* legacy slot mode: unit-weight entries reproduce the original
+     slot-counted MRU semantics *)
+  let c = Key_cache.create_slots ~slots:2 in
+  Alcotest.(check bool) "peek cold" false (Key_cache.mem c (entry "a"));
+  Alcotest.(check bool) "first touch misses" false (Key_cache.touch c (entry "a") ~bytes:1);
   Alcotest.(check bool) "peek did not count" true (Key_cache.misses c = 1);
-  Alcotest.(check bool) "second touch hits" true (Key_cache.touch c "a");
-  ignore (Key_cache.touch c "b");
-  Alcotest.(check bool) "promote on hit" true (Key_cache.touch c "a");
-  ignore (Key_cache.touch c "c");
+  Alcotest.(check bool) "second touch hits" true (Key_cache.touch c (entry "a") ~bytes:1);
+  ignore (Key_cache.touch c (entry "b") ~bytes:1);
+  Alcotest.(check bool) "promote on hit" true (Key_cache.touch c (entry "a") ~bytes:1);
+  ignore (Key_cache.touch c (entry "c") ~bytes:1);
   (* capacity 2, MRU order was [a; b]: touching c evicts b *)
-  Alcotest.(check bool) "lru evicted" false (Key_cache.mem c "b");
-  Alcotest.(check bool) "mru survives" true (Key_cache.mem c "a");
-  Alcotest.(check (list string)) "resident order" [ "c"; "a" ] (Key_cache.resident c);
+  Alcotest.(check bool) "lru evicted" false (Key_cache.mem c (entry "b"));
+  Alcotest.(check bool) "mru survives" true (Key_cache.mem c (entry "a"));
+  Alcotest.(check (list string)) "resident order" [ "c"; "a" ]
+    (List.map (fun e -> e.Key_cache.en_compat) (Key_cache.resident c));
   Alcotest.(check int) "hits" 2 (Key_cache.hits c);
-  Alcotest.(check int) "misses" 3 (Key_cache.misses c)
+  Alcotest.(check int) "misses" 3 (Key_cache.misses c);
+  Alcotest.(check int) "miss bytes accounted" 3 (Key_cache.loaded_bytes c);
+  Alcotest.(check int) "evictions counted" 1 (Key_cache.evictions c)
 
 (* --- router policies -------------------------------------------------- *)
 
@@ -249,6 +264,8 @@ let test_trace_diurnal () =
       tr_seed = 3;
       tr_deadline_factor = 10.0;
       tr_compile = CC.paper ();
+      tr_tenants = 0;
+      tr_tenant_skew = 1.0;
     }
   in
   let a = Trace.generate cfg ~classes:skewed_classes in

@@ -30,7 +30,7 @@ let env =
      let rng = Rng.create ~seed:909 in
      let sk = Keys.gen_secret_key params rng in
      let pk = Keys.gen_public_key params sk rng in
-     let ek = Keys.gen_eval_key params sk ~rotations:[ 1; 2; 3; 5; 8; 13 ] ~conjugation:false rng in
+     let ek = Keys.provision params sk ~rotations:[ 1; 2; 3; 5; 8; 13 ] ~conjugation:false rng in
      (params, sk, pk, ek))
 
 let random_eval ?(seed = 11) params ~level =

@@ -20,6 +20,7 @@ let () =
       Test_exec.suite;
       Test_serve.suite;
       Test_fleet.suite;
+      Test_tenant.suite;
       Test_telemetry.suite;
       Test_regressions.suite;
       Test_verify.suite;

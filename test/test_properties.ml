@@ -15,7 +15,7 @@ let env =
      let rng = Rng.create ~seed:808 in
      let sk = Keys.gen_secret_key params rng in
      let pk = Keys.gen_public_key params sk rng in
-     let ek = Keys.gen_eval_key params sk ~rotations:[ 1; 2; 3; 4; 5; 6; 7 ] ~conjugation:true rng in
+     let ek = Keys.provision params sk ~rotations:[ 1; 2; 3; 4; 5; 6; 7 ] ~conjugation:true rng in
      (params, sk, pk, ek, Eval.context params ek))
 
 let vec seed = Array.init 64 (fun i -> 0.4 *. sin (Float.of_int ((seed * 67) + i)))
